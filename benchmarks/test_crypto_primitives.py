@@ -1,0 +1,149 @@
+"""E8 — threshold-cryptography primitive costs.
+
+The paper argues the randomized protocols are "quite practical given
+current processor speed" (Section 2).  This benchmark measures the
+primitive operations everything else is built from, across group sizes
+and party counts: coin share/verify/combine, TDH2 encrypt/share/
+combine, Shoup RSA sign-share/verify/combine, and Schnorr signatures.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+
+from repro.crypto.coin import deal_coin
+from repro.crypto.groups import default_group, small_group
+from repro.crypto.lsss import threshold_scheme
+from repro.crypto.schnorr import keygen
+from repro.crypto.threshold_enc import deal_encryption
+from repro.crypto.threshold_sig import deal_shoup_rsa
+
+_RSA_CACHE = {}
+_COIN_CACHE = {}
+_ENC_CACHE = {}
+
+
+def _coin(n, t, group):
+    key = (n, t, group.p)
+    if key not in _COIN_CACHE:
+        scheme = threshold_scheme(n, t, group.q)
+        _COIN_CACHE[key] = deal_coin(group, scheme, random.Random(1))
+    return _COIN_CACHE[key]
+
+
+def _enc(n, t, group):
+    key = (n, t, group.p)
+    if key not in _ENC_CACHE:
+        scheme = threshold_scheme(n, t, group.q)
+        _ENC_CACHE[key] = deal_encryption(group, scheme, random.Random(2))
+    return _ENC_CACHE[key]
+
+
+def _rsa(n, k, bits):
+    key = (n, k, bits)
+    if key not in _RSA_CACHE:
+        _RSA_CACHE[key] = deal_shoup_rsa(n, k, random.Random(3), bits=bits)
+    return _RSA_CACHE[key]
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (16, 5)])
+def test_coin_combine(benchmark, n, t):
+    group = default_group()
+    public, holders = _coin(n, t, group)
+    rng = random.Random(4)
+    shares = {i: holders[i].share_for("bench", rng) for i in range(t + 1)}
+    value = benchmark(lambda: public.combine("bench", shares))
+    assert value in (0, 1)
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (16, 5)])
+def test_coin_share_and_verify(benchmark, n, t):
+    group = default_group()
+    public, holders = _coin(n, t, group)
+    rng = random.Random(5)
+
+    def share_and_verify():
+        share = holders[0].share_for("bench2", rng)
+        assert public.verify_share(share)
+        return share
+
+    benchmark(share_and_verify)
+
+
+@pytest.mark.parametrize("n,t", [(4, 1), (16, 5)])
+def test_tdh2_roundtrip(benchmark, n, t):
+    group = default_group()
+    public, holders = _enc(n, t, group)
+    rng = random.Random(6)
+    message = b"a confidential service request"
+
+    def roundtrip():
+        ct = public.encrypt(message, b"label", rng)
+        shares = {i: holders[i].decryption_share(ct, rng) for i in range(t + 1)}
+        return public.combine(ct, shares)
+
+    assert benchmark(roundtrip) == message
+
+
+@pytest.mark.parametrize("bits", [256, 512])
+def test_shoup_rsa_sign_and_combine(benchmark, bits):
+    public, holders = _rsa(4, 2, bits)
+    rng = random.Random(7)
+
+    def sign_combine():
+        shares = {i: holders[i].sign_share("msg", rng) for i in (1, 2)}
+        assert all(public.verify_share("msg", s) for s in shares.values())
+        return public.combine("msg", shares)
+
+    signature = benchmark(sign_combine)
+    assert public.verify("msg", signature)
+
+
+def test_schnorr_sign_verify(benchmark):
+    key = keygen(random.Random(8), default_group())
+    rng = random.Random(9)
+
+    def sign_verify():
+        sig = key.sign("channel message", rng)
+        assert key.verify_key.verify("channel message", sig)
+
+    benchmark(sign_verify)
+
+
+def test_primitive_cost_summary(benchmark):
+    """One-shot summary table (the per-op timings live in the
+    pytest-benchmark output above)."""
+    import time
+
+    group = default_group()
+    rows = []
+
+    def measure():
+        rows.clear()
+        _collect()
+        return rows
+
+    def _collect():
+        for n, t in ((4, 1), (7, 2), (16, 5)):
+            public, holders = _coin(n, t, group)
+            rng = random.Random(10)
+            t0 = time.perf_counter()
+            shares = {i: holders[i].share_for("x", rng) for i in range(t + 1)}
+            t1 = time.perf_counter()
+            ok = all(public.verify_share(s) for s in shares.values())
+            t2 = time.perf_counter()
+            public.combine("x", shares)
+            t3 = time.perf_counter()
+            rows.append(
+                f"{n:>3} {t:>3}   {1000 * (t1 - t0) / (t + 1):8.2f} "
+                f"{1000 * (t2 - t1) / (t + 1):8.2f} {1000 * (t3 - t2):8.2f}"
+            )
+            assert ok
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "Threshold coin (256-bit group): per-op cost in ms",
+        [f"{'n':>3} {'t':>3}   {'share':>8} {'verify':>8} {'combine':>8}"] + rows,
+    )

@@ -1,0 +1,103 @@
+"""E3 — Example 1 (Section 4.3): nine servers, classes a-d.
+
+Regenerates the example's claims as measurements:
+
+* the adversary structure A1 tolerates any two arbitrary servers OR all
+  servers of any one class (including all four of class a), and
+  satisfies Q^3;
+* secrets are reconstructible exactly by coalitions of size >= 3
+  covering >= 2 classes (exhaustively verified over all 512 subsets);
+* the full protocol stack stays live and safe with all of class a
+  corrupted — a corruption no 9-server threshold system tolerates
+  (t=2 maximum, here 4 corruptions).
+"""
+
+from itertools import combinations
+
+import random
+
+from conftest import dealt, emit, make_network
+
+from repro.adversary import (
+    example1_access_formula,
+    example1_assignment,
+    example1_structure,
+    threshold_structure,
+)
+from repro.core.binary_agreement import BinaryAgreement, aba_session
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import LsssScheme
+from repro.net.adversary import SilentNode
+
+
+def _exhaustive_access_check():
+    """Sharing/reconstruction agrees with the paper's access rule on all
+    2^9 subsets; returns (qualified_count, corruptible_count)."""
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=small_group().q)
+    rng = random.Random(1)
+    sharing = scheme.deal(123456789, rng)
+    classes = example1_assignment().attributes["class"]
+    qualified = corruptible = 0
+    for mask in range(1 << 9):
+        subset = {i for i in range(9) if mask >> i & 1}
+        rule = len(subset) >= 3 and len({classes[i] for i in subset}) >= 2
+        lam = scheme.recombination(subset)
+        if rule:
+            qualified += 1
+            assert lam is not None
+            assert scheme.reconstruct(sharing, subset) == 123456789
+        else:
+            corruptible += 1
+            assert lam is None
+    return qualified, corruptible
+
+
+def _agreement_with_class_a_corrupted():
+    keys = dealt(9, which="example1")
+    honest = [4, 5, 6, 7, 8]
+    net, rts = make_network(keys, seed=3, parties=honest)
+    for bad in (0, 1, 2, 3):
+        net.attach(bad, SilentNode())
+    session = aba_session("e3")
+    for p, rt in rts.items():
+        rt.spawn(session, BinaryAgreement(p % 2))
+    net.run(
+        until=lambda: all(rt.result(session) is not None for rt in rts.values()),
+        max_steps=600_000,
+    )
+    return {rt.result(session) for rt in rts.values()}
+
+
+def test_example1_structure(benchmark):
+    structure = example1_structure()
+    qualified, corruptible = benchmark.pedantic(
+        _exhaustive_access_check, rounds=1, iterations=1
+    )
+    decisions = _agreement_with_class_a_corrupted()
+    best_threshold = threshold_structure(9, 2)
+
+    pair_count = sum(
+        1 for pair in combinations(range(9), 2) if structure.is_corruptible(set(pair))
+    )
+    emit(
+        "Example 1 (9 servers, classes a,a,a,a,b,b,c,c,d)",
+        [
+            f"Q^3 condition holds:                        {structure.satisfies_q3()}",
+            f"corruptible pairs (paper: all 36):          {pair_count}",
+            f"all of class a corruptible (4 servers):     "
+            f"{structure.is_corruptible({0, 1, 2, 3})}",
+            f"class a + one more corruptible:             "
+            f"{structure.is_corruptible({0, 1, 2, 3, 4})}",
+            f"subsets qualified to reconstruct (of 512):  {qualified}",
+            f"subsets the adversary may hold:             {corruptible}",
+            f"agreement with class a (4/9) silenced:      decided {decisions}",
+            f"best threshold t for n=9 (n>3t):            t=2 "
+            f"(cannot tolerate 4: {not best_threshold.is_corruptible(range(4))})",
+        ],
+    )
+    assert structure.satisfies_q3()
+    assert pair_count == 36
+    assert structure.is_corruptible({0, 1, 2, 3})
+    assert not structure.is_corruptible({0, 1, 2, 3, 4})
+    assert len(decisions) == 1
+    assert not best_threshold.is_corruptible({0, 1, 2, 3})

@@ -1,0 +1,144 @@
+"""E1 — Figure 1: systems for secure state machine replication.
+
+The paper's comparison table is qualitative; this benchmark makes each
+row's decisive property *measurable* on the same simulated network:
+
+* **this paper** (randomized BA, static group): decides under the
+  leader/party starvation attack — liveness AND safety;
+* **CL99-style deterministic leader protocol**: safety holds, liveness
+  lost under the starvation attack (endless view changes);
+* **failure-detector membership (Rampart/SecureRing style)**: the
+  timeout detector makes unbounded wrong suspicions of honest parties,
+  and view-based expulsion hands the group to the corrupted minority.
+
+Reproduced output: one row per system with the measured verdicts.
+"""
+
+from conftest import dealt, emit, make_network
+
+from repro.baselines.failure_detector import TimeoutFailureDetector, ViewBasedGroup
+from repro.baselines.leader_based import LeaderConsensus, leader_session, ViewChange
+from repro.core.binary_agreement import BinaryAgreement, aba_session
+from repro.core.protocol import Context
+from repro.net.scheduler import StarvingScheduler
+
+
+class _LeaderStarver(StarvingScheduler):
+    """Content-aware starvation: view changes pass, leader traffic stalls."""
+
+    def select(self, pending, rng):
+        self.clock += 1
+        if not pending:
+            return None
+        for env in pending:
+            self._birth.setdefault(env.seq, self.clock)
+        targets = self.targets()
+
+        def starved(env):
+            message = (
+                env.payload[1]
+                if isinstance(env.payload, tuple) and len(env.payload) == 2
+                else None
+            )
+            if isinstance(message, ViewChange):
+                return False
+            return env.sender in targets or env.recipient in targets
+
+        fast = [i for i, env in enumerate(pending) if not starved(env)]
+        if fast:
+            return fast[rng.randrange(len(fast))]
+        overdue = [
+            i
+            for i, env in enumerate(pending)
+            if self.clock - self._birth[env.seq] > self.patience
+        ]
+        return overdue[0] if overdue else None
+
+
+def _run_randomized_under_attack(budget=300_000):
+    keys = dealt(4, 1)
+    network, runtimes = make_network(keys, StarvingScheduler({0}, patience=2000), seed=1)
+    session = aba_session("fig1")
+    for party, runtime in runtimes.items():
+        runtime.spawn(session, BinaryAgreement(party % 2))
+    network.start()
+    steps = 0
+    while steps < budget and not all(
+        r.result(session) is not None for r in runtimes.values()
+    ):
+        network.step()
+        steps += 1
+    decisions = {r.result(session) for r in runtimes.values()}
+    return decisions, steps
+
+
+def _run_deterministic_under_attack(budget=20_000):
+    keys = dealt(4, 1)
+    instances = {}
+
+    def leaders():
+        return {inst.view % 4 for inst in instances.values()} or {0}
+
+    network, runtimes = make_network(
+        keys, _LeaderStarver(leaders, patience=2000), seed=2
+    )
+    session = leader_session("fig1")
+    for party, runtime in runtimes.items():
+        instances[party] = runtime.spawn(
+            session, LeaderConsensus(("v", party), timeout=40)
+        )
+    network.start()
+    for _ in range(budget):
+        network.step()
+        for party, runtime in runtimes.items():
+            instances[party].tick(Context(runtime, session))
+    deciders = sum(1 for r in runtimes.values() if r.result(session) is not None)
+    max_view = max(inst.view for inst in instances.values())
+    return deciders, max_view
+
+
+def _run_failure_detector_attack(cycles=25):
+    fd = TimeoutFailureDetector(parties=[0], timeout=5, honest=frozenset({0}))
+    for _ in range(cycles):
+        for _ in range(6):
+            fd.tick()
+        fd.heard(0)
+    group = ViewBasedGroup(members=list(range(7)), corrupted=frozenset({5, 6}))
+    for victim in (0, 1, 2):
+        for voter in [m for m in group.members if m != victim]:
+            if group.vote_expel(voter, victim):
+                break
+    return fd.wrong_suspicions, group.integrity_lost
+
+
+def test_fig1_comparison(benchmark):
+    decisions, steps = benchmark.pedantic(
+        _run_randomized_under_attack, rounds=1, iterations=1
+    )
+    det_deciders, det_views = _run_deterministic_under_attack()
+    wrong, integrity_lost = _run_failure_detector_attack()
+
+    emit(
+        "Figure 1 (measured): secure state machine replication under a "
+        "scheduling adversary",
+        [
+            f"{'system':34} {'timing':8} {'servers':8} {'BA?':4} verdict",
+            f"{'this paper (randomized BA)':34} {'async':8} {'static':8} "
+            f"{'yes':4} decided {decisions} in {steps} deliveries "
+            f"(liveness+safety)",
+            f"{'CL99 / PBFT-style (determ.)':34} {'async*':8} {'static':8} "
+            f"{'no':4} {det_deciders}/4 decided after 20000 rounds, "
+            f"{det_views} view changes (liveness LOST, safety held)",
+            f"{'Rampart/SecureRing (FD+views)':34} {'async*':8} {'dynamic':8} "
+            f"{'no':4} {wrong} wrong suspicions of one honest server; "
+            f"membership integrity lost: {integrity_lost}",
+            "(*) relies on timing assumptions for liveness",
+        ],
+    )
+
+    # The paper's claims, as assertions:
+    assert len(decisions) == 1 and None not in decisions  # we decide, and agree
+    assert det_deciders == 0  # deterministic baseline blocked
+    assert det_views >= 3  # ... while churning through views
+    assert wrong >= 25  # unbounded wrong suspicions (grows with cycles)
+    assert integrity_lost  # dynamic membership handed over the group

@@ -1,0 +1,87 @@
+"""E16 — ablation: hybrid failure structures (Section 6).
+
+"Crashes are more likely to occur than intrusions and they are much
+easier to handle than Byzantine corruptions."  Quantified: for n = 9
+servers, the classical Byzantine threshold admits 2 faults of any kind,
+while hybrid budgets admit up to 4 (b=0, c=4).  The same protocol stack
+runs unmodified in each regime; measured here with real fault
+injection on the agreement layer.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.adversary.hybrid import HybridQuorumSystem
+from repro.core.binary_agreement import BinaryAgreement, aba_session
+from repro.core.runtime import ProtocolRuntime
+from repro.crypto import deal_system, small_group
+from repro.net.adversary import SilentNode
+from repro.net.scheduler import RandomScheduler
+from repro.net.simulator import Network
+
+N = 9
+BUDGETS = [
+    (2, 0),  # classical t=2 expressed as hybrid
+    (1, 2),  # one intrusion + two crashes = 3 faults
+    (0, 4),  # four crashes
+]
+
+
+def _run_agreement(b, c, seed):
+    keys = deal_system(N, random.Random(seed), hybrid=(b, c), group=small_group())
+    net = Network(RandomScheduler(), random.Random(seed + 1))
+    byzantine = list(range(N - b, N))
+    crashed = list(range(N - b - c, N - b))
+    live = [p for p in range(N) if p not in byzantine and p not in crashed]
+    rts = {}
+    for p in live:
+        rt = ProtocolRuntime(p, net, keys.public, keys.private[p], seed=seed)
+        net.attach(p, rt)
+        rts[p] = rt
+    for p in byzantine:
+        net.attach(p, SilentNode())
+    for p in crashed:
+        net.attach(p, SilentNode())
+        net.crash(p)
+    session = aba_session(("e16", b, c))
+    for p, rt in rts.items():
+        rt.spawn(session, BinaryAgreement(p % 2))
+    net.run(
+        until=lambda: all(rt.result(session) is not None for rt in rts.values()),
+        max_steps=900_000,
+    )
+    decisions = {rt.result(session) for rt in rts.values()}
+    return len(byzantine) + len(crashed), decisions, net.delivered_count
+
+
+def test_hybrid_failure_budgets(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for b, c in BUDGETS:
+            quorum = HybridQuorumSystem(n=N, b=b, c=c)
+            faults, decisions, delivered = _run_agreement(b, c, 9500 + 10 * b + c)
+            rows.append((b, c, quorum.satisfies_q3, faults, decisions, delivered))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"Hybrid failure budgets on n={N} servers (agreement with injected faults)",
+        [f"{'b':>3} {'c':>3} {'n>3b+2c':>8} {'faults':>7} {'decided':>9} "
+         f"{'messages':>9}"]
+        + [
+            f"{b:>3} {c:>3} {str(ok):>8} {faults:>7} {str(dec):>9} {msgs:>9}"
+            for b, c, ok, faults, dec, msgs in rows
+        ]
+        + [
+            "classical Byzantine threshold on n=9: t=2 -> at most 2 faults;",
+            "hybrid budgets reach 3 (1 intrusion + 2 crashes) or 4 (crashes only).",
+        ],
+    )
+    for b, c, ok, faults, decisions, _msgs in rows:
+        assert ok
+        assert len(decisions) == 1
+        assert faults == b + c
+    assert rows[-1][3] == 4  # four tolerated faults, double the classical bound

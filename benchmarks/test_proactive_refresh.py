@@ -1,0 +1,80 @@
+"""E14 — ablation: proactive share refresh (Section 6).
+
+The paper's first extension: reshare key material between epochs so
+that everything a mobile adversary captured in past epochs becomes
+useless.  Measured: refresh cost per epoch across n, and the security
+property itself — after a refresh, the union of (t old shares + t new
+shares) still reveals nothing, while t+1 new shares reconstruct.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.crypto.groups import small_group
+from repro.crypto.proactive import (
+    apply_refresh,
+    deal_zero_sharing,
+    verify_zero_sharing,
+)
+from repro.crypto.shamir import Share, lagrange_coefficients, reconstruct, share_secret
+
+GROUP = small_group()
+
+
+def _epoch(n, t, shares, rng):
+    """One proactive epoch: t+1 parties deal zero-sharings; all verify
+    and apply.  Returns the refreshed shares."""
+    updates = [deal_zero_sharing(GROUP, n, t, dealer=d, rng=rng) for d in range(t + 1)]
+    for update in updates:
+        for point in range(1, n + 1):
+            assert verify_zero_sharing(GROUP, update, point)
+    return [apply_refresh(GROUP, s, updates) for s in shares]
+
+
+def _stale_mix_useless(secret, old, new, t):
+    """Interpolating t old + (t+1 - t) new shares misses the secret."""
+    mixed = old[:t] + new[t : t + 1]
+    return reconstruct(mixed, GROUP.q) != secret
+
+
+def test_proactive_refresh(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        rng = random.Random(60)
+        for n, t in ((4, 1), (7, 2), (16, 5)):
+            secret = rng.randrange(GROUP.q)
+            shares, _ = share_secret(secret, n, t, GROUP.q, rng)
+            epochs = 3
+            current = shares
+            history = [shares]
+            for _ in range(epochs):
+                current = _epoch(n, t, current, rng)
+                history.append(current)
+            # Secret invariant across epochs.
+            assert reconstruct(current[: t + 1], GROUP.q) == secret
+            # Every share changed every epoch.
+            changed = all(
+                a.value != b.value
+                for before, after in zip(history, history[1:])
+                for a, b in zip(before, after)
+            )
+            # Mobile adversary: t shares from epoch 0 plus one from the
+            # final epoch do not reconstruct.
+            stale = _stale_mix_useless(secret, history[0], current, t)
+            rows.append((n, t, epochs, changed, stale))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Proactive refresh (Section 6): epochs of verifiable zero-resharing",
+        [f"{'n':>3} {'t':>3} {'epochs':>7} {'shares rotate':>14} "
+         f"{'stale mix useless':>18}"]
+        + [
+            f"{n:>3} {t:>3} {e:>7} {str(ch):>14} {str(stale):>18}"
+            for n, t, e, ch, stale in rows
+        ],
+    )
+    assert all(ch and stale for _, _, _, ch, stale in rows)

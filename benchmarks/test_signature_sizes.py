@@ -1,0 +1,87 @@
+"""E12 — ablation: "threshold signatures are further employed to
+decrease all messages to a constant size" (Section 3, on [8]).
+
+The certificates that justify protocol steps can be realized two ways
+(DESIGN.md substitution table):
+
+* a **quorum certificate** — a set of individual Schnorr signatures
+  from a qualified set: works for *any* Q^3 structure, but its size
+  grows linearly with the quorum;
+* a **Shoup RSA threshold signature** — combines the shares into one
+  ordinary RSA signature: constant size, independent of n.
+
+Measured: the canonical encoded size of both objects as n grows, and
+the verification cost trade-off (one RSA exponentiation vs n-t Schnorr
+verifications).
+"""
+
+import random
+import time
+
+from conftest import emit
+
+from repro.adversary.quorums import ThresholdQuorumSystem
+from repro.crypto.groups import default_group
+from repro.crypto.hashing import encode
+from repro.crypto.schnorr import keygen
+from repro.crypto.threshold_sig import deal_quorum_certs, deal_shoup_rsa
+
+SIZES = ((4, 1), (7, 2), (10, 3), (16, 5))
+
+
+def _quorum_cert_size(n, t, rng):
+    keys = {i: keygen(rng, default_group()) for i in range(n)}
+    quorum = ThresholdQuorumSystem(n=n, t=t)
+    public, holders = deal_quorum_certs(keys, qualifier=quorum.is_quorum)
+    shares = {
+        i: holders[i].sign_share("statement", rng) for i in range(n - t)
+    }
+    certificate = public.combine("statement", shares)
+    t0 = time.perf_counter()
+    assert public.verify("statement", certificate)
+    verify_ms = 1000 * (time.perf_counter() - t0)
+    return len(encode(certificate)), verify_ms
+
+
+def _rsa_signature_size(n, k, rng, bits=512):
+    public, holders = deal_shoup_rsa(n, k, rng, bits=bits)
+    shares = {i: holders[i].sign_share("statement", rng) for i in range(1, k + 1)}
+    signature = public.combine("statement", shares)
+    t0 = time.perf_counter()
+    assert public.verify("statement", signature)
+    verify_ms = 1000 * (time.perf_counter() - t0)
+    return len(encode(signature)), verify_ms
+
+
+def test_certificate_vs_threshold_signature_size(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        rng = random.Random(50)
+        for n, t in SIZES:
+            cert_size, cert_ms = _quorum_cert_size(n, t, rng)
+            rsa_size, rsa_ms = _rsa_signature_size(n, t + 1, rng)
+            rows.append((n, t, cert_size, cert_ms, rsa_size, rsa_ms))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Justification size: quorum certificates vs Shoup RSA threshold "
+        "signatures (512-bit modulus)",
+        [
+            f"{'n':>3} {'t':>3} {'cert bytes':>11} {'verify ms':>10} "
+            f"{'rsa bytes':>10} {'verify ms':>10}"
+        ]
+        + [
+            f"{n:>3} {t:>3} {cs:>11} {cms:>10.2f} {rs:>10} {rms:>10.2f}"
+            for n, t, cs, cms, rs, rms in rows
+        ],
+    )
+    cert_sizes = [cs for _, _, cs, _, _, _ in rows]
+    rsa_sizes = [rs for _, _, _, _, rs, _ in rows]
+    # Quorum certificates grow with n...
+    assert cert_sizes[-1] > 2 * cert_sizes[0]
+    # ...threshold signatures stay constant-size (paper's claim).
+    assert max(rsa_sizes) - min(rsa_sizes) <= 8
+    assert rsa_sizes[-1] < cert_sizes[-1]

@@ -1,0 +1,195 @@
+"""E2 — the protocol stack figure (Section 3), measured layer by layer.
+
+Runs each layer of
+
+    secure causal atomic broadcast
+      > atomic broadcast
+        > multi-valued Byzantine agreement
+          > binary agreement | broadcast primitives
+
+on the same 4-server network and reports messages sent per layer,
+averaged over several schedules — the composition cost profile the
+paper's modular design implies.  Structural assertions check the
+*composition* itself: the atomic broadcast traffic contains the signed
+proposal exchange plus an embedded agreement, and the secure causal
+run adds exactly the n^2 decryption-share exchange on top.
+
+A second table scales binary agreement across n ∈ {4, 7, 10, 13}.
+"""
+
+import random
+
+from conftest import dealt, emit, make_network
+
+from repro.core.atomic_broadcast import AtomicBroadcast, abc_session
+from repro.core.binary_agreement import BinaryAgreement, aba_session
+from repro.core.consistent_broadcast import ConsistentBroadcast, cbc_session
+from repro.core.multivalued_agreement import MultiValuedAgreement, mvba_session
+from repro.core.protocol import Context
+from repro.core.reliable_broadcast import ReliableBroadcast, rbc_session
+from repro.core.secure_causal import SecureCausalBroadcast, sc_abc_session
+
+SEEDS = range(5)
+
+
+def _measure_rbc(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = rbc_session(0, ("bench", seed))
+    for p, rt in rts.items():
+        rt.spawn(session, ReliableBroadcast(0, value="m" if p == 0 else None))
+    net.run(until=lambda: all(rt.result(session) is not None for rt in rts.values()))
+    return net.trace
+
+
+def _measure_cbc(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = cbc_session(0, ("bench", seed))
+    for p, rt in rts.items():
+        rt.spawn(session, ConsistentBroadcast(0, value="m" if p == 0 else None))
+    net.run(until=lambda: all(rt.result(session) is not None for rt in rts.values()))
+    return net.trace
+
+
+def _measure_aba(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = aba_session(("bench", seed))
+    for p, rt in rts.items():
+        rt.spawn(session, BinaryAgreement(p % 2))
+    net.run(
+        until=lambda: all(rt.result(session) is not None for rt in rts.values()),
+        max_steps=900_000,
+    )
+    return net.trace
+
+
+def _measure_mvba(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = mvba_session(("bench", seed))
+    for p, rt in rts.items():
+        rt.spawn(session, MultiValuedAgreement(("v", p)))
+    net.run(
+        until=lambda: all(rt.result(session) is not None for rt in rts.values()),
+        max_steps=900_000,
+    )
+    return net.trace
+
+
+def _measure_abc(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = abc_session(("bench", seed))
+    delivered = {p: [] for p in rts}
+    for p, rt in rts.items():
+        rt.spawn(session, AtomicBroadcast(
+            on_deliver=lambda m, r, pp=p: delivered[pp].append(m)))
+    net.start()
+    for p, rt in rts.items():
+        rt.instances[session].submit(Context(rt, session), ("req", "one"))
+    net.run(until=lambda: all(len(delivered[p]) >= 1 for p in rts),
+            max_steps=900_000)
+    return net.trace
+
+
+def _measure_sc_abc(keys, seed):
+    net, rts = make_network(keys, seed=seed)
+    net.trace.enable_byte_accounting()
+    session = sc_abc_session(("bench", seed))
+    delivered = {p: [] for p in rts}
+    for p, rt in rts.items():
+        rt.spawn(session, SecureCausalBroadcast(
+            on_deliver=lambda m, r, pp=p: delivered[pp].append(m)))
+    net.start()
+    rng = random.Random(700 + seed)
+    ct = keys.public.encryption.encrypt(b"confidential request", b"bench", rng)
+    for p, rt in rts.items():
+        rt.instances[session].submit(Context(rt, session), ct)
+    net.run(until=lambda: all(len(delivered[p]) >= 1 for p in rts),
+            max_steps=900_000)
+    return net.trace
+
+
+def test_stack_layer_costs(benchmark):
+    keys = dealt(4, 1)
+    n = keys.public.n
+    layers = {
+        "reliable broadcast": _measure_rbc,
+        "consistent broadcast": _measure_cbc,
+        "binary agreement": _measure_aba,
+        "multi-valued agreement": _measure_mvba,
+        "atomic broadcast": _measure_abc,
+        "secure causal ABC": _measure_sc_abc,
+    }
+    means: dict[str, float] = {}
+    traces: dict[str, list] = {}
+
+    byte_means: dict[str, float] = {}
+
+    def run_all():
+        for layer, measure in layers.items():
+            traces[layer] = [measure(keys, seed) for seed in SEEDS]
+            means[layer] = sum(t.sent for t in traces[layer]) / len(SEEDS)
+            byte_means[layer] = sum(t.bytes_sent for t in traces[layer]) / len(SEEDS)
+        return means
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Protocol stack (Section 3), n=4 t=1: one instance per layer, "
+        f"mean over {len(SEEDS)} schedules",
+        [f"{'layer':26} {'msgs (mean)':>12} {'wire bytes (mean)':>18}"]
+        + [
+            f"{layer:26} {means[layer]:>12.0f} {byte_means[layer]:>18.0f}"
+            for layer in means
+        ],
+    )
+
+    # Cheap primitives vs agreement (holds with wide margins).
+    assert means["consistent broadcast"] < means["reliable broadcast"]
+    assert means["binary agreement"] > means["reliable broadcast"]
+    assert means["multi-valued agreement"] > means["binary agreement"]
+
+    # Composition, structurally: the ABC runs contain the signed proposal
+    # exchange (n per party) AND an embedded MVBA (consistent broadcasts,
+    # coin shares) — the stack figure in executable form.
+    for trace in traces["atomic broadcast"]:
+        kinds = trace.sent_by_kind
+        assert kinds.get("AbcProposal", 0) >= n * n
+        assert kinds.get("CbcSend", 0) >= n
+        assert kinds.get("AbaCoinShare", 0) >= n
+
+    # Secure causal ABC = atomic broadcast + exactly one decryption-share
+    # exchange (n broadcasts of n messages) for the single payload.
+    for trace in traces["secure causal ABC"]:
+        kinds = trace.sent_by_kind
+        assert kinds.get("ScDecryptionShare", 0) == n * n
+        assert kinds.get("AbcProposal", 0) >= n * n
+
+
+def test_binary_agreement_scaling(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n, t in ((4, 1), (7, 2), (10, 3), (13, 4)):
+            keys = dealt(n, t)
+            sent = [
+                _measure_aba(keys, seed=100 * n + s).sent for s in range(3)
+            ]
+            rows.append((n, t, sum(sent) / len(sent)))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Binary agreement message cost vs n (split inputs, mean of 3 schedules)",
+        [f"{'n':>3} {'t':>3} {'msgs sent':>10} {'per-party':>10}"]
+        + [
+            f"{n:>3} {t:>3} {sent:>10.0f} {sent / n:>10.0f}"
+            for n, t, sent in rows
+        ],
+    )
+    # Quadratic growth: per-party message count grows with n.
+    per_party = [sent / n for n, _, sent in rows]
+    assert per_party[-1] > per_party[0]

@@ -1,0 +1,64 @@
+"""Generalized adversary structures (Section 4 of the paper).
+
+Public API:
+
+* :class:`~repro.adversary.structures.AdversaryStructure` and the
+  :func:`~repro.adversary.structures.threshold_structure` /
+  :func:`~repro.adversary.structures.structure_from_access_formula`
+  constructors;
+* monotone formulas with threshold gates
+  (:mod:`repro.adversary.formulas`);
+* the attribute-classification examples of Section 4.3
+  (:mod:`repro.adversary.attributes`);
+* generalized quorum systems implementing the Section 4.2 substitution
+  rules (:mod:`repro.adversary.quorums`).
+"""
+
+from .formulas import And, Formula, Leaf, Or, Threshold, majority
+from .structures import (
+    AdversaryStructure,
+    structure_from_access_formula,
+    threshold_structure,
+)
+from .attributes import (
+    AttributeAssignment,
+    example1_access_formula,
+    example1_assignment,
+    example1_structure,
+    example2_access_formula,
+    example2_assignment,
+    example2_structure,
+)
+from .hybrid import HybridQuorumSystem
+from .quorums import (
+    GeneralQuorumSystem,
+    QuorumSystem,
+    ThresholdQuorumSystem,
+    access_formula_compatible,
+    quorum_system_for,
+)
+
+__all__ = [
+    "And",
+    "Formula",
+    "Leaf",
+    "Or",
+    "Threshold",
+    "majority",
+    "AdversaryStructure",
+    "structure_from_access_formula",
+    "threshold_structure",
+    "AttributeAssignment",
+    "example1_access_formula",
+    "example1_assignment",
+    "example1_structure",
+    "example2_access_formula",
+    "example2_assignment",
+    "example2_structure",
+    "HybridQuorumSystem",
+    "GeneralQuorumSystem",
+    "QuorumSystem",
+    "ThresholdQuorumSystem",
+    "access_formula_compatible",
+    "quorum_system_for",
+]

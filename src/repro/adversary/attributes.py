@@ -1,0 +1,209 @@
+"""Attribute-based server classification (Section 4.3).
+
+Servers are classified by one or more independent attributes with at
+least four values each (operating system, physical location, ...).  The
+classification yields generalized adversary structures in which all
+servers sharing an attribute value may be corrupted simultaneously —
+modeling, e.g., an exploit that affects every Linux host, or the outage
+of an entire site.
+
+This module provides:
+
+* :class:`AttributeAssignment` — the classification itself;
+* :func:`example1_structure` — the paper's Example 1 (nine servers, one
+  attribute with classes a-d; tolerate any two servers or any whole
+  class);
+* :func:`example2_structure` — Example 2 (sixteen servers, locations x
+  operating systems; tolerate one full location and one full OS
+  simultaneously);
+* the corresponding access *formulas*, which double as the linear
+  secret sharing recipes (Benaloh-Leichter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from .formulas import And, Formula, Leaf, Or, Threshold
+from .structures import AdversaryStructure
+
+__all__ = [
+    "AttributeAssignment",
+    "class_presence_formula",
+    "example1_assignment",
+    "example1_access_formula",
+    "example1_structure",
+    "example2_assignment",
+    "example2_access_formula",
+    "example2_structure",
+    "one_attribute_access_formula",
+    "two_attribute_access_formula",
+]
+
+
+@dataclass(frozen=True)
+class AttributeAssignment:
+    """Maps each party to one value per attribute.
+
+    Attributes:
+        attributes: attribute name -> (party -> value); every attribute
+            must assign a value to every party.
+    """
+
+    n: int
+    attributes: dict[str, dict[int, str]]
+
+    def __post_init__(self) -> None:
+        for name, mapping in self.attributes.items():
+            missing = set(range(self.n)) - set(mapping)
+            if missing:
+                raise ValueError(f"attribute {name!r} misses parties {sorted(missing)}")
+
+    def values(self, attribute: str) -> list[str]:
+        """Distinct values of an attribute, in sorted order."""
+        return sorted(set(self.attributes[attribute].values()))
+
+    def parties_with(self, attribute: str, value: str) -> frozenset[int]:
+        mapping = self.attributes[attribute]
+        return frozenset(p for p in range(self.n) if mapping[p] == value)
+
+    def parties_with_all(self, **constraints: str) -> frozenset[int]:
+        """Parties matching every ``attribute=value`` constraint."""
+        out = frozenset(range(self.n))
+        for attribute, value in constraints.items():
+            out &= self.parties_with(attribute, value)
+        return out
+
+
+def class_presence_formula(assignment: AttributeAssignment, attribute: str, value: str) -> Formula:
+    """The characteristic function χ_c of Section 4.3 as a formula.
+
+    True iff the evaluated set contains at least one party of the class.
+    """
+    members = sorted(assignment.parties_with(attribute, value))
+    if not members:
+        raise ValueError(f"no parties with {attribute}={value}")
+    return Or(*(Leaf(p) for p in members))
+
+
+def one_attribute_access_formula(
+    assignment: AttributeAssignment,
+    attribute: str,
+    min_size: int,
+    min_classes: int,
+) -> Formula:
+    """Access formula ``Θ_min_size^n(S) ∧ Θ_min_classes(χ_c1, ..)``.
+
+    Qualified sets must have at least ``min_size`` members covering at
+    least ``min_classes`` distinct values of the attribute — the shape
+    of Example 1's access structure.
+    """
+    size_gate = Threshold(
+        k=min_size, children=tuple(Leaf(p) for p in range(assignment.n))
+    )
+    presence = tuple(
+        class_presence_formula(assignment, attribute, v)
+        for v in assignment.values(attribute)
+    )
+    class_gate = Threshold(k=min_classes, children=presence)
+    return And(size_gate, class_gate)
+
+
+# ---------------------------------------------------------------------------
+# Example 1: nine servers, one attribute with four classes.
+# ---------------------------------------------------------------------------
+
+def example1_assignment() -> AttributeAssignment:
+    """The classification of Example 1 (parties are 0-indexed here).
+
+    Paper (1-indexed): class(1..4)=a, class(5)=class(6)=b,
+    class(7)=class(8)=c, class(9)=d.
+    """
+    classes = {0: "a", 1: "a", 2: "a", 3: "a", 4: "b", 5: "b", 6: "c", 7: "c", 8: "d"}
+    return AttributeAssignment(n=9, attributes={"class": classes})
+
+
+def example1_access_formula() -> Formula:
+    """Access structure of Example 1: |S| >= 3 and S covers >= 2 classes."""
+    return one_attribute_access_formula(
+        example1_assignment(), "class", min_size=3, min_classes=2
+    )
+
+
+def example1_structure() -> AdversaryStructure:
+    """Adversary structure A1 built analytically.
+
+    A1* consists of {1,..,4} (all of class a) and every pair of servers
+    that are not both of class a.
+    """
+    assignment = example1_assignment()
+    class_a = assignment.parties_with("class", "a")
+    maximal = [class_a]
+    for pair in combinations(range(9), 2):
+        if not frozenset(pair) <= class_a:
+            maximal.append(frozenset(pair))
+    return AdversaryStructure(n=9, maximal_sets=tuple(maximal))
+
+
+# ---------------------------------------------------------------------------
+# Example 2: sixteen servers, two independent attributes (location x OS).
+# ---------------------------------------------------------------------------
+
+LOCATIONS = ("newyork", "tokyo", "zurich", "haifa")
+OPERATING_SYSTEMS = ("aix", "nt", "linux", "solaris")
+
+
+def example2_assignment() -> AttributeAssignment:
+    """Sixteen servers: party ``4*i + j`` is at location i, runs OS j."""
+    location = {4 * i + j: LOCATIONS[i] for i in range(4) for j in range(4)}
+    osys = {4 * i + j: OPERATING_SYSTEMS[j] for i in range(4) for j in range(4)}
+    return AttributeAssignment(n=16, attributes={"location": location, "os": osys})
+
+
+def two_attribute_access_formula(assignment: AttributeAssignment, attr1: str, attr2: str) -> Formula:
+    """Access formula of Example 2: the negation of its ``g``.
+
+    ``Θ_2(x_a,..,x_d) ∧ Θ_2(y_α,..,y_δ)`` where ``x_v`` requires at
+    least two distinct ``attr2`` values present among the parties with
+    ``attr1 = v`` (and symmetrically for ``y``).
+    """
+    values1 = assignment.values(attr1)
+    values2 = assignment.values(attr2)
+
+    def cell(v1: str, v2: str) -> Formula:
+        members = sorted(assignment.parties_with_all(**{attr1: v1, attr2: v2}))
+        if not members:
+            raise ValueError(f"empty cell {attr1}={v1}, {attr2}={v2}")
+        return Or(*(Leaf(p) for p in members))
+
+    x_gates = tuple(
+        Threshold(k=2, children=tuple(cell(v1, v2) for v2 in values2))
+        for v1 in values1
+    )
+    y_gates = tuple(
+        Threshold(k=2, children=tuple(cell(v1, v2) for v1 in values1))
+        for v2 in values2
+    )
+    return And(Threshold(k=2, children=x_gates), Threshold(k=2, children=y_gates))
+
+
+def example2_access_formula() -> Formula:
+    return two_attribute_access_formula(example2_assignment(), "location", "os")
+
+
+def example2_structure() -> AdversaryStructure:
+    """Adversary structure of Example 2, built analytically.
+
+    The maximal corruptible coalitions are exactly the unions of one
+    full location (row) with one full operating system (column): seven
+    servers each, sixteen such sets in total.
+    """
+    assignment = example2_assignment()
+    maximal = []
+    for loc in LOCATIONS:
+        row = assignment.parties_with("location", loc)
+        for osys in OPERATING_SYSTEMS:
+            column = assignment.parties_with("os", osys)
+            maximal.append(row | column)
+    return AdversaryStructure(n=16, maximal_sets=tuple(maximal))

@@ -1,0 +1,114 @@
+"""Monotone Boolean formulas over threshold gates (Section 4.2).
+
+The paper represents adversary/access structures by monotone formulas
+built from n-ary threshold gates ``Θ_k^n`` (AND and OR being the special
+cases ``Θ_n^n`` and ``Θ_1^n``) over variables that stand for parties.
+
+These formulas serve double duty:
+
+* evaluated on a subset of parties they decide qualification
+  (access structure) or corruptibility (adversary structure);
+* interpreted as a sharing recipe they yield the Benaloh-Leichter
+  linear secret sharing scheme (``repro.crypto.lsss``).
+
+Formulas are immutable trees.  Every *leaf occurrence* is a distinct
+secret-sharing slot, identified by its path from the root (tuple of
+child indices), because one party may appear several times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Formula", "Leaf", "Threshold", "And", "Or", "majority"]
+
+
+class Formula:
+    """Base class for monotone formulas; use :class:`Leaf` / :class:`Threshold`."""
+
+    def evaluate(self, present: frozenset[int]) -> bool:
+        raise NotImplementedError
+
+    def parties(self) -> frozenset[int]:
+        """All party indices mentioned anywhere in the formula."""
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Yield ``(path, party)`` for every leaf occurrence."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+
+@dataclass(frozen=True)
+class Leaf(Formula):
+    """A variable: true iff the given party is in the evaluated set."""
+
+    party: int
+
+    def evaluate(self, present: frozenset[int]) -> bool:
+        return self.party in present
+
+    def parties(self) -> frozenset[int]:
+        return frozenset([self.party])
+
+    def leaves(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        yield (), self.party
+
+
+@dataclass(frozen=True)
+class Threshold(Formula):
+    """``Θ_k^m``: true iff at least ``k`` of the ``m`` children are true."""
+
+    k: int
+    children: tuple[Formula, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("threshold gate needs at least one child")
+        if not 1 <= self.k <= len(self.children):
+            raise ValueError(
+                f"threshold k={self.k} out of range for {len(self.children)} children"
+            )
+
+    def evaluate(self, present: frozenset[int]) -> bool:
+        satisfied = 0
+        for child in self.children:
+            if child.evaluate(present):
+                satisfied += 1
+                if satisfied >= self.k:
+                    return True
+        return False
+
+    def parties(self) -> frozenset[int]:
+        out: frozenset[int] = frozenset()
+        for child in self.children:
+            out |= child.parties()
+        return out
+
+    def leaves(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        for idx, child in enumerate(self.children):
+            for path, party in child.leaves():
+                yield (idx, *path), party
+
+
+def And(*children: Formula) -> Threshold:
+    """Conjunction: ``Θ_m^m``."""
+    return Threshold(k=len(children), children=tuple(children))
+
+
+def Or(*children: Formula) -> Threshold:
+    """Disjunction: ``Θ_1^m``."""
+    return Threshold(k=1, children=tuple(children))
+
+
+def majority(parties: list[int], k: int) -> Threshold:
+    """``k``-out-of-``len(parties)`` gate directly over party leaves."""
+    return Threshold(k=k, children=tuple(Leaf(p) for p in parties))

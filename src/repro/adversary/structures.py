@@ -1,0 +1,206 @@
+"""Adversary and access structures (Section 4.1).
+
+An *adversary structure* ``A`` is a monotone family of subsets of the
+party set ``P = {0, .., n-1}`` listing which coalitions the adversary
+may corrupt simultaneously.  It is represented here by its maximal sets
+``A*``.  Its complement, the *access structure*, holds the qualified
+sets (those guaranteed to contain enough honest parties, used e.g. for
+secret reconstruction).
+
+The key admissibility condition for asynchronous Byzantine protocols is
+``Q^3`` [21]: no three sets of ``A`` together cover ``P`` (the threshold
+condition ``n > 3t`` is the special case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from .formulas import Formula
+
+__all__ = ["AdversaryStructure", "threshold_structure", "structure_from_access_formula"]
+
+PartySet = frozenset[int]
+
+
+def _maximal_only(sets: Iterable[PartySet]) -> tuple[PartySet, ...]:
+    """Drop every set contained in another one; deterministic order.
+
+    Same-size distinct sets can never contain one another, so each set
+    is compared only against the strictly larger ones — this keeps the
+    filter linear for the (common) uniform-size structures such as
+    thresholds, where the naive quadratic scan over binom(n, t) sets
+    would dominate everything.
+    """
+    unique = sorted(set(sets), key=lambda s: (-len(s), sorted(s)))
+    maximal: list[PartySet] = []
+    larger: list[PartySet] = []  # strictly larger than the current size
+    current_size: int | None = None
+    for candidate in unique:
+        if current_size is None or len(candidate) < current_size:
+            larger = list(maximal)
+            current_size = len(candidate)
+        if not any(candidate <= kept for kept in larger):
+            maximal.append(candidate)
+    return tuple(sorted(maximal, key=lambda s: (len(s), sorted(s))))
+
+
+@dataclass(frozen=True)
+class AdversaryStructure:
+    """A monotone adversary structure given by its maximal sets ``A*``.
+
+    Attributes:
+        n: number of parties; the party set is ``{0, .., n-1}``.
+        maximal_sets: the maximal corruptible coalitions (antichain).
+        threshold: set when the structure is exactly "all ``t``-subsets"
+            (built by :func:`threshold_structure`); enables O(1)
+            membership and admissibility checks, which matters because
+            ``A*`` has :math:`\\binom{n}{t}` sets in that case.
+    """
+
+    n: int
+    maximal_sets: tuple[PartySet, ...]
+    threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        parties = self.all_parties
+        for s in self.maximal_sets:
+            if not s <= parties:
+                raise ValueError(f"corruptible set {sorted(s)} outside party set")
+        object.__setattr__(self, "maximal_sets", _maximal_only(self.maximal_sets))
+
+    @property
+    def all_parties(self) -> PartySet:
+        return frozenset(range(self.n))
+
+    # -- membership ------------------------------------------------------
+
+    def is_corruptible(self, parties: Iterable[int]) -> bool:
+        """True iff the coalition is in ``A`` (subset of some maximal set)."""
+        s = frozenset(parties)
+        if self.threshold is not None:
+            return len(s) <= self.threshold and s <= self.all_parties
+        return any(s <= m for m in self.maximal_sets)
+
+    def is_qualified(self, parties: Iterable[int]) -> bool:
+        """True iff the set is in the access structure (not corruptible).
+
+        Qualified sets are those that cannot consist entirely of
+        corrupted parties, hence always contain at least one honest one.
+        """
+        return not self.is_corruptible(parties)
+
+    # -- admissibility ---------------------------------------------------
+
+    def satisfies_q3(self) -> bool:
+        """The ``Q^3`` condition: no three sets in ``A`` cover ``P``.
+
+        It suffices to check pairs of maximal sets and ask whether the
+        remainder is corruptible (monotonicity covers the general case).
+        Threshold structures use the analytic ``n > 3t``; for general
+        ones a size argument prunes the quadratic pair scan: if even the
+        two largest sets leave more than the largest corruptible size
+        uncovered, no triple can cover ``P``.
+        """
+        if self.threshold is not None:
+            return self.n > 3 * self.threshold
+        everyone = self.all_parties
+        sets = self.maximal_sets
+        biggest = self.max_corruptible_size()
+        sizes = sorted((len(s) for s in sets), reverse=True)
+        if sum(sizes[:2]) < self.n - biggest:
+            return True
+        for a in sets:
+            for b in sets:
+                if len(a) + len(b) < self.n - biggest:
+                    continue
+                if self.is_corruptible(everyone - (a | b)):
+                    return False
+        return True
+
+    def satisfies_q2(self) -> bool:
+        """The weaker ``Q^2`` condition: no two sets in ``A`` cover ``P``."""
+        if self.threshold is not None:
+            return self.n > 2 * self.threshold
+        everyone = self.all_parties
+        return not any(
+            (a | b) == everyone for a in self.maximal_sets for b in self.maximal_sets
+        )
+
+    # -- derived data ------------------------------------------------------
+
+    def minimal_qualified_sets(self) -> tuple[PartySet, ...]:
+        """Minimal sets of the access structure.
+
+        A set is minimally qualified iff it is qualified and removing any
+        single element makes it corruptible.  Computed by expanding each
+        maximal corruptible set's complement structure; for the moderate
+        ``n`` of this architecture a direct search over candidate sizes
+        is adequate and exact.
+        """
+        minimal: list[PartySet] = []
+        everyone = sorted(self.all_parties)
+        # Candidates: for each maximal adversary set M and party i not in M,
+        # subsets of the form (subset hitting every maximal set).  We use the
+        # hitting-set characterization: S is qualified iff S is not inside
+        # any maximal adversary set.  Minimal qualified sets are minimal
+        # transversals of the complements.  Search by increasing size.
+        from itertools import combinations as _comb
+
+        found_size = None
+        for size in range(1, self.n + 1):
+            if found_size is not None and size > found_size and minimal:
+                # minimal sets can have different sizes; keep scanning but
+                # prune supersets of already-found minimal sets.
+                pass
+            for cand in _comb(everyone, size):
+                s = frozenset(cand)
+                if any(m <= s for m in minimal):
+                    continue
+                if self.is_qualified(s):
+                    minimal.append(s)
+                    found_size = found_size or size
+        return tuple(sorted(minimal, key=lambda s: (len(s), sorted(s))))
+
+    def max_corruptible_size(self) -> int:
+        """Cardinality of the largest corruptible coalition."""
+        return max((len(s) for s in self.maximal_sets), default=0)
+
+    def describe(self) -> str:
+        sets = ", ".join("{" + ",".join(map(str, sorted(s))) + "}" for s in self.maximal_sets)
+        return f"AdversaryStructure(n={self.n}, A*=[{sets}])"
+
+
+def threshold_structure(n: int, t: int) -> AdversaryStructure:
+    """The classical threshold structure: ``A* = all t-subsets of P``."""
+    if not 0 <= t < n:
+        raise ValueError(f"invalid threshold t={t} for n={n}")
+    maximal = tuple(frozenset(c) for c in combinations(range(n), t))
+    if t == 0:
+        maximal = (frozenset(),)
+    return AdversaryStructure(n=n, maximal_sets=maximal, threshold=t)
+
+
+def structure_from_access_formula(n: int, access: Formula) -> AdversaryStructure:
+    """Build the adversary structure complementary to an access formula.
+
+    ``access`` decides qualification; the adversary structure contains
+    exactly the non-qualified sets.  Maximal corruptible sets are found
+    by exhaustive search, which is exact and fast for the system sizes
+    of Section 4 (n = 9 and n = 16 in the paper's examples).
+    """
+    if n > 20:
+        raise ValueError("exhaustive structure extraction limited to n <= 20")
+    parties = list(range(n))
+    maximal: list[frozenset[int]] = []
+    for mask in range(1 << n):
+        s = frozenset(p for p in parties if mask >> p & 1)
+        if access.evaluate(s):
+            continue
+        # Local maximality: adding any absent party must make the set
+        # qualified; this avoids the quadratic antichain filter.
+        if all(access.evaluate(s | {p}) for p in parties if p not in s):
+            maximal.append(s)
+    return AdversaryStructure(n=n, maximal_sets=tuple(maximal))

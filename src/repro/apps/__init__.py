@@ -1,0 +1,35 @@
+"""Trusted services on top of the replication architecture (Section 5)."""
+
+from .authentication import (
+    AuthenticationClient,
+    AuthenticationService,
+    credential_digest,
+)
+from .ca import CaClient, Certificate, CertificationAuthority
+from .directory import DirectoryClient, DirectoryService
+from .fair_exchange import FairExchangeClient, FairExchangeService
+from .notary import NotaryClient, NotaryService, document_digest
+from .timestamping import (
+    TimestampClient,
+    TimestampingService,
+    verify_chain_segment,
+)
+
+__all__ = [
+    "AuthenticationClient",
+    "AuthenticationService",
+    "credential_digest",
+    "CaClient",
+    "Certificate",
+    "CertificationAuthority",
+    "DirectoryClient",
+    "DirectoryService",
+    "FairExchangeClient",
+    "FairExchangeService",
+    "NotaryClient",
+    "NotaryService",
+    "document_digest",
+    "TimestampClient",
+    "TimestampingService",
+    "verify_chain_segment",
+]

@@ -1,0 +1,134 @@
+"""Distributed authentication service (Section 5 via [6]).
+
+The MAFTIA deliverable the paper cites specifies an authentication
+service as one of the dependable trusted third parties.  This replica
+stores credential *digests* (never raw secrets) and answers
+authentication queries with service-signed verdicts.  Verification is
+rate-limited per principal by a deterministic failure counter — a
+lockout policy that, being part of the replicated state, is enforced
+identically by every honest replica and cannot be reset by any single
+corrupted one.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import hash_bytes
+from ..smr.client import ServiceClient
+from ..smr.state_machine import Request, StateMachine
+
+__all__ = ["AuthenticationService", "AuthenticationClient", "credential_digest"]
+
+_MAX_FAILURES = 5
+
+
+def credential_digest(principal: str, secret: bytes) -> bytes:
+    """Salted digest bound to the principal (no cross-user equality)."""
+    return hash_bytes("auth-credential", principal, secret)
+
+
+class AuthenticationService(StateMachine):
+    """Replicated authentication state.
+
+    Operations:
+        ("enroll", principal, digest)
+        ("authenticate", principal, digest)
+        ("change", principal, old_digest, new_digest)
+        ("status", principal)
+    """
+
+    def __init__(self, max_failures: int = _MAX_FAILURES) -> None:
+        self.max_failures = max_failures
+        self.credentials: dict[str, bytes] = {}
+        self.failures: dict[str, int] = {}
+
+    def apply(self, request: Request) -> object:
+        op = request.operation
+        if not op:
+            return ("error", "empty operation")
+        kind = op[0]
+        if kind == "enroll" and len(op) == 3:
+            return self._enroll(op[1], op[2])
+        if kind == "authenticate" and len(op) == 3:
+            return self._authenticate(op[1], op[2])
+        if kind == "change" and len(op) == 4:
+            return self._change(op[1], op[2], op[3])
+        if kind == "status" and len(op) == 2 and isinstance(op[1], str):
+            if op[1] not in self.credentials:
+                return ("unknown", op[1])
+            locked = self.failures.get(op[1], 0) >= self.max_failures
+            return ("status", op[1], "locked" if locked else "active")
+        return ("error", "unknown operation")
+
+    def _valid(self, principal: object, digest: object) -> bool:
+        return isinstance(principal, str) and isinstance(digest, bytes)
+
+    def _enroll(self, principal: object, digest: object) -> object:
+        if not self._valid(principal, digest):
+            return ("error", "malformed enroll")
+        if principal in self.credentials:
+            return ("denied", "already enrolled")
+        self.credentials[principal] = digest
+        return ("enrolled", principal)
+
+    def _authenticate(self, principal: object, digest: object) -> object:
+        if not self._valid(principal, digest):
+            return ("error", "malformed authenticate")
+        stored = self.credentials.get(principal)
+        if stored is None:
+            return ("denied", "unknown principal")
+        if self.failures.get(principal, 0) >= self.max_failures:
+            return ("denied", "locked")
+        if stored != digest:
+            self.failures[principal] = self.failures.get(principal, 0) + 1
+            return ("denied", "bad credential")
+        self.failures[principal] = 0
+        return ("authenticated", principal)
+
+    def _change(self, principal: object, old: object, new: object) -> object:
+        if not (self._valid(principal, old) and isinstance(new, bytes)):
+            return ("error", "malformed change")
+        verdict = self._authenticate(principal, old)
+        if verdict[0] != "authenticated":
+            return verdict
+        self.credentials[principal] = new
+        return ("changed", principal)
+
+    def snapshot(self) -> object:
+        return (
+            tuple(sorted(self.credentials.items())),
+            tuple(sorted(self.failures.items())),
+        )
+
+
+class AuthenticationClient:
+    """Typed wrapper over :class:`ServiceClient`."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def enroll(self, principal: str, secret: bytes) -> int:
+        """Register a principal's credential digest."""
+        return self.client.submit(
+            ("enroll", principal, credential_digest(principal, secret))
+        )
+
+    def authenticate(self, principal: str, secret: bytes) -> int:
+        """Request a service-signed authentication verdict."""
+        return self.client.submit(
+            ("authenticate", principal, credential_digest(principal, secret))
+        )
+
+    def change(self, principal: str, old_secret: bytes, new_secret: bytes) -> int:
+        """Rotate a credential, authorized by the old one."""
+        return self.client.submit(
+            (
+                "change",
+                principal,
+                credential_digest(principal, old_secret),
+                credential_digest(principal, new_secret),
+            )
+        )
+
+    def status(self, principal: str) -> int:
+        """Query lockout status."""
+        return self.client.submit(("status", principal))

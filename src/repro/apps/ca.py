@@ -1,0 +1,188 @@
+"""Distributed certification authority (Section 5.1).
+
+A CA verifies credentials and confirms public keys by issuing
+certificates — digital signatures under the CA's signing key on the
+(public key, identity) pair.  Distributed with this architecture:
+
+* requests are delivered by atomic broadcast so all replicas see the
+  same sequence (crucial: certificates depend on the serial counter and
+  the *current policy*, which may change over time — Section 5.1 notes
+  reliable broadcast would only suffice if the policy never changed);
+* the CA's signature is the service's threshold signature: the client
+  assembles its certificate from the replicas' signature shares, and
+  verifies it against the single public key of the service.
+
+The policy is part of the replicated state: a set of credential fields
+that must be present and vouched for.  Policy updates are ordinary
+(administrative) operations and therefore totally ordered with respect
+to issuance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..smr.client import CompletedRequest, ServiceClient
+from ..smr.state_machine import Request, StateMachine
+
+__all__ = ["CertificationAuthority", "CaClient", "Certificate"]
+
+_DEFAULT_POLICY = ("name", "email")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A parsed certificate: the service signature lives in the reply."""
+
+    serial: int
+    subject: str
+    public_key: int
+    policy_version: int
+
+
+class CertificationAuthority(StateMachine):
+    """Replicated CA state: issued certificates, serials, and the policy.
+
+    Operations:
+        ("issue", subject, public_key, credentials)
+        ("lookup", subject)
+        ("revoke", serial, reason)
+        ("set_policy", field, ...)    -- administrative
+        ("get_policy",)
+    Credentials are ``(field, value)`` pairs; the policy lists required
+    fields (a stand-in for the paper's "clearly stated and publicized
+    policy" for validating IDs).
+    """
+
+    def __init__(self, policy: tuple = _DEFAULT_POLICY) -> None:
+        self.policy: tuple = policy
+        self.policy_version = 1
+        self.serial = 0
+        self.issued: dict[int, Certificate] = {}
+        self.by_subject: dict[str, int] = {}
+        self.revoked: dict[int, str] = {}
+
+    # -- operations ------------------------------------------------------------
+
+    def apply(self, request: Request) -> object:
+        op = request.operation
+        if not op:
+            return ("error", "empty operation")
+        kind = op[0]
+        if kind == "issue":
+            return self._issue(op)
+        if kind == "lookup":
+            return self._lookup(op)
+        if kind == "revoke":
+            return self._revoke(op)
+        if kind == "set_policy":
+            return self._set_policy(op)
+        if kind == "get_policy":
+            return ("policy", self.policy_version, self.policy)
+        return ("error", "unknown operation")
+
+    def _issue(self, op: tuple) -> object:
+        if len(op) != 4 or not isinstance(op[1], str) or not isinstance(op[2], int):
+            return ("error", "malformed issue request")
+        subject, public_key, credentials = op[1], op[2], op[3]
+        if not isinstance(credentials, tuple):
+            return ("error", "malformed credentials")
+        provided = {
+            pair[0]
+            for pair in credentials
+            if isinstance(pair, tuple) and len(pair) == 2 and isinstance(pair[0], str)
+        }
+        missing = [f for f in self.policy if f not in provided]
+        if missing:
+            return ("denied", ("missing credentials", tuple(missing)))
+        if subject in self.by_subject:
+            serial = self.by_subject[subject]
+            if serial not in self.revoked:
+                return ("denied", ("subject already certified", serial))
+        self.serial += 1
+        cert = Certificate(
+            serial=self.serial,
+            subject=subject,
+            public_key=public_key,
+            policy_version=self.policy_version,
+        )
+        self.issued[self.serial] = cert
+        self.by_subject[subject] = self.serial
+        return ("certificate", cert.serial, cert.subject, cert.public_key,
+                cert.policy_version)
+
+    def _lookup(self, op: tuple) -> object:
+        if len(op) != 2 or not isinstance(op[1], str):
+            return ("error", "malformed lookup")
+        serial = self.by_subject.get(op[1])
+        if serial is None:
+            return ("unknown", op[1])
+        cert = self.issued[serial]
+        status = "revoked" if serial in self.revoked else "valid"
+        return ("certificate-status", status, cert.serial, cert.subject,
+                cert.public_key, cert.policy_version)
+
+    def _revoke(self, op: tuple) -> object:
+        if len(op) != 3 or not isinstance(op[1], int) or not isinstance(op[2], str):
+            return ("error", "malformed revoke")
+        serial, reason = op[1], op[2]
+        if serial not in self.issued:
+            return ("error", "no such certificate")
+        self.revoked.setdefault(serial, reason)
+        return ("revoked", serial)
+
+    def _set_policy(self, op: tuple) -> object:
+        fields = op[1:]
+        if not all(isinstance(f, str) for f in fields):
+            return ("error", "malformed policy")
+        self.policy = tuple(fields)
+        self.policy_version += 1
+        return ("policy", self.policy_version, self.policy)
+
+    def snapshot(self) -> object:
+        return (
+            self.policy_version,
+            self.policy,
+            self.serial,
+            tuple(sorted(self.by_subject.items())),
+            tuple(sorted(self.revoked.items())),
+        )
+
+
+class CaClient:
+    """Typed wrapper over :class:`ServiceClient` for the CA."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def request_certificate(
+        self, subject: str, public_key: int, credentials: dict[str, str]
+    ) -> int:
+        """Submit an issuance request; returns the nonce to await."""
+        creds = tuple(sorted(credentials.items()))
+        return self.client.submit(("issue", subject, public_key, creds))
+
+    def lookup(self, subject: str) -> int:
+        """Query a subject's certificate status."""
+        return self.client.submit(("lookup", subject))
+
+    def revoke(self, serial: int, reason: str) -> int:
+        """Revoke a certificate by serial (administrative)."""
+        return self.client.submit(("revoke", serial, reason))
+
+    def set_policy(self, *fields: str) -> int:
+        """Replace the credential policy (administrative, totally ordered)."""
+        return self.client.submit(("set_policy", *fields))
+
+    @staticmethod
+    def parse_certificate(completed: CompletedRequest) -> Certificate | None:
+        """Extract the certificate from a completed issuance reply."""
+        result = completed.result
+        if isinstance(result, tuple) and len(result) == 5 and result[0] == "certificate":
+            return Certificate(
+                serial=result[1],
+                subject=result[2],
+                public_key=result[3],
+                policy_version=result[4],
+            )
+        return None

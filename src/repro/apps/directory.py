@@ -1,0 +1,122 @@
+"""Secure directory service (Section 5.1).
+
+A secure directory maintains a database of entries, processes lookup
+queries, and returns answers *authenticated by the service signature*
+(the distributed analogue of DNSSEC-style authenticated directories).
+Updates change global state and therefore go through atomic broadcast,
+like everything else; lookups could commute, but routing them through
+the same total order gives every client linearizable reads — the
+stronger guarantee at the cost the paper accepts for trusted services.
+
+Names are owned by their first binder: only the binding client may
+rebind or unbind (a minimal authorization model on top of the paper's
+sketch, exercised by the fault-injection tests).
+"""
+
+from __future__ import annotations
+
+from ..smr.client import ServiceClient
+from ..smr.state_machine import Request, StateMachine
+
+__all__ = ["DirectoryService", "DirectoryClient"]
+
+
+class DirectoryService(StateMachine):
+    """Replicated directory state: name -> (value, owner, version).
+
+    Operations:
+        ("bind", name, value)     -- create; fails if the name exists
+        ("rebind", name, value)   -- update; owner only
+        ("unbind", name)          -- delete; owner only
+        ("resolve", name)
+        ("list", prefix)
+    """
+
+    def __init__(self) -> None:
+        self.entries: dict[str, tuple[object, int, int]] = {}
+        self.version = 0
+
+    def apply(self, request: Request) -> object:
+        op = request.operation
+        if not op:
+            return ("error", "empty operation")
+        kind = op[0]
+        if kind == "bind" and len(op) == 3 and isinstance(op[1], str):
+            return self._bind(request.client, op[1], op[2])
+        if kind == "rebind" and len(op) == 3 and isinstance(op[1], str):
+            return self._rebind(request.client, op[1], op[2])
+        if kind == "unbind" and len(op) == 2 and isinstance(op[1], str):
+            return self._unbind(request.client, op[1])
+        if kind == "resolve" and len(op) == 2 and isinstance(op[1], str):
+            return self._resolve(op[1])
+        if kind == "list" and len(op) == 2 and isinstance(op[1], str):
+            names = tuple(sorted(n for n in self.entries if n.startswith(op[1])))
+            return ("names", names)
+        return ("error", "unknown operation")
+
+    def _bind(self, client: int, name: str, value: object) -> object:
+        if name in self.entries:
+            return ("denied", "name exists")
+        self.version += 1
+        self.entries[name] = (value, client, self.version)
+        return ("bound", name, self.version)
+
+    def _rebind(self, client: int, name: str, value: object) -> object:
+        entry = self.entries.get(name)
+        if entry is None:
+            return ("denied", "no such name")
+        if entry[1] != client:
+            return ("denied", "not owner")
+        self.version += 1
+        self.entries[name] = (value, client, self.version)
+        return ("bound", name, self.version)
+
+    def _unbind(self, client: int, name: str) -> object:
+        entry = self.entries.get(name)
+        if entry is None:
+            return ("denied", "no such name")
+        if entry[1] != client:
+            return ("denied", "not owner")
+        del self.entries[name]
+        self.version += 1
+        return ("unbound", name, self.version)
+
+    def _resolve(self, name: str) -> object:
+        entry = self.entries.get(name)
+        if entry is None:
+            return ("unknown", name)
+        value, owner, version = entry
+        return ("entry", name, value, owner, version)
+
+    def is_read_only(self, operation: tuple) -> bool:
+        return bool(operation) and operation[0] in ("resolve", "list")
+
+    def snapshot(self) -> object:
+        return (self.version, tuple(sorted(self.entries.items())))
+
+
+class DirectoryClient:
+    """Typed wrapper over :class:`ServiceClient` for the directory."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def bind(self, name: str, value: object) -> int:
+        """Create a binding; the caller becomes the name's owner."""
+        return self.client.submit(("bind", name, value))
+
+    def rebind(self, name: str, value: object) -> int:
+        """Update an owned binding."""
+        return self.client.submit(("rebind", name, value))
+
+    def unbind(self, name: str) -> int:
+        """Delete an owned binding."""
+        return self.client.submit(("unbind", name))
+
+    def resolve(self, name: str) -> int:
+        """Look up a name; the reply carries the service signature."""
+        return self.client.submit(("resolve", name))
+
+    def list(self, prefix: str = "") -> int:
+        """Enumerate names under a prefix."""
+        return self.client.submit(("list", prefix))

@@ -1,0 +1,145 @@
+"""Trusted third party for fair exchange (Section 5 via [6]).
+
+Two clients want to swap digital items so that either both obtain the
+counterparty's item or neither does.  A trusted escrow makes this
+trivial — and this architecture makes the escrow itself trustworthy:
+its decisions are totally ordered, so "who deposited first" and
+"was the exchange completed or aborted" have one answer at every
+honest replica, and its receipts carry the service threshold signature.
+
+Protocol (all operations through atomic broadcast):
+
+1. ``offer``: party A escrows its item against an expected description
+   of B's item;
+2. ``accept``: B escrows its matching item; the exchange atomically
+   becomes *completed* — from this point neither side can abort;
+3. ``collect``: each side retrieves the counterparty's item;
+4. ``abort``: A may cancel any time before ``accept``; this releases
+   nothing and permanently invalidates the exchange id.
+"""
+
+from __future__ import annotations
+
+from ..smr.client import ServiceClient
+from ..smr.state_machine import Request, StateMachine
+
+__all__ = ["FairExchangeService", "FairExchangeClient"]
+
+
+class FairExchangeService(StateMachine):
+    """Replicated escrow state per exchange id.
+
+    Operations:
+        ("offer", xid, item, expected_description, counterparty)
+        ("accept", xid, item)
+        ("collect", xid)
+        ("abort", xid)
+        ("status", xid)
+    """
+
+    def __init__(self) -> None:
+        # xid -> dict with offerer/counterparty/items/state
+        self.exchanges: dict[str, dict] = {}
+
+    def apply(self, request: Request) -> object:
+        op = request.operation
+        if not op:
+            return ("error", "empty operation")
+        kind = op[0]
+        if kind == "offer" and len(op) == 5 and isinstance(op[1], str):
+            return self._offer(request.client, op[1], op[2], op[3], op[4])
+        if kind == "accept" and len(op) == 3 and isinstance(op[1], str):
+            return self._accept(request.client, op[1], op[2])
+        if kind == "collect" and len(op) == 2 and isinstance(op[1], str):
+            return self._collect(request.client, op[1])
+        if kind == "abort" and len(op) == 2 and isinstance(op[1], str):
+            return self._abort(request.client, op[1])
+        if kind == "status" and len(op) == 2 and isinstance(op[1], str):
+            ex = self.exchanges.get(op[1])
+            return ("status", op[1], ex["state"] if ex else "unknown")
+        return ("error", "unknown operation")
+
+    def _offer(
+        self, client: int, xid: str, item: object, expected: object, counterparty: object
+    ) -> object:
+        if not isinstance(counterparty, int):
+            return ("error", "malformed counterparty")
+        if xid in self.exchanges:
+            return ("denied", "exchange id exists")
+        self.exchanges[xid] = {
+            "state": "offered",
+            "offerer": client,
+            "counterparty": counterparty,
+            "offer_item": item,
+            "expected": expected,
+            "accept_item": None,
+        }
+        return ("offered", xid)
+
+    def _accept(self, client: int, xid: str, item: object) -> object:
+        ex = self.exchanges.get(xid)
+        if ex is None or ex["state"] != "offered":
+            return ("denied", "not open")
+        if client != ex["counterparty"]:
+            return ("denied", "not the counterparty")
+        if item != ex["expected"]:
+            return ("denied", "item does not match offer")
+        ex["accept_item"] = item
+        ex["state"] = "completed"
+        return ("completed", xid)
+
+    def _collect(self, client: int, xid: str) -> object:
+        ex = self.exchanges.get(xid)
+        if ex is None or ex["state"] != "completed":
+            return ("denied", "not completed")
+        if client == ex["offerer"]:
+            return ("item", xid, ex["accept_item"])
+        if client == ex["counterparty"]:
+            return ("item", xid, ex["offer_item"])
+        return ("denied", "not a participant")
+
+    def _abort(self, client: int, xid: str) -> object:
+        ex = self.exchanges.get(xid)
+        if ex is None:
+            return ("denied", "unknown exchange")
+        if client != ex["offerer"]:
+            return ("denied", "only the offerer may abort")
+        if ex["state"] != "offered":
+            return ("denied", "already completed")
+        ex["state"] = "aborted"
+        return ("aborted", xid)
+
+    def snapshot(self) -> object:
+        return tuple(
+            sorted(
+                (xid, ex["state"], ex["offerer"], ex["counterparty"])
+                for xid, ex in self.exchanges.items()
+            )
+        )
+
+
+class FairExchangeClient:
+    """Typed wrapper over :class:`ServiceClient`."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def offer(self, xid: str, item: object, expected: object, counterparty: int) -> int:
+        """Escrow an item against a description of the counterpart's."""
+        return self.client.submit(("offer", xid, item, expected, counterparty))
+
+    def accept(self, xid: str, item: object) -> int:
+        """Escrow the matching item; completes the exchange atomically."""
+        return self.client.submit(("accept", xid, item))
+
+    def collect(self, xid: str) -> int:
+        """Retrieve the counterparty's item after completion."""
+        return self.client.submit(("collect", xid))
+
+    def abort(self, xid: str) -> int:
+        """Cancel an un-accepted offer (offerer only)."""
+        return self.client.submit(("abort", xid))
+
+    def status(self, xid: str) -> int:
+        """Query an exchange's state."""
+        return self.client.submit(("status", xid))

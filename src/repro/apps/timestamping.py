@@ -1,0 +1,145 @@
+"""Hash-linked time-stamping service (Section 5.2's second role).
+
+The paper describes the notary as "a secure document registry with a
+logical clock".  This service strengthens the plain notary with the
+classical linking technique of time-stamping services: every issued
+stamp commits to the hash of its predecessor, so the sequence of stamps
+forms a tamper-evident chain.  Even a later compromise of the service's
+signing keys cannot silently reorder or backdate stamps — any rewrite
+breaks the chain at a verifiable position, and clients can audit any
+stamp against any later *anchor* they trust.
+
+Operations (all through atomic broadcast — the chain *is* the total
+order made durable):
+
+    ("stamp", digest)            -> ("stamped", seq, digest, link, chain_head)
+    ("anchor",)                  -> ("anchor", seq, chain_head)
+    ("proof", seq)               -> the stamp record at seq
+    ("verify_chain", start, count) -> server-side chain audit
+
+Client-side verification (:func:`verify_chain_segment`) recomputes the
+links from the records alone, without trusting the service.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import hash_bytes
+from ..smr.client import ServiceClient
+from ..smr.state_machine import Request, StateMachine
+
+__all__ = ["TimestampingService", "TimestampClient", "verify_chain_segment",
+           "GENESIS"]
+
+GENESIS = hash_bytes("timestamp-genesis", "2001-03-08")
+
+
+def _link(seq: int, digest: bytes, previous: bytes) -> bytes:
+    """The chain rule: head_seq = H(seq, digest, head_{seq-1})."""
+    return hash_bytes("timestamp-link", seq, digest, previous)
+
+
+def verify_chain_segment(records: list[tuple], start_head: bytes) -> bool:
+    """Audit a run of stamp records against a trusted starting head.
+
+    ``records`` are ``(seq, digest, link)`` tuples as returned by the
+    service; ``start_head`` is the chain head *before* the first record
+    (``GENESIS`` for seq 1).  Purely client-side: recomputes each link.
+    """
+    head = start_head
+    expected_seq = None
+    for seq, digest, link in records:
+        if expected_seq is not None and seq != expected_seq:
+            return False
+        if _link(seq, digest, head) != link:
+            return False
+        head = link
+        expected_seq = seq + 1
+    return True
+
+
+class TimestampingService(StateMachine):
+    """Replicated hash-chain state."""
+
+    def __init__(self) -> None:
+        self.sequence = 0
+        self.head = GENESIS
+        self.records: list[tuple[int, bytes, bytes]] = []  # (seq, digest, link)
+        self.by_digest: dict[bytes, int] = {}
+
+    def apply(self, request: Request) -> object:
+        op = request.operation
+        if not op:
+            return ("error", "empty operation")
+        kind = op[0]
+        if kind == "stamp" and len(op) == 2 and isinstance(op[1], bytes):
+            return self._stamp(op[1])
+        if kind == "anchor" and len(op) == 1:
+            return ("anchor", self.sequence, self.head)
+        if kind == "proof" and len(op) == 2 and isinstance(op[1], int):
+            return self._proof(op[1])
+        if (
+            kind == "verify_chain"
+            and len(op) == 3
+            and isinstance(op[1], int)
+            and isinstance(op[2], int)
+        ):
+            return self._verify(op[1], op[2])
+        return ("error", "unknown operation")
+
+    def _stamp(self, digest: bytes) -> object:
+        existing = self.by_digest.get(digest)
+        if existing is not None:
+            seq, d, link = self.records[existing - 1]
+            return ("stamped", seq, d, link, self.head, False)
+        self.sequence += 1
+        link = _link(self.sequence, digest, self.head)
+        self.head = link
+        self.records.append((self.sequence, digest, link))
+        self.by_digest[digest] = self.sequence
+        return ("stamped", self.sequence, digest, link, self.head, True)
+
+    def _proof(self, seq: int) -> object:
+        if not 1 <= seq <= self.sequence:
+            return ("error", "no such stamp")
+        return ("proof", self.records[seq - 1])
+
+    def _verify(self, start: int, count: int) -> object:
+        if not 1 <= start <= self.sequence or count < 1:
+            return ("error", "bad range")
+        previous = GENESIS if start == 1 else self.records[start - 2][2]
+        segment = self.records[start - 1 : start - 1 + count]
+        ok = verify_chain_segment(segment, previous)
+        return ("chain", ok, len(segment))
+
+    def snapshot(self) -> object:
+        return (self.sequence, self.head, tuple(self.records))
+
+
+class TimestampClient:
+    """Typed wrapper; supports client-side chain auditing."""
+
+    def __init__(self, client: ServiceClient, confidential: bool = False) -> None:
+        self.client = client
+        self.confidential = confidential
+
+    def _submit(self, operation: tuple) -> int:
+        if self.confidential:
+            return self.client.submit_confidential(operation)
+        return self.client.submit(operation)
+
+    def stamp(self, document: bytes) -> int:
+        """Request a hash-chained timestamp on a document digest."""
+        return self._submit(("stamp", hash_bytes("timestamp-doc", document)))
+
+    def anchor(self) -> int:
+        """Fetch the current chain head (a trust anchor for audits)."""
+        return self._submit(("anchor",))
+
+    def proof(self, seq: int) -> int:
+        """Fetch the stamp record at a sequence number."""
+        return self._submit(("proof", seq))
+
+    def verify_chain(self, start: int, count: int) -> int:
+        """Ask the service to audit a chain segment (see also the
+        client-side :func:`verify_chain_segment`)."""
+        return self._submit(("verify_chain", start, count))

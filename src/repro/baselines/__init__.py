@@ -1,0 +1,11 @@
+"""Executable baselines for the Figure 1 comparison (related work)."""
+
+from .failure_detector import TimeoutFailureDetector, ViewBasedGroup
+from .leader_based import LeaderConsensus, leader_session
+
+__all__ = [
+    "TimeoutFailureDetector",
+    "ViewBasedGroup",
+    "LeaderConsensus",
+    "leader_session",
+]

@@ -1,0 +1,123 @@
+"""Timeout-based failure detection and view-based membership.
+
+Figure 1 rows "Rampart" / "SecureRing" / "DGG00": group communication
+systems in the Byzantine model rely on failure detectors that are, in
+practice, timeouts.  Section 2.2 argues the flaw: an adversary that
+controls scheduling can delay an honest server past any timeout, so
+the detector makes *unbounded numbers of wrong suspicions*; and a
+membership protocol that removes suspected servers "easily falls prey
+to an attacker that is able to delay honest servers just long enough
+until corrupted servers hold the majority in the group".
+
+Two components, both driven in message-count time by the simulator:
+
+* :class:`TimeoutFailureDetector` — suspects any party not heard from
+  within ``timeout`` observed deliveries; experiment E1 counts its
+  wrong suspicions of perfectly honest servers under the delay attack.
+* :class:`ViewBasedGroup` — Rampart-style membership: a strong quorum
+  *of the current view* voting to expel a member shrinks the view.
+  Once corruptions hold a two-thirds majority of the shrunken view,
+  the group will certify arbitrary statements — the safety collapse
+  the paper's static-group design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TimeoutFailureDetector", "ViewBasedGroup"]
+
+
+@dataclass
+class TimeoutFailureDetector:
+    """A per-observer timeout detector over message-count time.
+
+    ``heard(p)`` resets p's silence counter; ``tick()`` advances time by
+    one observed delivery.  ``suspected`` holds the current suspicion
+    set; ``wrong_suspicions`` counts (cumulatively) every suspicion
+    event against a party in ``honest`` — the quantity Section 2.2
+    says is unbounded against an adversarial scheduler.
+    """
+
+    parties: list[int]
+    timeout: int
+    honest: frozenset[int] = frozenset()
+    last_heard: dict[int, int] = field(default_factory=dict)
+    clock: int = 0
+    suspected: set[int] = field(default_factory=set)
+    wrong_suspicions: int = 0
+
+    def __post_init__(self) -> None:
+        for p in self.parties:
+            self.last_heard[p] = 0
+
+    def heard(self, party: int) -> None:
+        if party not in self.last_heard:
+            return
+        self.last_heard[party] = self.clock
+        if party in self.suspected:
+            self.suspected.discard(party)  # late message: suspicion was wrong
+
+    def tick(self) -> list[int]:
+        """Advance time; returns newly suspected parties."""
+        self.clock += 1
+        fresh = []
+        for party, last in self.last_heard.items():
+            if party in self.suspected:
+                continue
+            if self.clock - last > self.timeout:
+                self.suspected.add(party)
+                fresh.append(party)
+                if party in self.honest:
+                    self.wrong_suspicions += 1
+        return fresh
+
+
+@dataclass
+class ViewBasedGroup:
+    """Dynamic membership driven by suspicion votes (Rampart-style).
+
+    The group starts as all parties.  ``vote_expel(voter, target)``
+    registers a (possibly adversarial or timeout-induced) expulsion
+    vote; when more than two thirds of the *current* view agree, the
+    target is removed and a new view is installed.  ``corrupt_majority``
+    reports when corrupted members reach one third of the current view
+    — from that point the usual 2/3-quorum certificates within the view
+    can be formed around honest members' backs, so integrity is gone.
+    """
+
+    members: list[int]
+    corrupted: frozenset[int] = frozenset()
+    view_number: int = 0
+    votes: dict[int, set[int]] = field(default_factory=dict)
+    expelled: list[int] = field(default_factory=list)
+
+    def vote_expel(self, voter: int, target: int) -> bool:
+        """Returns True if the vote installed a new view."""
+        if voter not in self.members or target not in self.members:
+            return False
+        supporters = self.votes.setdefault(target, set())
+        supporters.add(voter)
+        needed = (2 * len(self.members)) // 3 + 1
+        if len(supporters & set(self.members)) >= needed:
+            self.members = [m for m in self.members if m != target]
+            self.expelled.append(target)
+            self.view_number += 1
+            self.votes.pop(target, None)
+            return True
+        return False
+
+    @property
+    def corrupt_fraction(self) -> float:
+        if not self.members:
+            return 1.0
+        bad = sum(1 for m in self.members if m in self.corrupted)
+        return bad / len(self.members)
+
+    @property
+    def integrity_lost(self) -> bool:
+        """Corrupted members can block or forge 2/3 quorums of the view."""
+        if not self.members:
+            return True
+        bad = sum(1 for m in self.members if m in self.corrupted)
+        return 3 * bad >= len(self.members)

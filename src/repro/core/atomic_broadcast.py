@@ -1,0 +1,184 @@
+"""Atomic broadcast (Section 3) — total order via multi-valued agreement.
+
+Follows the round structure the paper describes (after Chandra-Toueg
+[12]): the parties proceed in global rounds; in round ``r``
+
+1. every party digitally signs the batch of payloads it proposes and
+   sends it to all others (``PROPOSAL``);
+2. once properly signed proposals from a quorum (generalized ``n-t``)
+   of distinct parties arrived, the party proposes that list to a
+   multi-valued Byzantine agreement whose *external validity* predicate
+   accepts exactly such lists — so whatever is decided consists of
+   authentic, signed proposals, at least an honest-containing set of
+   which come from honest parties;
+3. all payloads in the decided list are delivered in a deterministic
+   order (by proposer id, then position), deduplicated across rounds.
+
+Liveness and fairness: a payload submitted to an honest-containing set
+of honest parties appears in every candidate list of the next round
+(any quorum of proposers intersects the holders in an honest party),
+so the adversary cannot delay it once it is that widely known — the
+paper's fairness claim, measured by experiment E6.
+
+A party with nothing to send still joins every round it sees evidence
+for (a valid proposal with a higher round number) with an empty batch,
+so idle parties never block the quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..crypto.schnorr import Signature
+from .multivalued_agreement import MultiValuedAgreement, MvbaDecision
+from .protocol import Context, Protocol, SessionId
+
+__all__ = ["AbcProposal", "AtomicBroadcast", "abc_session"]
+
+_ROUND_HORIZON = 1024
+
+
+@dataclass(frozen=True)
+class AbcProposal:
+    round: int
+    batch: tuple
+    signature: Signature
+
+
+def abc_session(tag: object = 0) -> SessionId:
+    return ("abc", tag)
+
+
+def _proposal_statement(session: SessionId, r: int, batch: tuple) -> tuple:
+    return ("abc-proposal", session, r, batch)
+
+
+class AtomicBroadcast(Protocol):
+    """Long-lived totally-ordered broadcast; delivers via a callback.
+
+    ``on_deliver(payload, round)`` is invoked exactly once per payload,
+    in the same order at every honest party.
+    """
+
+    def __init__(
+        self, on_deliver: Callable[[Hashable, int], None] | None = None
+    ) -> None:
+        self.on_deliver = on_deliver
+        self.queue: list[Hashable] = []
+        self.delivered: set[Hashable] = set()
+        self.delivered_log: list[tuple[Hashable, int]] = []
+        self.round = 0  # last completed round
+        self.active_round: int | None = None
+        self.proposals: dict[int, dict[int, tuple[tuple, Signature]]] = {}
+        self.agreement_started: set[int] = set()
+
+    # -- input ------------------------------------------------------------------
+
+    def submit(self, ctx: Context, payload: Hashable) -> None:
+        """a-broadcast: enqueue a payload for total ordering."""
+        if payload in self.delivered or payload in self.queue:
+            return
+        self.queue.append(payload)
+        self._maybe_start_round(ctx)
+
+    # -- round lifecycle -----------------------------------------------------------
+
+    def _maybe_start_round(self, ctx: Context) -> None:
+        if self.active_round is not None:
+            return
+        next_round = self.round + 1
+        have_input = any(p not in self.delivered for p in self.queue)
+        others_active = bool(self.proposals.get(next_round))
+        if not have_input and not others_active:
+            return
+        self.active_round = next_round
+        batch = tuple(p for p in self.queue if p not in self.delivered)
+        statement = _proposal_statement(ctx.session, next_round, batch)
+        signature = ctx.keys.signing_key.sign(statement, ctx.rng)
+        ctx.broadcast(AbcProposal(next_round, batch, signature))
+        self._maybe_start_agreement(ctx)
+
+    def on_message(self, ctx: Context, sender: int, message: object) -> None:
+        if not isinstance(message, AbcProposal):
+            return
+        r = message.round
+        if not isinstance(r, int) or not self.round < r <= self.round + _ROUND_HORIZON:
+            return
+        if not isinstance(message.batch, tuple):
+            return
+        statement = _proposal_statement(ctx.session, r, message.batch)
+        key = ctx.public.verify_keys.get(sender)
+        if key is None or not key.verify(statement, message.signature):
+            return
+        self.proposals.setdefault(r, {}).setdefault(
+            sender, (message.batch, message.signature)
+        )
+        if self.active_round is None:
+            self._maybe_start_round(ctx)
+        self._maybe_start_agreement(ctx)
+
+    def _maybe_start_agreement(self, ctx: Context) -> None:
+        r = self.active_round
+        if r is None or r in self.agreement_started:
+            return
+        collected = self.proposals.get(r, {})
+        if not ctx.quorum.is_quorum(collected):
+            return
+        self.agreement_started.add(r)
+        candidate = tuple(
+            sorted((j, batch, sig) for j, (batch, sig) in collected.items())
+        )
+        predicate = self._list_predicate(ctx, r)
+        ctx.spawn(
+            ("mvba", (ctx.session, r)),
+            MultiValuedAgreement(candidate, predicate=predicate),
+            on_output=lambda decision, rr=r: self._on_decision(ctx, rr, decision),
+        )
+
+    def _list_predicate(self, ctx: Context, r: int):
+        """External validity: a quorum of distinct, properly signed proposals."""
+        public = ctx.public
+        quorum = ctx.quorum
+        session = ctx.session
+
+        def predicate(value: object) -> bool:
+            if not isinstance(value, tuple) or not value:
+                return False
+            senders = []
+            for entry in value:
+                if not (isinstance(entry, tuple) and len(entry) == 3):
+                    return False
+                j, batch, sig = entry
+                if not isinstance(j, int) or not isinstance(batch, tuple):
+                    return False
+                key = public.verify_keys.get(j)
+                if key is None:
+                    return False
+                if not key.verify(_proposal_statement(session, r, batch), sig):
+                    return False
+                senders.append(j)
+            if len(set(senders)) != len(senders):
+                return False
+            return quorum.is_quorum(senders)
+
+        return predicate
+
+    # -- delivery ----------------------------------------------------------------
+
+    def _on_decision(self, ctx: Context, r: int, decision: object) -> None:
+        if not isinstance(decision, MvbaDecision) or r != self.round + 1:
+            return
+        for j, batch, _sig in sorted(decision.value):
+            for payload in batch:
+                if payload in self.delivered:
+                    continue
+                self.delivered.add(payload)
+                self.delivered_log.append((payload, r))
+                if self.on_deliver is not None:
+                    self.on_deliver(payload, r)
+        self.queue = [p for p in self.queue if p not in self.delivered]
+        self.round = r
+        self.active_round = None
+        ctx.trace.bump("abc.rounds")
+        self._maybe_start_round(ctx)

@@ -1,0 +1,160 @@
+"""Consistent broadcast — echo broadcast with signature certificates.
+
+The paper's variation of reliable broadcast (Section 3, cf. Reiter
+[31]): it guarantees *uniqueness* of the delivered message — no two
+honest parties deliver different values for the same (sender, tag) —
+but relaxes totality: a party may never deliver and only learn of the
+message's existence by other means (and can then ask for it, which is
+exactly what multi-valued agreement does with the certificate).
+
+Protocol (session ``("cbc", sender, tag)``):
+
+1. sender broadcasts ``SEND(m)``;
+2. every party that accepts ``m`` (first value, optional validation)
+   signs ``(session, m)`` and returns the signature share to the
+   sender;
+3. once the signers form a quorum (generalized ``n-t``), the sender
+   combines the shares into a *commit certificate* and broadcasts
+   ``FINAL(m, certificate)``;
+4. a valid ``FINAL`` delivers ``(m, certificate)``.
+
+Uniqueness holds because two quorums intersect in an honest party, and
+honest parties sign at most one value per session.  The certificate is
+transferable third-party evidence — any party can hand it to any other
+to prove the broadcast completed, which the agreement layer exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..crypto.schnorr import Signature
+from ..crypto.threshold_sig import QuorumCertificate
+from .protocol import Context, Protocol, SessionId
+
+__all__ = [
+    "CbcSend",
+    "CbcEchoSignature",
+    "CbcFinal",
+    "CbcDelivery",
+    "ConsistentBroadcast",
+    "cbc_session",
+    "verify_commit_certificate",
+]
+
+
+@dataclass(frozen=True)
+class CbcSend:
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class CbcEchoSignature:
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class CbcFinal:
+    value: Hashable
+    certificate: QuorumCertificate
+
+
+@dataclass(frozen=True)
+class CbcDelivery:
+    """What consistent broadcast outputs: the value plus its proof."""
+
+    sender: int
+    value: Hashable
+    certificate: QuorumCertificate
+
+
+def cbc_session(sender: int, tag: object) -> SessionId:
+    return ("cbc", sender, tag)
+
+
+def _statement(session: SessionId, value: Hashable) -> tuple:
+    return ("cbc-commit", session, value)
+
+
+def verify_commit_certificate(
+    ctx_public, session: SessionId, value: Hashable, certificate: QuorumCertificate
+) -> bool:
+    """Check a transferred commit certificate (usable outside the instance)."""
+    return ctx_public.cert_quorum.verify(_statement(session, value), certificate)
+
+
+class ConsistentBroadcast(Protocol):
+    """One instance per (sender, tag); outputs a :class:`CbcDelivery`."""
+
+    def __init__(
+        self,
+        sender: int,
+        value: Hashable | None = None,
+        validate: Callable[[Hashable], bool] | None = None,
+    ) -> None:
+        self.sender = sender
+        self.value = value
+        self.validate = validate
+        self.signed_value: Hashable | None = None
+        self.shares: dict[int, Signature] = {}
+        self.finalized = False
+        self.delivered = False
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.party == self.sender and self.value is not None:
+            ctx.broadcast(CbcSend(self.value))
+
+    def on_message(self, ctx: Context, sender: int, message: object) -> None:
+        if isinstance(message, CbcSend):
+            self._on_send(ctx, sender, message.value)
+        elif isinstance(message, CbcEchoSignature):
+            self._on_share(ctx, sender, message.signature)
+        elif isinstance(message, CbcFinal):
+            self._on_final(ctx, sender, message)
+
+    def _acceptable(self, value: Hashable) -> bool:
+        if self.validate is None:
+            return True
+        try:
+            return bool(self.validate(value))
+        except Exception:
+            return False
+
+    def _on_send(self, ctx: Context, sender: int, value: Hashable) -> None:
+        if sender != self.sender or self.signed_value is not None:
+            return
+        if not self._acceptable(value):
+            return
+        self.signed_value = value
+        share = ctx.keys.cert_quorum.sign_share(
+            _statement(ctx.session, value), ctx.rng
+        )
+        ctx.send(self.sender, CbcEchoSignature(share))
+
+    def _on_share(self, ctx: Context, sender: int, signature: Signature) -> None:
+        if ctx.party != self.sender or self.finalized or self.value is None:
+            return
+        statement = _statement(ctx.session, self.value)
+        if not ctx.public.cert_quorum.verify_share(statement, (sender, signature)):
+            return
+        self.shares[sender] = signature
+        if ctx.quorum.is_quorum(self.shares):
+            self.finalized = True
+            certificate = ctx.public.cert_quorum.combine(statement, self.shares)
+            ctx.broadcast(CbcFinal(self.value, certificate))
+
+    def _on_final(self, ctx: Context, sender: int, message: CbcFinal) -> None:
+        if self.delivered:
+            return
+        statement = _statement(ctx.session, message.value)
+        if not ctx.public.cert_quorum.verify(statement, message.certificate):
+            return
+        self.delivered = True
+        ctx.output(
+            CbcDelivery(
+                sender=self.sender,
+                value=message.value,
+                certificate=message.certificate,
+            )
+        )

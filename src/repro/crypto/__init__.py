@@ -1,0 +1,69 @@
+"""Threshold cryptography substrate (Section 2.1 of the paper).
+
+Built from scratch on Python integers: Schnorr groups, Shamir and
+generalized linear secret sharing, the Cachin-Kursawe-Shoup threshold
+coin, the Shoup-Gennaro TDH2 threshold cryptosystem, Shoup RSA
+threshold signatures, Chaum-Pedersen proofs, and the trusted dealer
+that distributes it all.
+"""
+
+from .coin import CoinPublic, CoinShare, CoinShareholder, deal_coin
+from .dealer import PartyKeys, PublicKeys, SystemKeys, deal_system
+from .groups import SchnorrGroup, default_group, generate_group, small_group
+from .lsss import LsssScheme, LsssSharing, threshold_scheme
+from .schnorr import Signature, SigningKey, VerifyKey, keygen
+from .shamir import Share, lagrange_coefficients, reconstruct, share_secret
+from .threshold_enc import (
+    Ciphertext,
+    DecryptionShare,
+    DecryptionShareholder,
+    EncryptionPublic,
+    deal_encryption,
+)
+from .threshold_sig import (
+    QuorumCertScheme,
+    QuorumCertificate,
+    RsaSignature,
+    RsaSignatureShare,
+    ShoupRsaScheme,
+    deal_quorum_certs,
+    deal_shoup_rsa,
+)
+
+__all__ = [
+    "CoinPublic",
+    "CoinShare",
+    "CoinShareholder",
+    "deal_coin",
+    "PartyKeys",
+    "PublicKeys",
+    "SystemKeys",
+    "deal_system",
+    "SchnorrGroup",
+    "default_group",
+    "generate_group",
+    "small_group",
+    "LsssScheme",
+    "LsssSharing",
+    "threshold_scheme",
+    "Signature",
+    "SigningKey",
+    "VerifyKey",
+    "keygen",
+    "Share",
+    "lagrange_coefficients",
+    "reconstruct",
+    "share_secret",
+    "Ciphertext",
+    "DecryptionShare",
+    "DecryptionShareholder",
+    "EncryptionPublic",
+    "deal_encryption",
+    "QuorumCertScheme",
+    "QuorumCertificate",
+    "RsaSignature",
+    "RsaSignatureShare",
+    "ShoupRsaScheme",
+    "deal_quorum_certs",
+    "deal_shoup_rsa",
+]

@@ -1,0 +1,143 @@
+"""Threshold coin-tossing (Cachin-Kursawe-Shoup, Diffie-Hellman based).
+
+The randomized Byzantine agreement protocol of [8] draws its
+unpredictable random bits from a *threshold coin*: the dealer shares an
+exponent ``x``; the value of the coin named ``C`` is a hash of
+``H(C)^x``, where ``H`` hashes coin names into the group.  No
+coalition in the adversary structure can predict the coin, yet any
+qualified set of honest parties can always compute it — every share
+``H(C)^{x_slot}`` comes with a Chaum-Pedersen DLEQ proof of validity
+against the public verification value ``g^{x_slot}`` (robustness).
+
+The scheme is written against the generalized LSSS of Section 4.2, so
+the classical ``t+1``-threshold coin is the single-gate special case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .groups import SchnorrGroup
+from .hashing import hash_to_group, hash_to_int
+from .lsss import LsssScheme, SlotId
+from .zkp import DleqProof, prove_dleq, verify_dleq
+
+__all__ = ["CoinPublic", "CoinShareholder", "CoinShare", "deal_coin"]
+
+
+@dataclass(frozen=True)
+class CoinShare:
+    """One party's contribution to a named coin: per-slot group elements
+    with DLEQ proofs tying them to the public verification values."""
+
+    party: int
+    name: object
+    values: dict[SlotId, int]
+    proofs: dict[SlotId, DleqProof]
+
+
+@dataclass(frozen=True)
+class CoinPublic:
+    """Public coin parameters: enough to verify shares and combine them."""
+
+    group: SchnorrGroup
+    scheme: LsssScheme
+    verification: dict[SlotId, int]  # slot -> g^{x_slot}
+
+    def coin_base(self, name: object) -> int:
+        """The group element ``H(C)`` for coin name ``C``."""
+        return hash_to_group(self.group, "coin-name", name)
+
+    def verify_share(self, share: CoinShare) -> bool:
+        """Check that every slot value is correct w.r.t. its proof."""
+        base = self.coin_base(share.name)
+        expected_slots = set(self.scheme.slots_of_party(share.party))
+        if set(share.values) != expected_slots or set(share.proofs) != expected_slots:
+            return False
+        for slot in expected_slots:
+            h1 = self.verification[slot]
+            if not verify_dleq(
+                self.group,
+                self.group.g,
+                h1,
+                base,
+                share.values[slot],
+                share.proofs[slot],
+                context=("coin", share.name, slot),
+            ):
+                return False
+        return True
+
+    def combine(self, name: object, shares: dict[int, CoinShare]) -> int:
+        """Combine verified shares from a qualified set into the coin value.
+
+        Returns an unpredictable bit.  Raises if the share-holders do
+        not form a qualified set of the access structure.
+        """
+        lam = self.scheme.recombination(set(shares))
+        if lam is None:
+            raise ValueError(
+                f"parties {sorted(shares)} are not qualified to open the coin"
+            )
+        grp = self.group
+        value = 1
+        for slot, coeff in lam.items():
+            owner = self.scheme.slot_owner(slot)
+            value = grp.mul(value, grp.exp(shares[owner].values[slot], coeff))
+        return hash_to_int("coin-value", name, value, bits=64) & 1
+
+    def combine_many_bits(self, name: object, shares: dict[int, CoinShare], bits: int) -> int:
+        """Like :meth:`combine` but extracts up to 64 unpredictable bits."""
+        lam = self.scheme.recombination(set(shares))
+        if lam is None:
+            raise ValueError("not a qualified set")
+        grp = self.group
+        value = 1
+        for slot, coeff in lam.items():
+            owner = self.scheme.slot_owner(slot)
+            value = grp.mul(value, grp.exp(shares[owner].values[slot], coeff))
+        return hash_to_int("coin-value", name, value, bits=64) & ((1 << bits) - 1)
+
+
+@dataclass(frozen=True)
+class CoinShareholder:
+    """A party's secret coin key: its LSSS subshares of ``x``."""
+
+    party: int
+    public: CoinPublic
+    subshares: dict[SlotId, int]
+
+    def share_for(self, name: object, rng: random.Random) -> CoinShare:
+        """Produce this party's share of the named coin, with proofs."""
+        grp = self.public.group
+        base = self.public.coin_base(name)
+        values: dict[SlotId, int] = {}
+        proofs: dict[SlotId, DleqProof] = {}
+        for slot, x_slot in self.subshares.items():
+            values[slot] = grp.exp(base, x_slot)
+            proofs[slot] = prove_dleq(
+                grp, grp.g, base, x_slot, rng, context=("coin", name, slot)
+            )
+        return CoinShare(party=self.party, name=name, values=values, proofs=proofs)
+
+
+def deal_coin(
+    group: SchnorrGroup,
+    scheme: LsssScheme,
+    rng: random.Random,
+) -> tuple[CoinPublic, dict[int, CoinShareholder]]:
+    """Trusted-dealer setup of the coin for a given access structure."""
+    if scheme.modulus != group.q:
+        raise ValueError("LSSS must be over Z_q of the group")
+    secret = group.random_exponent(rng)
+    sharing = scheme.deal(secret, rng)
+    verification = {
+        slot: group.power_of_g(value) for slot, value in sharing.all_slots().items()
+    }
+    public = CoinPublic(group=group, scheme=scheme, verification=verification)
+    holders = {
+        party: CoinShareholder(party=party, public=public, subshares=dict(subshares))
+        for party, subshares in sharing.shares.items()
+    }
+    return public, holders

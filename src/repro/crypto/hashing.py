@@ -1,0 +1,112 @@
+"""Random-oracle instantiations (Bellare-Rogaway [2]) used across the stack.
+
+The CKS agreement protocol, the TDH2 cryptosystem and Shoup's threshold
+signatures are proved secure in the random oracle model; following common
+practice each distinct oracle is instantiated as SHA-256 with a unique
+domain-separation tag.  Helpers map hashes to integers, to exponents mod
+q and to group elements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Iterable
+
+from .groups import SchnorrGroup
+
+__all__ = [
+    "hash_bytes",
+    "hash_to_int",
+    "hash_to_exponent",
+    "hash_to_group",
+    "encode",
+    "xor_bytes",
+    "mgf1",
+]
+
+
+def encode(*parts: object) -> bytes:
+    """Deterministic, unambiguous encoding of heterogeneous values.
+
+    Each part is rendered with an explicit type tag and length prefix so
+    that no two distinct tuples collide (the usual concatenation pitfall).
+    """
+    out = bytearray()
+    for part in parts:
+        if isinstance(part, bytes):
+            tag, body = b"B", part
+        elif isinstance(part, str):
+            tag, body = b"S", part.encode("utf-8")
+        elif isinstance(part, bool):
+            tag, body = b"T", (b"\x01" if part else b"\x00")
+        elif isinstance(part, int):
+            tag, body = b"I", str(part).encode("ascii")
+        elif isinstance(part, (tuple, list)):
+            tag, body = b"L", encode(*part)
+        elif isinstance(part, (frozenset, set)):
+            tag, body = b"F", encode(*sorted(part, key=repr))
+        elif isinstance(part, dict):
+            items = sorted(part.items(), key=lambda kv: repr(kv[0]))
+            tag, body = b"D", encode(*[item for pair in items for item in pair])
+        elif dataclasses.is_dataclass(part) and not isinstance(part, type):
+            fields = [getattr(part, f.name) for f in dataclasses.fields(part)]
+            tag, body = b"C", encode(type(part).__name__, fields)
+        elif part is None:
+            tag, body = b"N", b""
+        else:
+            raise TypeError(f"cannot encode {type(part).__name__}")
+        out += tag + len(body).to_bytes(8, "big") + body
+    return bytes(out)
+
+
+def hash_bytes(domain: str, *parts: object) -> bytes:
+    """SHA-256 under a domain-separation tag."""
+    h = hashlib.sha256()
+    h.update(domain.encode("utf-8") + b"\x00")
+    h.update(encode(*parts))
+    return h.digest()
+
+
+def hash_to_int(domain: str, *parts: object, bits: int = 256) -> int:
+    """Hash to an integer of up to ``bits`` bits via counter-mode SHA-256."""
+    needed = (bits + 7) // 8
+    out = bytearray()
+    counter = 0
+    while len(out) < needed:
+        out += hash_bytes(domain, counter, *parts)
+        counter += 1
+    return int.from_bytes(bytes(out[:needed]), "big") >> (8 * needed - bits)
+
+
+def hash_to_exponent(group: SchnorrGroup, domain: str, *parts: object) -> int:
+    """Hash into Z_q (never zero, so results are usable as challenges)."""
+    value = hash_to_int(domain, *parts, bits=group.q.bit_length() + 64)
+    return value % (group.q - 1) + 1
+
+
+def hash_to_group(group: SchnorrGroup, domain: str, *parts: object) -> int:
+    """Hash into the order-q subgroup (used e.g. to name coins in [8])."""
+    value = hash_to_int(domain, *parts, bits=group.p.bit_length() + 64)
+    return group.element_from_bytes(value)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ValueError("xor_bytes requires equal lengths")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def mgf1(seed: bytes, length: int, domain: str = "mgf1") -> bytes:
+    """Mask generation function (counter-mode hash), for hybrid encryption."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hash_bytes(domain, seed, counter)
+        counter += 1
+    return bytes(out[:length])
+
+
+def hash_transcript(domain: str, items: Iterable[object]) -> bytes:
+    """Hash an iterable of encodable items (order-sensitive)."""
+    return hash_bytes(domain, list(items))

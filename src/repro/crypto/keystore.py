@@ -1,0 +1,385 @@
+"""Persisting and distributing the dealer's output.
+
+The trusted dealer runs *once* (Section 2); in any real deployment its
+output must then be carried to the servers — the public bundle to
+everyone (including clients), and each server's private bundle over a
+secure channel.  This module serializes both to plain JSON:
+
+* no pickle — loading reconstructs only the known key dataclasses;
+* integers are decimal strings (arbitrary precision survives JSON);
+* the quorum system round-trips by *kind* (threshold / hybrid /
+  general / explicit maximal sets) and the access structure by its
+  monotone formula, so generalized deployments persist faithfully.
+
+Typical flow::
+
+    keys = deal_system(4, rng, t=1)
+    write_deployment(keys, directory)        # public.json + server-i.json
+    public = load_public(directory / "public.json")
+    mine = load_party(directory / "server-2.json", public)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..adversary.formulas import Formula, Leaf, Threshold
+from ..adversary.hybrid import HybridQuorumSystem
+from ..adversary.quorums import (
+    GeneralQuorumSystem,
+    QuorumSystem,
+    ThresholdQuorumSystem,
+)
+from ..adversary.structures import AdversaryStructure
+from .coin import CoinPublic, CoinShareholder
+from .dealer import PartyKeys, PublicKeys, SystemKeys
+from .groups import SchnorrGroup
+from .lsss import LsssScheme
+from .schnorr import SigningKey, VerifyKey
+from .threshold_enc import DecryptionShareholder, EncryptionPublic
+from .threshold_sig import (
+    QuorumCertScheme,
+    QuorumCertShareholder,
+    ShoupRsaScheme,
+    ShoupRsaShareholder,
+)
+
+__all__ = [
+    "KeystoreError",
+    "public_to_dict",
+    "public_from_dict",
+    "party_to_dict",
+    "party_from_dict",
+    "write_deployment",
+    "load_public",
+    "load_party",
+]
+
+_VERSION = 1
+
+
+class KeystoreError(ValueError):
+    """Malformed or incompatible keystore data."""
+
+
+# -- low-level helpers -------------------------------------------------------
+
+
+def _slot_key(slot: tuple) -> str:
+    return ".".join(str(i) for i in slot) if slot else "-"
+
+
+def _slot_from_key(key: str) -> tuple:
+    if key == "-":
+        return ()
+    return tuple(int(part) for part in key.split("."))
+
+
+def _int_map(mapping: dict) -> dict:
+    return {str(k): str(v) for k, v in mapping.items()}
+
+
+def _int_map_back(data: dict) -> dict[int, int]:
+    return {int(k): int(v) for k, v in data.items()}
+
+
+def _formula_to_json(formula: Formula) -> object:
+    if isinstance(formula, Leaf):
+        return {"leaf": formula.party}
+    if isinstance(formula, Threshold):
+        return {
+            "k": formula.k,
+            "children": [_formula_to_json(c) for c in formula.children],
+        }
+    raise KeystoreError(f"unknown formula node {type(formula).__name__}")
+
+
+def _formula_from_json(data: object) -> Formula:
+    if not isinstance(data, dict):
+        raise KeystoreError("malformed formula node")
+    if "leaf" in data:
+        return Leaf(int(data["leaf"]))
+    if "k" in data and "children" in data:
+        children = tuple(_formula_from_json(c) for c in data["children"])
+        return Threshold(k=int(data["k"]), children=children)
+    raise KeystoreError("malformed formula node")
+
+
+def _quorum_to_json(quorum: QuorumSystem) -> dict:
+    if isinstance(quorum, ThresholdQuorumSystem):
+        return {"kind": "threshold", "n": quorum.n, "t": quorum.t}
+    if isinstance(quorum, HybridQuorumSystem):
+        return {"kind": "hybrid", "n": quorum.n, "b": quorum.b, "c": quorum.c}
+    if isinstance(quorum, GeneralQuorumSystem):
+        return {
+            "kind": "general",
+            "n": quorum.structure.n,
+            "threshold": quorum.structure.threshold,
+            "maximal_sets": [sorted(s) for s in quorum.structure.maximal_sets],
+        }
+    raise KeystoreError(f"unknown quorum system {type(quorum).__name__}")
+
+
+def _quorum_from_json(data: dict) -> QuorumSystem:
+    kind = data.get("kind")
+    if kind == "threshold":
+        return ThresholdQuorumSystem(n=int(data["n"]), t=int(data["t"]))
+    if kind == "hybrid":
+        return HybridQuorumSystem(n=int(data["n"]), b=int(data["b"]), c=int(data["c"]))
+    if kind == "general":
+        structure = AdversaryStructure(
+            n=int(data["n"]),
+            maximal_sets=tuple(frozenset(s) for s in data["maximal_sets"]),
+            threshold=data.get("threshold"),
+        )
+        return GeneralQuorumSystem(structure=structure)
+    raise KeystoreError(f"unknown quorum kind {kind!r}")
+
+
+# -- public bundle -------------------------------------------------------------
+
+
+def public_to_dict(public: PublicKeys) -> dict:
+    """Serialize the public bundle (safe to hand to anyone)."""
+    service = public.service_signature
+    if isinstance(service, ShoupRsaScheme):
+        service_json: dict = {
+            "kind": "rsa",
+            "n_parties": service.n_parties,
+            "k": service.k,
+            "n_modulus": str(service.n_modulus),
+            "e": str(service.e),
+            "v": str(service.v),
+            "v_keys": _int_map(service.v_keys),
+        }
+    elif isinstance(service, QuorumCertScheme):
+        service_json = {"kind": "certs", "tag": service.tag}
+    else:
+        raise KeystoreError("unknown service signature scheme")
+    return {
+        "version": _VERSION,
+        "n": public.n,
+        "group": {
+            "p": str(public.group.p),
+            "q": str(public.group.q),
+            "g": str(public.group.g),
+        },
+        "quorum": _quorum_to_json(public.quorum),
+        "access_formula": _formula_to_json(public.access_scheme.formula),
+        "coin_verification": {
+            _slot_key(slot): str(value)
+            for slot, value in public.coin.verification.items()
+        },
+        "encryption": {
+            "h": str(public.encryption.h),
+            "g_bar": str(public.encryption.g_bar),
+            "verification": {
+                _slot_key(slot): str(value)
+                for slot, value in public.encryption.verification.items()
+            },
+        },
+        "verify_keys": _int_map({i: k.h for i, k in public.verify_keys.items()}),
+        "service_signature": service_json,
+    }
+
+
+def public_from_dict(data: dict) -> PublicKeys:
+    """Rebuild the public bundle; raises :class:`KeystoreError` if bad."""
+    if data.get("version") != _VERSION:
+        raise KeystoreError(f"unsupported keystore version {data.get('version')!r}")
+    group = SchnorrGroup(
+        p=int(data["group"]["p"]),
+        q=int(data["group"]["q"]),
+        g=int(data["group"]["g"]),
+    )
+    quorum = _quorum_from_json(data["quorum"])
+    formula = _formula_from_json(data["access_formula"])
+    scheme = LsssScheme(formula=formula, modulus=group.q)
+    coin = CoinPublic(
+        group=group,
+        scheme=scheme,
+        verification={
+            _slot_from_key(k): int(v)
+            for k, v in data["coin_verification"].items()
+        },
+    )
+    encryption = EncryptionPublic(
+        group=group,
+        scheme=scheme,
+        h=int(data["encryption"]["h"]),
+        g_bar=int(data["encryption"]["g_bar"]),
+        verification={
+            _slot_from_key(k): int(v)
+            for k, v in data["encryption"]["verification"].items()
+        },
+    )
+    verify_keys = {
+        int(i): VerifyKey(group=group, h=int(h))
+        for i, h in data["verify_keys"].items()
+    }
+    cert_quorum = QuorumCertScheme(
+        verify_keys=verify_keys, qualifier=quorum.is_quorum, tag="cert-quorum"
+    )
+    cert_honest = QuorumCertScheme(
+        verify_keys=verify_keys, qualifier=quorum.contains_honest, tag="cert-honest"
+    )
+    cert_strong = QuorumCertScheme(
+        verify_keys=verify_keys, qualifier=quorum.is_strong_quorum, tag="cert-strong"
+    )
+    service_json = data["service_signature"]
+    if service_json["kind"] == "rsa":
+        service: ShoupRsaScheme | QuorumCertScheme = ShoupRsaScheme(
+            n_parties=int(service_json["n_parties"]),
+            k=int(service_json["k"]),
+            n_modulus=int(service_json["n_modulus"]),
+            e=int(service_json["e"]),
+            v=int(service_json["v"]),
+            v_keys=_int_map_back(service_json["v_keys"]),
+        )
+    elif service_json["kind"] == "certs":
+        service = QuorumCertScheme(
+            verify_keys=verify_keys,
+            qualifier=quorum.contains_honest,
+            tag=service_json["tag"],
+        )
+    else:
+        raise KeystoreError("unknown service signature kind")
+    return PublicKeys(
+        n=int(data["n"]),
+        group=group,
+        quorum=quorum,
+        access_scheme=scheme,
+        coin=coin,
+        encryption=encryption,
+        verify_keys=verify_keys,
+        cert_quorum=cert_quorum,
+        cert_honest=cert_honest,
+        cert_strong=cert_strong,
+        service_signature=service,
+    )
+
+
+# -- private bundles -------------------------------------------------------------
+
+
+def party_to_dict(party: PartyKeys) -> dict:
+    """Serialize one server's secret bundle (distribute over a secure
+    channel; possession of this file IS the server identity)."""
+    signer = party.service_signer
+    if isinstance(signer, ShoupRsaShareholder):
+        service_json: dict = {"kind": "rsa", "party": signer.party, "s": str(signer.s)}
+    elif isinstance(signer, QuorumCertShareholder):
+        service_json = {"kind": "certs"}
+    else:
+        raise KeystoreError("unknown service signer")
+    return {
+        "version": _VERSION,
+        "party": party.party,
+        "signing_key": str(party.signing_key.x),
+        "coin_subshares": {
+            _slot_key(slot): str(value)
+            for slot, value in party.coin.subshares.items()
+        },
+        "decryption_subshares": {
+            _slot_key(slot): str(value)
+            for slot, value in party.decryption.subshares.items()
+        },
+        "service_signer": service_json,
+    }
+
+
+def party_from_dict(data: dict, public: PublicKeys) -> PartyKeys:
+    """Rebuild a server's secret bundle against a loaded public bundle."""
+    if data.get("version") != _VERSION:
+        raise KeystoreError(f"unsupported keystore version {data.get('version')!r}")
+    party = int(data["party"])
+    signing_key = SigningKey(group=public.group, x=int(data["signing_key"]))
+    coin = CoinShareholder(
+        party=party,
+        public=public.coin,
+        subshares={
+            _slot_from_key(k): int(v)
+            for k, v in data["coin_subshares"].items()
+        },
+    )
+    decryption = DecryptionShareholder(
+        party=party,
+        public=public.encryption,
+        subshares={
+            _slot_from_key(k): int(v)
+            for k, v in data["decryption_subshares"].items()
+        },
+    )
+    cert_quorum = QuorumCertShareholder(
+        party=party, public=public.cert_quorum, key=signing_key
+    )
+    cert_honest = QuorumCertShareholder(
+        party=party, public=public.cert_honest, key=signing_key
+    )
+    cert_strong = QuorumCertShareholder(
+        party=party, public=public.cert_strong, key=signing_key
+    )
+    service_json = data["service_signer"]
+    if service_json["kind"] == "rsa":
+        if not isinstance(public.service_signature, ShoupRsaScheme):
+            raise KeystoreError("party bundle is RSA but public bundle is not")
+        signer: ShoupRsaShareholder | QuorumCertShareholder = ShoupRsaShareholder(
+            party=int(service_json["party"]),
+            public=public.service_signature,
+            s=int(service_json["s"]),
+        )
+    elif service_json["kind"] == "certs":
+        if not isinstance(public.service_signature, QuorumCertScheme):
+            raise KeystoreError("party bundle is certs but public bundle is not")
+        signer = QuorumCertShareholder(
+            party=party, public=public.service_signature, key=signing_key
+        )
+    else:
+        raise KeystoreError("unknown service signer kind")
+    return PartyKeys(
+        party=party,
+        signing_key=signing_key,
+        coin=coin,
+        decryption=decryption,
+        cert_quorum=cert_quorum,
+        cert_honest=cert_honest,
+        cert_strong=cert_strong,
+        service_signer=signer,
+    )
+
+
+# -- file helpers ------------------------------------------------------------------
+
+
+def write_deployment(keys: SystemKeys, directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write ``public.json`` plus one ``server-<i>.json`` per server."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    public_path = directory / "public.json"
+    public_path.write_text(json.dumps(public_to_dict(keys.public), indent=1))
+    written.append(public_path)
+    for party, bundle in sorted(keys.private.items()):
+        path = directory / f"server-{party}.json"
+        path.write_text(json.dumps(party_to_dict(bundle), indent=1))
+        written.append(path)
+    return written
+
+
+def load_public(path: str | pathlib.Path) -> PublicKeys:
+    """Load the public bundle from ``public.json``."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise KeystoreError(f"cannot read public bundle: {exc}") from exc
+    return public_from_dict(data)
+
+
+def load_party(path: str | pathlib.Path, public: PublicKeys) -> PartyKeys:
+    """Load one server's secret bundle from ``server-<i>.json``."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise KeystoreError(f"cannot read party bundle: {exc}") from exc
+    return party_from_dict(data, public)

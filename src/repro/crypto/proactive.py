@@ -1,0 +1,125 @@
+"""Proactive share refresh (Section 6, "Proactive Protocols").
+
+The paper lists proactive security as the main extension: divide time
+into epochs and let the parties *reshare* their key shares between
+epochs so that everything a mobile adversary learned in past epochs
+becomes useless.  Fully asynchronous proactive protocols were an open
+problem in 2001 (and the paper says so); what is implemented here is
+the classical synchronized-epoch refresh of Herzberg et al. that the
+cited survey [9] describes, applied to the discrete-log shares used by
+the coin and the threshold cryptosystem:
+
+* every party deals a Feldman-verifiable sharing of *zero*;
+* each party's new share is its old share plus the sum of the received
+  zero-subshares;
+* the public verification values are updated consistently, so share
+  validity proofs keep working across epochs.
+
+The refresh preserves the shared secret (all update polynomials have
+zero constant term) while re-randomizing every share.  It applies to
+the plain threshold (Shamir) sharing; the companion function
+:func:`refresh_lsss` handles the generalized Benaloh-Leichter sharing
+slot-wise by resharing along the same formula.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .groups import SchnorrGroup
+from .lsss import LsssScheme, LsssSharing, SlotId
+from .shamir import Share, evaluate_polynomial
+
+__all__ = ["ZeroSharing", "deal_zero_sharing", "verify_zero_sharing",
+           "apply_refresh", "refresh_lsss"]
+
+
+@dataclass(frozen=True)
+class ZeroSharing:
+    """A Feldman-verifiable sharing of zero from one dealer-party.
+
+    Attributes:
+        dealer: issuing party.
+        subshares: point ``i`` -> update value for party ``i``.
+        commitments: ``g^{a_j}`` for every polynomial coefficient; the
+            constant-term commitment must equal 1 (``g^0``).
+    """
+
+    dealer: int
+    subshares: dict[int, int]
+    commitments: list[int]
+
+
+def deal_zero_sharing(
+    group: SchnorrGroup,
+    n: int,
+    t: int,
+    dealer: int,
+    rng: random.Random,
+) -> ZeroSharing:
+    """Share the value zero with a degree-``t`` polynomial over Z_q."""
+    coeffs = [0] + [rng.randrange(group.q) for _ in range(t)]
+    subshares = {
+        i: evaluate_polynomial(coeffs, i, group.q) for i in range(1, n + 1)
+    }
+    commitments = [group.power_of_g(c) for c in coeffs]
+    return ZeroSharing(dealer=dealer, subshares=subshares, commitments=commitments)
+
+
+def verify_zero_sharing(group: SchnorrGroup, sharing: ZeroSharing, point: int) -> bool:
+    """Feldman check for the update subshare at ``point``.
+
+    ``g^{subshare} == Π_j commitments[j]^{point^j}`` and the constant
+    commitment equals 1, proving the hidden polynomial evaluates the
+    dealt secret to zero.
+    """
+    if not sharing.commitments or sharing.commitments[0] != 1:
+        return False
+    value = sharing.subshares.get(point)
+    if value is None:
+        return False
+    expected = 1
+    power = 1
+    for commitment in sharing.commitments:
+        expected = group.mul(expected, group.exp(commitment, power))
+        power = (power * point) % group.q
+    return group.power_of_g(value) == expected
+
+
+def apply_refresh(
+    group: SchnorrGroup,
+    old_share: Share,
+    updates: list[ZeroSharing],
+) -> Share:
+    """Compute the party's next-epoch share from verified updates."""
+    total = old_share.value
+    for upd in updates:
+        if not verify_zero_sharing(group, upd, old_share.index):
+            raise ValueError(f"invalid zero-sharing from party {upd.dealer}")
+        total = (total + upd.subshares[old_share.index]) % group.q
+    return Share(index=old_share.index, value=total)
+
+
+def refresh_lsss(
+    scheme: LsssScheme,
+    sharing: LsssSharing,
+    rng: random.Random,
+) -> LsssSharing:
+    """Re-randomize a generalized sharing without changing the secret.
+
+    Deals a fresh sharing of zero along the same access formula and
+    adds it slot-wise — the LSSS analogue of the polynomial refresh.
+    In a deployment each party contributes such a zero-sharing; here
+    the update itself is generated centrally (the asynchronous
+    distributed version is exactly the open problem Section 6 cites).
+    """
+    zero = scheme.deal(0, rng)
+    refreshed: dict[int, dict[SlotId, int]] = {}
+    for party, subshares in sharing.shares.items():
+        updates = zero.shares.get(party, {})
+        refreshed[party] = {
+            slot: (value + updates.get(slot, 0)) % scheme.modulus
+            for slot, value in subshares.items()
+        }
+    return LsssSharing(shares=refreshed)

@@ -1,0 +1,66 @@
+"""RSA key generation for Shoup's threshold signature scheme [35].
+
+The modulus is a product of two *safe* primes ``p = 2p' + 1`` and
+``q = 2q' + 1``; the signing exponent ``d`` is shared over ``Z_m`` with
+``m = p'q'`` (kept secret by the dealer).  Safe primes guarantee that
+the squares modulo ``N`` form a cyclic group of order ``m`` in which
+the share-correctness proofs are sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .numtheory import is_probable_prime, modinv, random_safe_prime
+
+__all__ = ["RsaModulus", "generate_rsa_modulus", "choose_public_exponent"]
+
+
+@dataclass(frozen=True)
+class RsaModulus:
+    """An RSA modulus from safe primes, with the dealer's trapdoor.
+
+    Attributes:
+        n_modulus: ``N = p·q``.
+        m: the order ``p'·q'`` of the squares mod ``N`` (dealer secret).
+    """
+
+    p: int
+    q: int
+    n_modulus: int
+    m: int
+
+
+def generate_rsa_modulus(bits: int, rng: random.Random) -> RsaModulus:
+    """Generate ``N = pq`` with ``p, q`` distinct safe primes of ``bits/2`` bits."""
+    half = bits // 2
+    sp1 = random_safe_prime(half, rng)
+    while True:
+        sp2 = random_safe_prime(half, rng)
+        if sp2.p != sp1.p:
+            break
+    return RsaModulus(
+        p=sp1.p,
+        q=sp2.p,
+        n_modulus=sp1.p * sp2.p,
+        m=sp1.q * sp2.q,
+    )
+
+
+def choose_public_exponent(modulus: RsaModulus, minimum: int) -> int:
+    """Smallest prime ``e > minimum`` that is invertible mod ``m``.
+
+    Shoup's scheme needs ``e`` to be a prime larger than the number of
+    parties so that the integer Lagrange coefficients are invertible
+    modulo ``e`` during share combination.
+    """
+    candidate = max(minimum, 2) + 1
+    while True:
+        if is_probable_prime(candidate) and modulus.m % candidate != 0:
+            try:
+                modinv(candidate, modulus.m)
+                return candidate
+            except ValueError:
+                pass
+        candidate += 1

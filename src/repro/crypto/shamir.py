@@ -1,0 +1,88 @@
+"""Shamir secret sharing over Z_q.
+
+The classical threshold scheme underlying all threshold cryptography in
+Section 2.1: a degree-``t`` polynomial hides the secret in its constant
+term; any ``t+1`` shares reconstruct it, any ``t`` reveal nothing.
+
+Shares are evaluated at points ``1..n`` (party indices).  Lagrange
+coefficients are exposed separately because the threshold schemes
+recombine *in the exponent* (coin, TDH2) or over a secret modulus
+(Shoup RSA signatures) rather than reconstructing the secret itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .numtheory import modinv
+
+__all__ = ["Share", "share_secret", "lagrange_coefficients", "reconstruct",
+           "evaluate_polynomial"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the polynomial evaluated at ``x = index``."""
+
+    index: int
+    value: int
+
+
+def evaluate_polynomial(coeffs: list[int], x: int, modulus: int) -> int:
+    """Horner evaluation of a polynomial given low-to-high coefficients."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % modulus
+    return acc
+
+
+def share_secret(
+    secret: int,
+    n: int,
+    t: int,
+    modulus: int,
+    rng: random.Random,
+) -> tuple[list[Share], list[int]]:
+    """Split ``secret`` into ``n`` shares with threshold ``t``.
+
+    Any ``t+1`` shares reconstruct; ``t`` or fewer are information-
+    theoretically independent of the secret.  Returns the shares and the
+    polynomial coefficients (the dealer may need them for verification
+    keys, e.g. ``g^{f(i)}`` in the coin scheme).
+    """
+    if not 0 <= t < n:
+        raise ValueError(f"invalid threshold t={t} for n={n}")
+    coeffs = [secret % modulus] + [rng.randrange(modulus) for _ in range(t)]
+    shares = [
+        Share(index=i, value=evaluate_polynomial(coeffs, i, modulus))
+        for i in range(1, n + 1)
+    ]
+    return shares, coeffs
+
+
+def lagrange_coefficients(indices: list[int], modulus: int, at: int = 0) -> dict[int, int]:
+    """Lagrange coefficients ``λ_i`` with ``f(at) = Σ λ_i · f(i)``.
+
+    ``indices`` must be distinct evaluation points; ``modulus`` must be
+    prime (all arithmetic is in the field Z_modulus).
+    """
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate share indices")
+    coeffs: dict[int, int] = {}
+    for i in indices:
+        num, den = 1, 1
+        for j in indices:
+            if j == i:
+                continue
+            num = (num * (at - j)) % modulus
+            den = (den * (i - j)) % modulus
+        coeffs[i] = (num * modinv(den, modulus)) % modulus
+    return coeffs
+
+
+def reconstruct(shares: list[Share], modulus: int, at: int = 0) -> int:
+    """Reconstruct the polynomial's value at ``at`` (the secret by default)."""
+    indices = [s.index for s in shares]
+    lam = lagrange_coefficients(indices, modulus, at=at)
+    return sum(lam[s.index] * s.value for s in shares) % modulus

@@ -1,0 +1,332 @@
+"""Threshold signatures.
+
+Two interchangeable realizations sit behind one interface (see the
+substitution table in DESIGN.md):
+
+* :class:`ShoupRsaScheme` — the practical threshold signature scheme of
+  Shoup [35] that the paper cites: non-interactive, robust (every
+  signature share carries a proof of correctness), combinable into a
+  single constant-size RSA signature.  It inherently realizes a
+  ``k``-out-of-``n`` threshold and is used for the classical threshold
+  adversary model.
+
+* :class:`QuorumCertScheme` — a certificate of individual Schnorr
+  signatures from a qualified set of an arbitrary access structure.
+  CKS [8] note their agreement protocol stays correct when threshold
+  signatures are replaced by sets of ordinary signatures (messages just
+  grow); this realization is what makes the Section 4 *generalized
+  adversary structures* work end-to-end, where no threshold signature
+  scheme exists.
+
+Both schemes expose: ``sign_share``, ``verify_share``, ``combine``,
+``verify`` — the exact operations the broadcast/agreement layer uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .hashing import hash_to_int
+from .numtheory import egcd, modinv
+from .rsa import RsaModulus, choose_public_exponent, generate_rsa_modulus
+from .schnorr import Signature as SchnorrSignature
+from .schnorr import SigningKey, VerifyKey
+
+__all__ = [
+    "ThresholdScheme",
+    "ShoupRsaScheme",
+    "ShoupRsaShareholder",
+    "RsaSignatureShare",
+    "RsaSignature",
+    "QuorumCertScheme",
+    "QuorumCertShareholder",
+    "QuorumCertificate",
+    "deal_shoup_rsa",
+    "deal_quorum_certs",
+]
+
+
+class ThresholdScheme(Protocol):
+    """What the protocol layer relies on from any threshold signature."""
+
+    def verify_share(self, message: object, share: object) -> bool: ...
+
+    def combine(self, message: object, shares: dict[int, object]) -> object: ...
+
+    def verify(self, message: object, signature: object) -> bool: ...
+
+
+# ===========================================================================
+# Shoup's RSA threshold signatures
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class RsaSignatureShare:
+    """``x_i = H(M)^{2Δ s_i}`` with a Fiat-Shamir proof of correctness."""
+
+    party: int
+    value: int
+    challenge: int
+    response: int
+
+
+@dataclass(frozen=True)
+class RsaSignature:
+    """An ordinary RSA signature ``y`` with ``y^e = H(M) mod N``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class ShoupRsaScheme:
+    """Public side of Shoup's scheme: verify shares, combine, verify.
+
+    Attributes:
+        n_parties: number of shareholders.
+        k: shares needed to combine (``t + 1`` in the paper's usage).
+        n_modulus: the RSA modulus ``N``.
+        e: public verification exponent (prime ``> n_parties``).
+        v: verification base, a generator of the squares mod ``N``.
+        v_keys: ``v_i = v^{s_i}`` per party.
+    """
+
+    n_parties: int
+    k: int
+    n_modulus: int
+    e: int
+    v: int
+    v_keys: dict[int, int]
+
+    @property
+    def delta(self) -> int:
+        """Δ = n! — clears all Lagrange denominators over the integers."""
+        return math.factorial(self.n_parties)
+
+    def message_digest(self, message: object) -> int:
+        """Hash the message into Z_N (the full-domain hash H of [35])."""
+        x = hash_to_int("shoup-fdh", message, bits=self.n_modulus.bit_length() + 64)
+        x %= self.n_modulus
+        return x if x > 1 else x + 2
+
+    def verify_share(self, message: object, share: RsaSignatureShare) -> bool:
+        if share.party not in self.v_keys:
+            return False
+        N = self.n_modulus
+        if not 0 < share.value < N:
+            return False
+        x = self.message_digest(message)
+        x_tilde = pow(x, 4 * self.delta, N)
+        xi_sq = pow(share.value, 2, N)
+        vi = self.v_keys[share.party]
+        # Recompute the commitments from (challenge, response):
+        #   v' = v^z · v_i^{-c},  x' = x̃^z · x_i^{-2c}
+        c, z = share.challenge, share.response
+        v_prime = (pow(self.v, z, N) * modinv(pow(vi, c, N), N)) % N
+        x_prime = (pow(x_tilde, z, N) * modinv(pow(share.value, 2 * c, N), N)) % N
+        expected = hash_to_int(
+            "shoup-share-proof",
+            self.v, x_tilde, vi, xi_sq, v_prime, x_prime,
+            bits=128,
+        )
+        return expected == c
+
+    def _integer_lagrange(self, indices: list[int], i: int) -> int:
+        """``λ^S_{0,i} = Δ · Π_{j≠i} j / (j - i)`` — an integer by design."""
+        num = self.delta
+        den = 1
+        for j in indices:
+            if j == i:
+                continue
+            num *= j
+            den *= j - i
+        assert num % den == 0
+        return num // den
+
+    def combine(self, message: object, shares: dict[int, RsaSignatureShare]) -> RsaSignature:
+        """Combine ``k`` valid shares into a standard RSA signature."""
+        if len(shares) < self.k:
+            raise ValueError(f"need {self.k} shares, got {len(shares)}")
+        chosen = dict(sorted(shares.items())[: self.k])
+        N = self.n_modulus
+        x = self.message_digest(message)
+        indices = sorted(chosen)
+        w = 1
+        for i in indices:
+            lam = self._integer_lagrange(indices, i)
+            exponent = 2 * lam
+            if exponent >= 0:
+                w = (w * pow(chosen[i].value, exponent, N)) % N
+            else:
+                w = (w * modinv(pow(chosen[i].value, -exponent, N), N)) % N
+        # w^e = x^{4Δ²}; since gcd(e, 4Δ²) = 1 extract y with y^e = x.
+        g, a, b = egcd(self.e, 4 * self.delta * self.delta)
+        if g != 1:
+            raise ArithmeticError("e not coprime to 4Δ² — invalid parameters")
+        y = (pow(x, a, N) if a >= 0 else modinv(pow(x, -a, N), N)) * (
+            pow(w, b, N) if b >= 0 else modinv(pow(w, -b, N), N)
+        ) % N
+        signature = RsaSignature(value=y)
+        if not self.verify(message, signature):
+            raise ValueError("combined signature failed verification (bad shares?)")
+        return signature
+
+    def verify(self, message: object, signature: RsaSignature) -> bool:
+        if not 0 < signature.value < self.n_modulus:
+            return False
+        return pow(signature.value, self.e, self.n_modulus) == self.message_digest(message)
+
+
+@dataclass(frozen=True)
+class ShoupRsaShareholder:
+    """A party's secret signing share ``s_i`` of the RSA exponent."""
+
+    party: int
+    public: ShoupRsaScheme
+    s: int
+
+    def sign_share(self, message: object, rng: random.Random) -> RsaSignatureShare:
+        pub = self.public
+        N = pub.n_modulus
+        x = pub.message_digest(message)
+        x_tilde = pow(x, 4 * pub.delta, N)
+        value = pow(x, 2 * pub.delta * self.s, N)
+        # Fiat-Shamir proof of dlog equality over the hidden-order group:
+        # the nonce range follows Shoup's L(N) + 2·L1 bound.
+        bound = 1 << (N.bit_length() + 2 * 128)
+        r = rng.randrange(bound)
+        v_prime = pow(pub.v, r, N)
+        x_prime = pow(x_tilde, r, N)
+        vi = pub.v_keys[self.party]
+        xi_sq = pow(value, 2, N)
+        c = hash_to_int(
+            "shoup-share-proof", pub.v, x_tilde, vi, xi_sq, v_prime, x_prime, bits=128
+        )
+        z = self.s * c + r
+        return RsaSignatureShare(party=self.party, value=value, challenge=c, response=z)
+
+
+def deal_shoup_rsa(
+    n: int,
+    k: int,
+    rng: random.Random,
+    bits: int = 512,
+    modulus: RsaModulus | None = None,
+) -> tuple[ShoupRsaScheme, dict[int, ShoupRsaShareholder]]:
+    """Dealer setup: generate keys and Shamir-share ``d`` over ``Z_m``.
+
+    Parties are indexed ``1..n`` internally (Shamir points must be
+    nonzero); the caller's 0-based party ``i`` holds point ``i + 1``.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"invalid k={k} for n={n}")
+    mod = modulus or generate_rsa_modulus(bits, rng)
+    N, m = mod.n_modulus, mod.m
+    e = choose_public_exponent(mod, n)
+    d = modinv(e, m)
+    # Shamir over Z_m with threshold k-1 (k shares reconstruct).
+    coeffs = [d] + [rng.randrange(m) for _ in range(k - 1)]
+    s_values = {}
+    for i in range(1, n + 1):
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * i + c) % m
+        s_values[i] = acc
+    # Verification base: a random square generates QR_N w.h.p.
+    v = pow(rng.randrange(2, N - 1), 2, N)
+    v_keys = {i: pow(v, s_values[i], N) for i in s_values}
+    public = ShoupRsaScheme(n_parties=n, k=k, n_modulus=N, e=e, v=v, v_keys=v_keys)
+    holders = {
+        i: ShoupRsaShareholder(party=i, public=public, s=s_values[i]) for i in s_values
+    }
+    return public, holders
+
+
+# ===========================================================================
+# Quorum certificates (threshold signatures for general adversary structures)
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A set of individual signatures from a qualified set of parties."""
+
+    signatures: dict[int, SchnorrSignature]
+
+    @property
+    def signers(self) -> frozenset[int]:
+        return frozenset(self.signatures)
+
+
+@dataclass(frozen=True)
+class QuorumCertScheme:
+    """Signature certificates qualified by an arbitrary predicate.
+
+    ``qualifier`` decides which signer sets are sufficient — e.g. the
+    generalized ``n - t`` rule (``QuorumSystem.is_quorum``) for the
+    justifications inside Byzantine agreement, or ``contains_honest``
+    for ``t + 1``-style evidence.
+    """
+
+    verify_keys: dict[int, VerifyKey]
+    qualifier: Callable[[frozenset[int]], bool]
+    tag: str = "quorum-cert"
+
+    def verify_share(self, message: object, share: tuple[int, SchnorrSignature]) -> bool:
+        party, signature = share
+        key = self.verify_keys.get(party)
+        if key is None:
+            return False
+        return key.verify((self.tag, message), signature)
+
+    def combine(
+        self, message: object, shares: dict[int, SchnorrSignature]
+    ) -> QuorumCertificate:
+        signers = frozenset(shares)
+        if not self.qualifier(signers):
+            raise ValueError(f"signers {sorted(signers)} do not form a qualified set")
+        for party, signature in shares.items():
+            if not self.verify_share(message, (party, signature)):
+                raise ValueError(f"invalid signature share from party {party}")
+        return QuorumCertificate(signatures=dict(shares))
+
+    def verify(self, message: object, certificate: QuorumCertificate) -> bool:
+        if not self.qualifier(certificate.signers):
+            return False
+        return all(
+            self.verify_share(message, (party, signature))
+            for party, signature in certificate.signatures.items()
+        )
+
+
+@dataclass(frozen=True)
+class QuorumCertShareholder:
+    """A party's ordinary signing key used to contribute to certificates."""
+
+    party: int
+    public: QuorumCertScheme
+    key: SigningKey
+
+    def sign_share(self, message: object, rng: random.Random) -> SchnorrSignature:
+        return self.key.sign((self.public.tag, message), rng)
+
+
+def deal_quorum_certs(
+    keys: dict[int, SigningKey],
+    qualifier: Callable[[frozenset[int]], bool],
+    tag: str = "quorum-cert",
+) -> tuple[QuorumCertScheme, dict[int, QuorumCertShareholder]]:
+    """Build a certificate scheme over existing per-party Schnorr keys."""
+    public = QuorumCertScheme(
+        verify_keys={party: key.verify_key for party, key in keys.items()},
+        qualifier=qualifier,
+        tag=tag,
+    )
+    holders = {
+        party: QuorumCertShareholder(party=party, public=public, key=key)
+        for party, key in keys.items()
+    }
+    return public, holders

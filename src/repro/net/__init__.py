@@ -1,0 +1,56 @@
+"""Asynchronous network substrate: the simulator, adversarial
+schedulers, corruption harness, tracing, and authenticated channels."""
+
+from .adversary import (
+    CorruptionController,
+    CrashNode,
+    MutatingNode,
+    SilentNode,
+    SpamNode,
+)
+from .attacks import (
+    CoinShareReplayer,
+    DivergentAbcProposer,
+    EquivocatingCbcSender,
+    EquivocatingRbcSender,
+    TwoFacedVoter,
+)
+from .channels import ChannelAuthenticator, SignedPayload
+from .scheduler import (
+    DelayScheduler,
+    FifoScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    ReorderScheduler,
+    Scheduler,
+    StarvingScheduler,
+)
+from .simulator import Envelope, LivenessError, Network, Node
+from .tracing import Trace
+
+__all__ = [
+    "CorruptionController",
+    "CrashNode",
+    "MutatingNode",
+    "SilentNode",
+    "SpamNode",
+    "CoinShareReplayer",
+    "DivergentAbcProposer",
+    "EquivocatingCbcSender",
+    "EquivocatingRbcSender",
+    "TwoFacedVoter",
+    "ChannelAuthenticator",
+    "SignedPayload",
+    "DelayScheduler",
+    "FifoScheduler",
+    "PartitionScheduler",
+    "RandomScheduler",
+    "ReorderScheduler",
+    "Scheduler",
+    "StarvingScheduler",
+    "Envelope",
+    "LivenessError",
+    "Network",
+    "Node",
+    "Trace",
+]

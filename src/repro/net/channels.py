@@ -1,0 +1,84 @@
+"""Authenticated point-to-point channels bootstrapped from a PKI.
+
+The simulator's links already deliver the true sender identity, which
+models secure channels as an assumption.  This module shows the
+*mechanism* the paper mentions — "it is possible to bootstrap security
+from a PKI, e.g., to establish secure point-to-point channels": every
+message is Schnorr-signed by its sender and verified against the
+directory of public keys distributed by the dealer.  A channel wrapper
+rejects forgeries, so even a scheduler that could inject messages (it
+cannot, but a real network attacker could) gains nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.schnorr import Signature, SigningKey, VerifyKey
+
+__all__ = ["SignedPayload", "ChannelAuthenticator"]
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A payload with its channel signature and claimed origin."""
+
+    origin: int
+    sequence: int
+    payload: object
+    signature: Signature
+
+
+class ChannelAuthenticator:
+    """Signs outgoing payloads and verifies incoming ones.
+
+    Sequence numbers make every signed unit unique, preventing replay
+    of old channel messages into new sessions.
+    """
+
+    def __init__(
+        self,
+        party: int,
+        signing_key: SigningKey,
+        directory: dict[int, VerifyKey],
+        rng: random.Random,
+    ) -> None:
+        self.party = party
+        self.signing_key = signing_key
+        self.directory = directory
+        self.rng = rng
+        self._sequence = 0
+        self._seen: dict[int, set[int]] = {}
+
+    def wrap(self, payload: object) -> SignedPayload:
+        self._sequence += 1
+        signature = self.signing_key.sign(
+            ("channel", self.party, self._sequence, payload), self.rng
+        )
+        return SignedPayload(
+            origin=self.party,
+            sequence=self._sequence,
+            payload=payload,
+            signature=signature,
+        )
+
+    def unwrap(self, claimed_sender: int, signed: SignedPayload) -> object | None:
+        """Return the payload if authentic and fresh, else None.
+
+        Rejects (a) origin/sender mismatches, (b) unknown origins,
+        (c) bad signatures, and (d) replayed sequence numbers.
+        """
+        if signed.origin != claimed_sender:
+            return None
+        key = self.directory.get(signed.origin)
+        if key is None:
+            return None
+        message = ("channel", signed.origin, signed.sequence, signed.payload)
+        if not key.verify(message, signed.signature):
+            return None
+        seen = self._seen.setdefault(signed.origin, set())
+        if signed.sequence in seen:
+            return None
+        seen.add(signed.sequence)
+        return signed.payload

@@ -1,0 +1,188 @@
+"""Adversarial message schedulers (Section 2.2).
+
+A scheduler *is* the network adversary: at every step it decides which
+pending message arrives next.  The asynchronous model grants it total
+freedom over ordering and delay, constrained only by eventual delivery
+between honest parties.  The schedulers here encode the attacks the
+paper argues about:
+
+* :class:`RandomScheduler` — a benign but unordered network (the
+  baseline for round-count experiments);
+* :class:`FifoScheduler` — an orderly network (fast path);
+* :class:`DelayScheduler` — the Section 2.2 attack: starve a chosen
+  target set (e.g. the current leader of a deterministic protocol, or
+  an honest server a failure detector then falsely suspects) for as
+  long as any other traffic exists;
+* :class:`PartitionScheduler` — temporarily sever a set of parties, and
+  heal after a budget of steps (eventual delivery preserved);
+* :class:`ReorderScheduler` — adversarially prefers the *newest*
+  messages, maximizing reordering.
+
+All choices draw from the network's seeded RNG, so every attack run is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from .simulator import Envelope
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "ReorderScheduler",
+    "DelayScheduler",
+    "StarvingScheduler",
+    "PartitionScheduler",
+]
+
+
+class Scheduler:
+    """Picks the index of the next envelope to deliver, or None if empty."""
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Deliver in send order — the friendliest possible network."""
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        return 0 if pending else None
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random pending message."""
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        if not pending:
+            return None
+        return rng.randrange(len(pending))
+
+
+class ReorderScheduler(Scheduler):
+    """Prefer the most recently sent message (LIFO): maximal reordering."""
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        return len(pending) - 1 if pending else None
+
+
+class DelayScheduler(Scheduler):
+    """Starve a target set of parties as long as other traffic exists.
+
+    Messages to or from targets are delivered only when nothing else is
+    pending — the "delay the communication with a server longer than
+    the timeout" attack of Section 2.2, pushed to its asynchronous
+    limit while still guaranteeing eventual delivery.
+
+    ``targets`` may be a static set or a callable evaluated per step
+    (for attacks that follow a moving target, e.g. the rotating leader
+    of the deterministic baseline).
+    """
+
+    def __init__(
+        self,
+        targets: set[int] | Callable[[], set[int]],
+        delay_from: bool = True,
+        delay_to: bool = True,
+    ) -> None:
+        self._targets = targets
+        self.delay_from = delay_from
+        self.delay_to = delay_to
+
+    def targets(self) -> set[int]:
+        return self._targets() if callable(self._targets) else self._targets
+
+    def _is_delayed(self, envelope: Envelope, targets: set[int]) -> bool:
+        if self.delay_from and envelope.sender in targets:
+            return True
+        if self.delay_to and envelope.recipient in targets:
+            return True
+        return False
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        if not pending:
+            return None
+        targets = self.targets()
+        fast = [i for i, env in enumerate(pending) if not self._is_delayed(env, targets)]
+        pool = fast if fast else list(range(len(pending)))
+        return pool[rng.randrange(len(pool))]
+
+
+class StarvingScheduler(Scheduler):
+    """Starve targets by *stalling*: deliver nothing while only target
+    traffic is pending, letting victims' timeout clocks run out.
+
+    This is the full Section 2.2 attack against timeout-based designs:
+    the adversary lets time pass (``select`` returns ``None`` even
+    though messages are pending) until the honest parties' timeouts
+    fire, then keeps starving the *new* target.  Eventual delivery is
+    preserved: any message older than ``patience`` selections is
+    released.  Use with a manual drive loop that ticks protocol
+    watchdogs on every selection round — ``Network.run`` treats a
+    ``None`` selection as quiescence, which is intended only for
+    schedulers that always deliver when something is pending.
+    """
+
+    def __init__(self, targets: set[int] | Callable[[], set[int]], patience: int = 500) -> None:
+        self._targets = targets
+        self.patience = patience
+        self.clock = 0
+        self._birth: dict[int, int] = {}
+
+    def targets(self) -> set[int]:
+        return self._targets() if callable(self._targets) else self._targets
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        self.clock += 1
+        if not pending:
+            return None
+        for env in pending:
+            self._birth.setdefault(env.seq, self.clock)
+        targets = self.targets()
+        fast = [
+            i
+            for i, env in enumerate(pending)
+            if env.sender not in targets and env.recipient not in targets
+        ]
+        if fast:
+            return fast[rng.randrange(len(fast))]
+        overdue = [
+            i
+            for i, env in enumerate(pending)
+            if self.clock - self._birth[env.seq] > self.patience
+        ]
+        if overdue:
+            return overdue[0]
+        return None  # stall: let the victims' timeouts burn
+
+
+class PartitionScheduler(Scheduler):
+    """Cut a group off for ``duration`` deliveries, then heal.
+
+    While the partition holds, messages crossing the cut are postponed;
+    after ``duration`` total deliveries the partition heals and the
+    scheduler behaves randomly — modeling a transient outage of, say,
+    one site of Example 2's multi-site deployment.
+    """
+
+    def __init__(self, isolated: set[int], duration: int) -> None:
+        self.isolated = set(isolated)
+        self.duration = duration
+        self._delivered = 0
+
+    def _crosses_cut(self, envelope: Envelope) -> bool:
+        return (envelope.sender in self.isolated) != (envelope.recipient in self.isolated)
+
+    def select(self, pending: Sequence[Envelope], rng: random.Random) -> int | None:
+        if not pending:
+            return None
+        self._delivered += 1
+        if self._delivered > self.duration:
+            return rng.randrange(len(pending))
+        allowed = [i for i, env in enumerate(pending) if not self._crosses_cut(env)]
+        pool = allowed if allowed else list(range(len(pending)))
+        return pool[rng.randrange(len(pool))]

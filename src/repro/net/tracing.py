@@ -1,0 +1,70 @@
+"""Instrumentation: message and crypto-operation accounting.
+
+The benchmark harness regenerates the paper's complexity claims from
+measured counts, so the network keeps cheap aggregate statistics about
+everything sent and delivered, and protocols can register custom
+counters (e.g. "coin flips", "MVBA instances").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Trace"]
+
+
+def _kind_of(payload: object) -> str:
+    """Best-effort message kind for per-type statistics."""
+    if isinstance(payload, tuple) and payload:
+        return _kind_of(payload[-1])
+    return type(payload).__name__
+
+
+@dataclass
+class Trace:
+    """Aggregate counters for one network run."""
+
+    sent: int = 0
+    delivered: int = 0
+    sent_by_kind: Counter = field(default_factory=Counter)
+    sent_by_party: Counter = field(default_factory=Counter)
+    counters: Counter = field(default_factory=Counter)
+    measure_bytes: bool = False
+    bytes_sent: int = 0
+    bytes_by_kind: Counter = field(default_factory=Counter)
+
+    def enable_byte_accounting(self) -> None:
+        """Also account real wire bytes per message (costs one
+        serialization per send; off by default)."""
+        self.measure_bytes = True
+
+    def record_send(self, sender: int, recipient: int, payload: object) -> None:
+        self.sent += 1
+        kind = _kind_of(payload)
+        self.sent_by_kind[kind] += 1
+        self.sent_by_party[sender] += 1
+        if self.measure_bytes:
+            from . import wire
+
+            try:
+                size = len(wire.dumps(payload))
+            except wire.WireError:
+                return  # non-wire payloads (test fixtures) are skipped
+            self.bytes_sent += size
+            self.bytes_by_kind[kind] += size
+
+    def record_delivery(self, envelope: object) -> None:
+        self.delivered += 1
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Protocol-defined counter (crypto ops, rounds, instances...)."""
+        self.counters[name] += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "by_kind": dict(self.sent_by_kind),
+            "counters": dict(self.counters),
+        }

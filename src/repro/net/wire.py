@@ -1,0 +1,303 @@
+"""Wire format: safe serialization for every protocol message.
+
+The simulator passes Python objects between nodes; a deployment passes
+bytes.  This module closes that gap with a canonical, self-describing,
+*safe* encoding (no pickle — deserialization can only ever construct
+the registered, frozen message dataclasses), so that
+
+* every protocol message can be measured in real wire bytes (the size
+  benchmarks E12/E13 build on the same encoding), and
+* the test suite can run entire protocol stacks through a
+  byte-serializing network, proving no protocol secretly depends on
+  object identity or unserializable state.
+
+Supported values: ``None``, ``bool``, ``int``, ``str``, ``bytes``,
+``tuple``, ``frozenset``, ``dict`` (any encodable keys) and registered
+dataclasses.  Unknown types raise :class:`WireError` at encode time;
+malformed or unregistered input raises at decode time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+__all__ = ["WireError", "register", "registered_types", "dumps", "loads"]
+
+_MAX_DEPTH = 32
+_MAX_LENGTH = 1 << 24
+
+
+class WireError(ValueError):
+    """Malformed, oversized, or unregistered wire data."""
+
+
+_REGISTRY: dict[str, type] = {}
+_LOADED = False
+
+
+def register(cls: type) -> type:
+    """Register a (frozen) dataclass for wire transport."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls.__name__} is not a dataclass")
+    name = cls.__name__
+    if _REGISTRY.get(name, cls) is not cls:
+        raise WireError(f"duplicate wire registration for {name}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def registered_types() -> dict[str, type]:
+    _ensure_registry()
+    return dict(_REGISTRY)
+
+
+def _ensure_registry() -> None:
+    """Populate the registry with every message and crypto object the
+    stack sends (imported lazily to avoid cycles)."""
+    global _LOADED
+    if _LOADED:
+        return
+    from ..baselines import leader_based
+    from ..core import (
+        atomic_broadcast,
+        binary_agreement,
+        cks_agreement,
+        consistent_broadcast,
+        multivalued_agreement,
+        optimistic,
+        reliable_broadcast,
+        secure_causal,
+    )
+    from ..crypto import coin, schnorr, threshold_enc, threshold_sig, zkp
+    from ..smr import replica, state_machine
+
+    classes = [
+        schnorr.Signature,
+        zkp.DleqProof,
+        zkp.SchnorrProof,
+        coin.CoinShare,
+        threshold_enc.Ciphertext,
+        threshold_enc.DecryptionShare,
+        threshold_sig.QuorumCertificate,
+        threshold_sig.RsaSignature,
+        threshold_sig.RsaSignatureShare,
+        reliable_broadcast.RbcSend,
+        reliable_broadcast.RbcEcho,
+        reliable_broadcast.RbcReady,
+        consistent_broadcast.CbcSend,
+        consistent_broadcast.CbcEchoSignature,
+        consistent_broadcast.CbcFinal,
+        consistent_broadcast.CbcDelivery,
+        binary_agreement.AbaBval,
+        binary_agreement.AbaAux,
+        binary_agreement.AbaConf,
+        binary_agreement.AbaCoinShare,
+        binary_agreement.AbaDone,
+        cks_agreement.CksPreVote,
+        cks_agreement.CksMainVote,
+        cks_agreement.CksCoinShare,
+        cks_agreement.CksDone,
+        multivalued_agreement.MvbaPermShare,
+        multivalued_agreement.MvbaValue,
+        multivalued_agreement.MvbaDecision,
+        atomic_broadcast.AbcProposal,
+        secure_causal.ScDecryptionShare,
+        optimistic.OptForward,
+        optimistic.OptOrder,
+        optimistic.OptAck,
+        optimistic.OptCommit,
+        optimistic.OptComplain,
+        optimistic.OptState,
+        leader_based.PrePrepare,
+        leader_based.Prepare,
+        leader_based.Commit,
+        leader_based.ViewChange,
+        leader_based.NewView,
+        replica.SubmitRequest,
+        replica.SubmitUnordered,
+        replica.SubmitEncrypted,
+        replica.RecoverQuery,
+        replica.RecoverLog,
+        state_machine.Request,
+        state_machine.Reply,
+    ]
+    for cls in classes:
+        register(cls)
+    _LOADED = True
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def dumps(value: object) -> bytes:
+    """Encode a payload into canonical wire bytes."""
+    _ensure_registry()
+    out = bytearray()
+    _write(out, value, depth=0)
+    return bytes(out)
+
+
+def _write(out: bytearray, value: object, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise WireError("value too deeply nested")
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += b"I" + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += b"S" + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, bytes):
+        out += b"B" + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, tuple):
+        out += b"L" + len(value).to_bytes(4, "big")
+        for item in value:
+            _write(out, item, depth + 1)
+    elif isinstance(value, frozenset):
+        encoded = sorted(dumps_fragment(item, depth + 1) for item in value)
+        out += b"E" + len(encoded).to_bytes(4, "big")
+        for fragment in encoded:
+            out += fragment
+    elif isinstance(value, dict):
+        encoded = sorted(
+            dumps_fragment(key, depth + 1) + dumps_fragment(val, depth + 1)
+            for key, val in value.items()
+        )
+        out += b"D" + len(encoded).to_bytes(4, "big")
+        for fragment in encoded:
+            out += fragment
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if _REGISTRY.get(name) is not type(value):
+            raise WireError(f"unregistered dataclass {name}")
+        body = name.encode("ascii")
+        out += b"C" + len(body).to_bytes(4, "big") + body
+        fields = dataclasses.fields(value)
+        out += len(fields).to_bytes(4, "big")
+        for field in fields:
+            _write(out, getattr(value, field.name), depth + 1)
+    else:
+        raise WireError(f"cannot encode {type(value).__name__}")
+
+
+def dumps_fragment(value: object, depth: int) -> bytes:
+    fragment = bytearray()
+    _write(fragment, value, depth)
+    return bytes(fragment)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def loads(data: bytes) -> object:
+    """Decode wire bytes; raises :class:`WireError` on any malformation."""
+    _ensure_registry()
+    value, offset = _read(data, 0, depth=0)
+    if offset != len(data):
+        raise WireError("trailing bytes")
+    return value
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    if offset + 4 > len(data):
+        raise WireError("truncated length")
+    length = int.from_bytes(data[offset : offset + 4], "big")
+    if length > _MAX_LENGTH:
+        raise WireError("length bound exceeded")
+    return length, offset + 4
+
+
+def _read(data: bytes, offset: int, depth: int) -> tuple[object, int]:
+    if depth > _MAX_DEPTH:
+        raise WireError("wire data too deeply nested")
+    if offset >= len(data):
+        raise WireError("truncated")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag in (b"I", b"S", b"B"):
+        length, offset = _read_length(data, offset)
+        if offset + length > len(data):
+            raise WireError("truncated body")
+        body = data[offset : offset + length]
+        offset += length
+        if tag == b"B":
+            return bytes(body), offset
+        try:
+            text = body.decode("utf-8" if tag == b"S" else "ascii")
+        except UnicodeDecodeError as exc:
+            raise WireError("bad text encoding") from exc
+        if tag == b"S":
+            return text, offset
+        try:
+            return int(text), offset
+        except ValueError as exc:
+            raise WireError("bad integer") from exc
+    if tag == b"L":
+        length, offset = _read_length(data, offset)
+        items = []
+        for _ in range(length):
+            item, offset = _read(data, offset, depth + 1)
+            items.append(item)
+        return tuple(items), offset
+    if tag == b"E":
+        length, offset = _read_length(data, offset)
+        items = []
+        for _ in range(length):
+            item, offset = _read(data, offset, depth + 1)
+            items.append(item)
+        try:
+            return frozenset(items), offset
+        except TypeError as exc:
+            raise WireError("unhashable frozenset member") from exc
+    if tag == b"D":
+        length, offset = _read_length(data, offset)
+        out: dict = {}
+        for _ in range(length):
+            key, offset = _read(data, offset, depth + 1)
+            val, offset = _read(data, offset, depth + 1)
+            try:
+                out[key] = val
+            except TypeError as exc:
+                raise WireError("unhashable dict key") from exc
+        return out, offset
+    if tag == b"C":
+        length, offset = _read_length(data, offset)
+        if offset + length > len(data):
+            raise WireError("truncated class name")
+        try:
+            name = data[offset : offset + length].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise WireError("bad class name") from exc
+        offset += length
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise WireError(f"unknown wire type {name!r}")
+        count, offset = _read_length(data, offset)
+        expected = dataclasses.fields(cls)
+        if count != len(expected):
+            raise WireError(f"field count mismatch for {name}")
+        values = []
+        for _ in range(count):
+            value, offset = _read(data, offset, depth + 1)
+            values.append(value)
+        try:
+            return cls(*values), offset
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"cannot reconstruct {name}") from exc
+    raise WireError(f"unknown tag {tag!r}")

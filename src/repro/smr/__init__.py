@@ -1,0 +1,21 @@
+"""Secure state machine replication (Section 5)."""
+
+from .client import CompletedRequest, ServiceClient
+from .replica import Replica, SubmitEncrypted, SubmitRequest, service_session
+from .service import ServiceDeployment, build_service
+from .state_machine import KeyValueStore, Reply, Request, StateMachine
+
+__all__ = [
+    "CompletedRequest",
+    "ServiceClient",
+    "Replica",
+    "SubmitEncrypted",
+    "SubmitRequest",
+    "service_session",
+    "ServiceDeployment",
+    "build_service",
+    "KeyValueStore",
+    "Reply",
+    "Request",
+    "StateMachine",
+]

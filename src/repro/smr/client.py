@@ -1,0 +1,193 @@
+"""Service clients (Section 5).
+
+A client knows only the service's *single* public keys (the dealer's
+public bundle) — never individual server keys beyond the directory used
+to authenticate channels.  It submits a request to more than ``t``
+servers (we default to all, the simplest way to also get the fairness
+guarantee of atomic broadcast), then collects partial answers until the
+repliers with a matching result form an honest-containing set, and
+combines their signature shares into one service-signed reply.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.dealer import PublicKeys
+from ..crypto.threshold_sig import QuorumCertScheme, ShoupRsaScheme
+from ..net.simulator import Network, Node
+from . import codec
+from .replica import SubmitEncrypted, SubmitRequest, reply_statement, service_session
+from .state_machine import Reply, Request
+
+__all__ = ["CompletedRequest", "ServiceClient"]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """A finished request: the agreed result plus the service signature."""
+
+    nonce: int
+    result: object
+    signature: object
+
+    def verify(self, public: PublicKeys, client: int, operation: tuple) -> bool:
+        """Re-verify the service's signature on this answer."""
+        digest = ("request", client, nonce := self.nonce, operation)
+        statement = reply_statement(digest, self.result)
+        scheme = public.service_signature
+        if isinstance(scheme, (QuorumCertScheme, ShoupRsaScheme)):
+            return scheme.verify(statement, self.signature)
+        return False
+
+
+class ServiceClient(Node):
+    """A (possibly one of many) client attached to the network."""
+
+    def __init__(
+        self,
+        client_id: int,
+        network: Network,
+        public: PublicKeys,
+        rng: random.Random,
+        session_tag: object = "service",
+    ) -> None:
+        self.client_id = client_id
+        self.network = network
+        self.public = public
+        self.rng = rng
+        self.session = service_session(session_tag)
+        self._nonce = 0
+        self._operations: dict[int, tuple] = {}
+        self._replies: dict[int, dict[int, Reply]] = {}
+        self.completed: dict[int, CompletedRequest] = {}
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, operation: tuple, servers: list[int] | None = None) -> int:
+        """Send a plaintext request; returns the nonce to await."""
+        nonce = self._next_nonce(operation)
+        request = Request(client=self.client_id, nonce=nonce, operation=operation)
+        payload = (self.session, SubmitRequest(request.encode()))
+        for server in self._targets(servers):
+            self.network.send(self.client_id, server, payload)
+        return nonce
+
+    def submit_unordered(
+        self, operation: tuple, servers: list[int] | None = None
+    ) -> int:
+        """Send a commuting (read-only) request — no total ordering.
+
+        Section 5: commuting requests only need reliable delivery, so
+        replicas answer directly and the round-trip skips the agreement
+        machinery entirely.  Completion still requires matching signed
+        answers from an honest-containing set; if replicas are mid-write
+        and their answers diverge, resubmit via :meth:`submit`.
+        """
+        from .replica import SubmitUnordered
+
+        nonce = self._next_nonce(operation)
+        request = Request(client=self.client_id, nonce=nonce, operation=operation)
+        payload = (self.session, SubmitUnordered(request.encode()))
+        for server in self._targets(servers):
+            self.network.send(self.client_id, server, payload)
+        return nonce
+
+    def submit_confidential(
+        self, operation: tuple, servers: list[int] | None = None
+    ) -> int:
+        """Encrypt the request under the service key and submit it.
+
+        The request remains confidential until the secure causal atomic
+        broadcast has fixed its position in the total order.
+        """
+        nonce = self._next_nonce(operation)
+        request = Request(client=self.client_id, nonce=nonce, operation=operation)
+        plaintext = codec.dumps(request.encode())
+        label = codec.dumps(("client", self.client_id, nonce))
+        ciphertext = self.public.encryption.encrypt(plaintext, label, self.rng)
+        payload = (self.session, SubmitEncrypted(ciphertext))
+        for server in self._targets(servers):
+            self.network.send(self.client_id, server, payload)
+        return nonce
+
+    def _next_nonce(self, operation: tuple) -> int:
+        self._nonce += 1
+        self._operations[self._nonce] = operation
+        return self._nonce
+
+    def _targets(self, servers: list[int] | None) -> list[int]:
+        if servers is not None:
+            return servers
+        return list(range(self.public.n))
+
+    # -- replies ---------------------------------------------------------------------
+
+    def on_message(self, sender: int, payload: object) -> None:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return
+        session, message = payload
+        if session != self.session or not isinstance(message, Reply):
+            return
+        if message.replica != sender or message.client != self.client_id:
+            return
+        nonce = message.nonce
+        if nonce in self.completed or nonce not in self._operations:
+            return
+        bucket = self._replies.setdefault(nonce, {})
+        if sender in bucket:
+            return
+        # Verify the replica's signature share up front; junk shares from
+        # corrupted replicas are discarded here.
+        statement = self._statement(nonce, message.result)
+        if not self._share_valid(statement, sender, message.signature_share):
+            return
+        bucket[sender] = message
+        self._maybe_complete(nonce)
+
+    def _statement(self, nonce: int, result: object) -> tuple:
+        operation = self._operations[nonce]
+        digest = ("request", self.client_id, nonce, operation)
+        return reply_statement(digest, result)
+
+    def _share_valid(self, statement: tuple, sender: int, share: object) -> bool:
+        scheme = self.public.service_signature
+        if isinstance(scheme, QuorumCertScheme):
+            return scheme.verify_share(statement, (sender, share))
+        if isinstance(scheme, ShoupRsaScheme):
+            # RSA shareholders are indexed 1..n for 0-based party i.
+            return scheme.verify_share(statement, share) and share.party == sender + 1
+        return False
+
+    def _maybe_complete(self, nonce: int) -> None:
+        """Complete once matching replies form an honest-containing set."""
+        by_result: dict[object, dict[int, Reply]] = {}
+        for sender, reply in self._replies[nonce].items():
+            by_result.setdefault(reply.result, {})[sender] = reply
+        for result, group in by_result.items():
+            if not self.public.quorum.contains_honest(group):
+                continue
+            statement = self._statement(nonce, result)
+            signature = self._combine(statement, group)
+            if signature is None:
+                continue
+            self.completed[nonce] = CompletedRequest(
+                nonce=nonce, result=result, signature=signature
+            )
+            return
+
+    def _combine(self, statement: tuple, group: dict[int, Reply]) -> object | None:
+        scheme = self.public.service_signature
+        try:
+            if isinstance(scheme, QuorumCertScheme):
+                shares = {s: r.signature_share for s, r in group.items()}
+                return scheme.combine(statement, shares)
+            if isinstance(scheme, ShoupRsaScheme):
+                shares = {s + 1: r.signature_share for s, r in group.items()}
+                if len(shares) < scheme.k:
+                    return None
+                return scheme.combine(statement, shares)
+        except (ValueError, ArithmeticError):
+            return None
+        return None

@@ -1,0 +1,92 @@
+"""Canonical serialization for client requests.
+
+Secure causal broadcast carries *encrypted* requests, so requests must
+round-trip through bytes.  This tiny self-describing codec covers the
+value shapes requests are built from (None, bool, int, str, bytes and
+tuples thereof); it is canonical — equal values encode identically —
+which matters because digests of encoded requests are used as identity.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dumps", "loads", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Malformed encoding (e.g. crafted by a corrupted party)."""
+
+
+def dumps(value: object) -> bytes:
+    """Encode a request value canonically."""
+    out = bytearray()
+    _write(out, value)
+    return bytes(out)
+
+
+def loads(data: bytes) -> object:
+    """Decode; raises :class:`CodecError` on malformed input."""
+    value, offset = _read(data, 0)
+    if offset != len(data):
+        raise CodecError("trailing bytes")
+    return value
+
+
+def _write(out: bytearray, value: object) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += b"I" + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += b"S" + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, bytes):
+        out += b"B" + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, tuple):
+        out += b"L" + len(value).to_bytes(4, "big")
+        for item in value:
+            _write(out, item)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+def _read(data: bytes, offset: int) -> tuple[object, int]:
+    if offset >= len(data):
+        raise CodecError("truncated")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag in (b"I", b"S", b"B", b"L"):
+        if offset + 4 > len(data):
+            raise CodecError("truncated length")
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        offset += 4
+        if tag == b"L":
+            items = []
+            for _ in range(length):
+                item, offset = _read(data, offset)
+                items.append(item)
+            return tuple(items), offset
+        if offset + length > len(data):
+            raise CodecError("truncated body")
+        body = data[offset : offset + length]
+        offset += length
+        if tag == b"I":
+            try:
+                return int(body.decode("ascii")), offset
+            except ValueError as exc:
+                raise CodecError("bad integer") from exc
+        if tag == b"S":
+            try:
+                return body.decode("utf-8"), offset
+            except UnicodeDecodeError as exc:
+                raise CodecError("bad utf-8") from exc
+        return bytes(body), offset
+    raise CodecError(f"unknown tag {tag!r}")

@@ -1,0 +1,267 @@
+"""Service replicas: the gateway between clients and the broadcast stack.
+
+Section 5's request flow, per server:
+
+1. a client sends its request to more than ``t`` servers (otherwise
+   corrupted servers could simply ignore it);
+2. each server *a-broadcasts* the request — via plain atomic broadcast,
+   or secure causal atomic broadcast when requests are confidential
+   (the request then arrives as a TDH2 ciphertext and is decrypted only
+   after its position in the total order is fixed);
+3. on delivery, every replica applies the request to its deterministic
+   state machine and returns a partial answer containing its share of
+   the service's threshold signature on the result;
+4. the client waits for matching answers from an honest-containing set
+   and combines the shares into one service-signed reply.
+
+The replica is a protocol instance living at session ``("service", tag)``
+inside the server's :class:`~repro.core.runtime.ProtocolRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.atomic_broadcast import AtomicBroadcast
+from ..core.protocol import Context, Protocol, SessionId
+from ..core.secure_causal import SecureCausalBroadcast
+from ..crypto.threshold_enc import Ciphertext
+from . import codec
+from .state_machine import Reply, Request, StateMachine
+
+__all__ = ["SubmitRequest", "SubmitEncrypted", "RecoverQuery", "RecoverLog",
+           "Replica", "service_session", "reply_statement"]
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Client -> server: an ordinary (non-confidential) request."""
+
+    request: tuple  # Request.encode()
+
+
+@dataclass(frozen=True)
+class SubmitEncrypted:
+    """Client -> server: a confidential request (TDH2 ciphertext)."""
+
+    ciphertext: Ciphertext
+
+
+@dataclass(frozen=True)
+class SubmitUnordered:
+    """Client -> server: a commuting (read-only) request.
+
+    Section 5: "If the client requests commute, reliable broadcast
+    suffices."  The replica answers straight from its current state —
+    no atomic broadcast round at all.  The client still cross-checks an
+    honest-containing set of matching signed answers, so a stale or
+    lying minority changes nothing; if replicas are transiently
+    divergent the answers may not match and the client falls back to
+    the ordered path.
+    """
+
+    request: tuple  # Request.encode()
+
+
+@dataclass(frozen=True)
+class RecoverQuery:
+    """A recovering replica asks its peers for the delivered history."""
+
+
+@dataclass(frozen=True)
+class RecoverLog:
+    """A peer's answer: its full delivery log and current round.
+
+    The recovering replica accepts a log once an honest-containing set
+    of peers reported the identical one (Section 6, crash-recovery):
+    replaying it through the deterministic state machine reconstructs
+    the exact pre-crash service state.
+    """
+
+    entries: tuple  # ((payload, round), ...) in delivery order
+    round: int
+
+
+def service_session(tag: object = "service") -> SessionId:
+    return ("service", tag)
+
+
+def reply_statement(request_digest: object, result: object) -> tuple:
+    """What the service's threshold signature covers in a reply."""
+    return ("service-reply", request_digest, result)
+
+
+class Replica(Protocol):
+    """One server's replica of a trusted application."""
+
+    def __init__(self, state_machine: StateMachine, causal: bool = False) -> None:
+        self.state_machine = state_machine
+        self.causal = causal
+        self.abc = AtomicBroadcast()
+        self.sc_abc = SecureCausalBroadcast()
+        self.executed: list[tuple[Request, object]] = []
+        self._seen_nonces: set[tuple[int, int]] = set()
+        self.recovering = False
+        self._recovery_logs: dict[int, RecoverLog] = {}
+        self._replaying = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_start(self, ctx: Context) -> None:
+        self.abc.on_deliver = lambda payload, rnd: self._on_ordered(ctx, payload)
+        self.sc_abc.on_start(ctx)
+        self.sc_abc.on_deliver = lambda plaintext, rnd: self._on_ordered_plain(
+            ctx, plaintext
+        )
+
+    # -- message routing ----------------------------------------------------------
+
+    def on_message(self, ctx: Context, sender: int, message: object) -> None:
+        if isinstance(message, SubmitRequest):
+            self._on_submit(ctx, message.request)
+        elif isinstance(message, SubmitUnordered):
+            self._on_submit_unordered(ctx, message.request)
+        elif isinstance(message, SubmitEncrypted):
+            if self.causal and isinstance(message.ciphertext, Ciphertext):
+                self.sc_abc.submit(ctx, message.ciphertext)
+        elif isinstance(message, RecoverQuery):
+            self._on_recover_query(ctx, sender)
+        elif isinstance(message, RecoverLog):
+            self._on_recover_log(ctx, sender, message)
+        elif self.causal:
+            self.sc_abc.on_message(ctx, sender, message)
+        else:
+            self.abc.on_message(ctx, sender, message)
+
+    def _on_submit(self, ctx: Context, encoded: object) -> None:
+        request = Request.decode(encoded)
+        if request is None:
+            return
+        if self.causal:
+            # A confidential service refuses plaintext submissions: they
+            # would break input causality for everyone.
+            return
+        self.abc.submit(ctx, request.encode())
+
+    def _on_submit_unordered(self, ctx: Context, encoded: object) -> None:
+        """Answer a commuting request from current state (no ordering)."""
+        request = Request.decode(encoded)
+        if request is None or self.causal or self.recovering:
+            return
+        if not self.state_machine.is_read_only(request.operation):
+            return  # mutating requests must take the ordered path
+        result = self.state_machine.apply(request)
+        digest = ("request", request.client, request.nonce, request.operation)
+        share = ctx.keys.service_signer.sign_share(
+            reply_statement(digest, result), ctx.rng
+        )
+        ctx.send(
+            request.client,
+            Reply(
+                replica=ctx.party,
+                client=request.client,
+                nonce=request.nonce,
+                result=result,
+                signature_share=share,
+            ),
+        )
+
+    # -- ordered execution -----------------------------------------------------------
+
+    def _on_ordered(self, ctx: Context, payload: object) -> None:
+        request = Request.decode(payload)
+        if request is None:
+            return  # a corrupted server ordered junk; skip deterministically
+        self._execute(ctx, request)
+
+    def _on_ordered_plain(self, ctx: Context, plaintext: object) -> None:
+        if not isinstance(plaintext, bytes):
+            return
+        try:
+            decoded = codec.loads(plaintext)
+        except codec.CodecError:
+            return
+        request = Request.decode(decoded)
+        if request is None:
+            return
+        self._execute(ctx, request)
+
+    # -- crash recovery (Section 6) ---------------------------------------------
+
+    def begin_recovery(self, ctx: Context) -> None:
+        """Ask peers for the delivered history after a crash restart.
+
+        Meant for a *fresh* replica instance attached in place of the
+        crashed one: its volatile state is empty, and replaying the
+        agreed log through the deterministic state machine rebuilds it
+        exactly.  Confidential (causal) services do not support log
+        transfer here — their history exists only as ciphertexts.
+        """
+        if self.causal:
+            raise ValueError("recovery is not supported for causal replicas")
+        self.recovering = True
+        ctx.broadcast(RecoverQuery())
+
+    def _on_recover_query(self, ctx: Context, sender: int) -> None:
+        if self.recovering:
+            return  # cannot help while recovering ourselves
+        ctx.send(
+            sender,
+            RecoverLog(entries=tuple(self.abc.delivered_log), round=self.abc.round),
+        )
+
+    def _on_recover_log(self, ctx: Context, sender: int, message: RecoverLog) -> None:
+        if not self.recovering or not isinstance(message.entries, tuple):
+            return
+        self._recovery_logs.setdefault(sender, message)
+        # Adopt a log once an honest-containing set reported it verbatim.
+        by_log: dict[tuple, set[int]] = {}
+        for peer, log in self._recovery_logs.items():
+            by_log.setdefault((log.entries, log.round), set()).add(peer)
+        for (entries, round_number), supporters in by_log.items():
+            if ctx.quorum.contains_honest(supporters):
+                self._adopt_log(ctx, entries, round_number)
+                return
+
+    def _adopt_log(self, ctx: Context, entries: tuple, round_number: int) -> None:
+        self.recovering = False
+        self._recovery_logs.clear()
+        self._replaying = True
+        try:
+            for item in entries:
+                if not (isinstance(item, tuple) and len(item) == 2):
+                    continue
+                payload, rnd = item
+                if payload in self.abc.delivered:
+                    continue
+                self.abc.delivered.add(payload)
+                self.abc.delivered_log.append((payload, rnd))
+                request = Request.decode(payload)
+                if request is not None:
+                    self._execute(ctx, request)
+        finally:
+            self._replaying = False
+        self.abc.round = max(self.abc.round, round_number)
+        ctx.trace.bump("replica.recoveries")
+
+    def _execute(self, ctx: Context, request: Request) -> None:
+        key = (request.client, request.nonce)
+        if key in self._seen_nonces:
+            return  # at-most-once semantics across duplicate submissions
+        self._seen_nonces.add(key)
+        result = self.state_machine.apply(request)
+        self.executed.append((request, result))
+        if self._replaying:
+            return  # clients were answered before the crash
+        digest = ("request", request.client, request.nonce, request.operation)
+        share = ctx.keys.service_signer.sign_share(
+            reply_statement(digest, result), ctx.rng
+        )
+        reply = Reply(
+            replica=ctx.party,
+            client=request.client,
+            nonce=request.nonce,
+            result=result,
+            signature_share=share,
+        )
+        ctx.send(request.client, reply)

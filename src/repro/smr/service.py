@@ -1,0 +1,130 @@
+"""One-call assembly of a replicated trusted service.
+
+Glues the dealer, the simulated network, the per-server protocol
+runtimes, the replicas and any number of clients into a running
+deployment — the shape every example, test and benchmark uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..adversary.formulas import Formula
+from ..adversary.structures import AdversaryStructure
+from ..crypto.dealer import SystemKeys, deal_system
+from ..crypto.groups import SchnorrGroup, small_group
+from ..net.adversary import CorruptionController
+from ..net.scheduler import RandomScheduler, Scheduler
+from ..net.simulator import Network
+from ..core.runtime import ProtocolRuntime
+from .client import ServiceClient
+from .replica import Replica, service_session
+from .state_machine import StateMachine
+
+__all__ = ["ServiceDeployment", "build_service"]
+
+_CLIENT_BASE = 1000
+
+
+@dataclass
+class ServiceDeployment:
+    """A complete running service: servers, replicas, network, clients."""
+
+    keys: SystemKeys
+    network: Network
+    runtimes: dict[int, ProtocolRuntime]
+    replicas: dict[int, Replica]
+    controller: CorruptionController
+    session_tag: object = "service"
+    clients: list[ServiceClient] = field(default_factory=list)
+    _client_rng: random.Random = field(default_factory=lambda: random.Random(777))
+
+    @property
+    def n(self) -> int:
+        return self.keys.public.n
+
+    def new_client(self) -> ServiceClient:
+        """Attach a fresh client to the network."""
+        client_id = _CLIENT_BASE + len(self.clients)
+        client = ServiceClient(
+            client_id,
+            self.network,
+            self.keys.public,
+            random.Random(self._client_rng.randrange(1 << 48)),
+            session_tag=self.session_tag,
+        )
+        self.network.attach(client_id, client)
+        self.clients.append(client)
+        return client
+
+    def run_until_complete(
+        self, client: ServiceClient, nonces: list[int], max_steps: int = 400_000
+    ) -> dict[int, object]:
+        """Drive the network until the client's requests complete."""
+        self.network.run(
+            max_steps=max_steps,
+            until=lambda: all(nonce in client.completed for nonce in nonces),
+        )
+        return {nonce: client.completed[nonce] for nonce in nonces}
+
+    def honest_replicas(self) -> list[Replica]:
+        return [
+            self.replicas[p]
+            for p in sorted(self.replicas)
+            if p not in self.controller.corrupted
+        ]
+
+
+def build_service(
+    n: int,
+    state_machine_factory: Callable[[], StateMachine],
+    t: int | None = None,
+    structure: AdversaryStructure | None = None,
+    hybrid: tuple[int, int] | None = None,
+    access_formula: Formula | None = None,
+    causal: bool = False,
+    scheduler: Scheduler | None = None,
+    seed: int = 0,
+    group: SchnorrGroup | None = None,
+    signature_backend: str = "certs",
+    session_tag: object = "service",
+) -> ServiceDeployment:
+    """Deal keys, build the network, and start one replica per server.
+
+    The default group is the fast 64-bit test group; pass
+    ``repro.crypto.default_group()`` for cryptographically sized keys.
+    """
+    dealer_rng = random.Random(seed)
+    keys = deal_system(
+        n,
+        dealer_rng,
+        t=t,
+        structure=structure,
+        hybrid=hybrid,
+        access_formula=access_formula,
+        group=group or small_group(),
+        signature_backend=signature_backend,
+    )
+    network = Network(scheduler or RandomScheduler(), random.Random(seed + 1))
+    controller = CorruptionController(keys.public.quorum)
+    runtimes: dict[int, ProtocolRuntime] = {}
+    replicas: dict[int, Replica] = {}
+    for party in range(n):
+        runtime = ProtocolRuntime(
+            party, network, keys.public, keys.private[party], seed=seed
+        )
+        network.attach(party, runtime)
+        replica = Replica(state_machine_factory(), causal=causal)
+        runtime.spawn(service_session(session_tag), replica)
+        runtimes[party] = runtime
+        replicas[party] = replica
+    return ServiceDeployment(
+        keys=keys,
+        network=network,
+        runtimes=runtimes,
+        replicas=replicas,
+        controller=controller,
+        session_tag=session_tag,
+    )

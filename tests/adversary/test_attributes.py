@@ -1,0 +1,181 @@
+"""Attribute classification: the paper's Examples 1 and 2, verbatim."""
+
+import pytest
+
+from repro.adversary.attributes import (
+    AttributeAssignment,
+    class_presence_formula,
+    example1_access_formula,
+    example1_assignment,
+    example1_structure,
+    example2_access_formula,
+    example2_assignment,
+    example2_structure,
+)
+from repro.adversary.quorums import access_formula_compatible
+from repro.adversary.structures import structure_from_access_formula, threshold_structure
+
+
+class TestAssignment:
+    def test_example1_classes(self):
+        a = example1_assignment()
+        assert a.parties_with("class", "a") == frozenset({0, 1, 2, 3})
+        assert a.parties_with("class", "b") == frozenset({4, 5})
+        assert a.parties_with("class", "c") == frozenset({6, 7})
+        assert a.parties_with("class", "d") == frozenset({8})
+        assert a.values("class") == ["a", "b", "c", "d"]
+
+    def test_example2_grid(self):
+        a = example2_assignment()
+        assert len(a.parties_with("location", "tokyo")) == 4
+        assert len(a.parties_with("os", "linux")) == 4
+        cell = a.parties_with_all(location="zurich", os="nt")
+        assert len(cell) == 1
+
+    def test_incomplete_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeAssignment(n=3, attributes={"x": {0: "a", 1: "b"}})
+
+    def test_class_presence_formula(self):
+        a = example1_assignment()
+        chi_b = class_presence_formula(a, "class", "b")
+        assert chi_b.evaluate(frozenset({4}))
+        assert chi_b.evaluate(frozenset({5, 8}))
+        assert not chi_b.evaluate(frozenset({0, 8}))
+        with pytest.raises(ValueError):
+            class_presence_formula(a, "class", "zzz")
+
+
+class TestExample1:
+    """Paper: tolerate any 2 arbitrary servers or all servers of one class."""
+
+    def test_q3(self):
+        assert example1_structure().satisfies_q3()
+
+    def test_tolerates_any_two_servers(self):
+        s = example1_structure()
+        from itertools import combinations
+
+        for pair in combinations(range(9), 2):
+            assert s.is_corruptible(set(pair))
+
+    def test_tolerates_all_of_class_a(self):
+        assert example1_structure().is_corruptible({0, 1, 2, 3})
+
+    def test_does_not_tolerate_three_spread_servers(self):
+        s = example1_structure()
+        assert not s.is_corruptible({0, 4, 6})
+        assert not s.is_corruptible({4, 5, 6})
+
+    def test_does_not_tolerate_class_a_plus_one(self):
+        assert not example1_structure().is_corruptible({0, 1, 2, 3, 4})
+
+    def test_maximal_sets_as_in_paper(self):
+        """A1* = {1..4} plus all pairs not both of class a."""
+        s = example1_structure()
+        sizes = sorted(len(m) for m in s.maximal_sets)
+        assert sizes.count(4) == 1
+        # 36 pairs total, minus 6 pairs inside class a = 30 maximal pairs.
+        assert sizes.count(2) == 30
+
+    def test_access_structure_as_in_paper(self):
+        """Reconstruction needs >= 3 servers covering >= 2 classes."""
+        f = example1_access_formula()
+        assert f.evaluate(frozenset({0, 1, 4}))
+        assert not f.evaluate(frozenset({0, 1, 2, 3}))  # one class only
+        assert not f.evaluate(frozenset({0, 4}))  # too small
+
+    def test_structure_is_exact_complement_of_formula(self):
+        extracted = structure_from_access_formula(9, example1_access_formula())
+        assert set(extracted.maximal_sets) == set(example1_structure().maximal_sets)
+
+
+class TestExample2:
+    """Paper: 16 servers, 4 locations x 4 OS; tolerate one full location
+    and one full OS simultaneously (7 servers); thresholds manage 5."""
+
+    def test_q3(self):
+        assert example2_structure().satisfies_q3()
+
+    def test_sixteen_maximal_sets_of_seven(self):
+        s = example2_structure()
+        assert len(s.maximal_sets) == 16
+        assert all(len(m) == 7 for m in s.maximal_sets)
+
+    def test_tolerates_location_plus_os(self):
+        a = example2_assignment()
+        s = example2_structure()
+        doomed = a.parties_with("location", "haifa") | a.parties_with("os", "aix")
+        assert len(doomed) == 7
+        assert s.is_corruptible(doomed)
+
+    def test_rejects_two_locations(self):
+        a = example2_assignment()
+        s = example2_structure()
+        two_sites = a.parties_with("location", "tokyo") | a.parties_with(
+            "location", "zurich"
+        )
+        assert not s.is_corruptible(two_sites)
+
+    def test_threshold_tolerates_at_most_five(self):
+        """'all solutions based on thresholds can tolerate at most five
+        corruptions among the 16 servers' — t=5 is the largest with
+        n > 3t, and it cannot cover any 7-server coalition."""
+        best = threshold_structure(16, 5)
+        assert best.satisfies_q3()
+        assert not threshold_structure(16, 6).satisfies_q3()
+        doomed = next(iter(example2_structure().maximal_sets))
+        assert not best.is_corruptible(doomed)
+
+    def test_formula_compatible_with_structure(self):
+        assert access_formula_compatible(example2_structure(), example2_access_formula())
+
+    def test_formula_is_not_the_exact_complement(self):
+        """Subtle (documented in DESIGN.md): the sharing formula is
+        strictly coarser than the complement of the adversary structure —
+        some non-corruptible sets are still unqualified."""
+        f = example2_access_formula()
+        s = example2_structure()
+        a = example2_assignment()
+        # One full location + one arbitrary server per other location with
+        # pairwise-different OSes: not corruptible, yet not qualified.
+        weird = set(a.parties_with("location", "newyork"))
+        weird |= a.parties_with_all(location="tokyo", os="aix")
+        weird |= a.parties_with_all(location="zurich", os="nt")
+        weird |= a.parties_with_all(location="haifa", os="solaris")
+        assert not s.is_corruptible(weird)
+        assert not f.evaluate(frozenset(weird))
+
+    def test_exact_complement_would_violate_q3(self):
+        """The complement structure of the Example 2 formula violates
+        Q^3: three non-qualified (hence complement-corruptible) sets can
+        cover all sixteen servers — only the coarser row-union-column
+        structure satisfies Q^3.  Witness constructed analytically
+        (full extraction of the ~500 maximal sets is exponential)."""
+        f = example2_access_formula()
+        a = example2_assignment()
+
+        def cell(loc, osys):
+            return a.parties_with_all(location=loc, os=osys)
+
+        # Two "one full location + one server per other location" sets
+        # (each fails the location condition) and one "one full OS + one
+        # server per other OS" set (fails the OS condition).
+        s1 = set(a.parties_with("location", "newyork"))
+        s1 |= cell("tokyo", "aix") | cell("zurich", "linux") | cell("haifa", "nt")
+        s2 = set(a.parties_with("location", "tokyo"))
+        s2 |= cell("newyork", "nt") | cell("zurich", "solaris") | cell("haifa", "linux")
+        s3 = set(a.parties_with("os", "aix"))
+        s3 |= cell("zurich", "nt") | cell("haifa", "solaris") | cell("newyork", "linux")
+        for s in (s1, s2, s3):
+            assert not f.evaluate(frozenset(s)), sorted(s)
+        assert s1 | s2 | s3 == set(range(16))
+
+    def test_liveness_sets_are_qualified(self):
+        """The complement of every maximal corruptible set (a 3x3
+        sub-grid) can reconstruct — the paper's 'three operating systems
+        at three locations' survival condition."""
+        f = example2_access_formula()
+        s = example2_structure()
+        for bad in s.maximal_sets:
+            assert f.evaluate(s.all_parties - bad)

@@ -1,0 +1,83 @@
+"""Monotone threshold-gate formulas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.formulas import And, Leaf, Or, Threshold, majority
+
+
+def test_leaf_evaluation():
+    leaf = Leaf(3)
+    assert leaf.evaluate(frozenset({3}))
+    assert not leaf.evaluate(frozenset({1, 2}))
+    assert leaf.parties() == frozenset({3})
+
+
+def test_and_or_shorthands():
+    f_and = And(Leaf(0), Leaf(1))
+    f_or = Or(Leaf(0), Leaf(1))
+    assert f_and.k == 2 and f_or.k == 1
+    assert f_and.evaluate(frozenset({0, 1}))
+    assert not f_and.evaluate(frozenset({0}))
+    assert f_or.evaluate(frozenset({1}))
+    assert not f_or.evaluate(frozenset())
+
+
+def test_threshold_gate_counts_satisfied_children():
+    gate = Threshold(k=2, children=(Leaf(0), Leaf(1), Leaf(2)))
+    assert gate.evaluate(frozenset({0, 2}))
+    assert not gate.evaluate(frozenset({1}))
+
+
+def test_operator_overloads():
+    f = Leaf(0) & Leaf(1) | Leaf(2)
+    assert f.evaluate(frozenset({2}))
+    assert f.evaluate(frozenset({0, 1}))
+    assert not f.evaluate(frozenset({0}))
+
+
+def test_invalid_gates_rejected():
+    with pytest.raises(ValueError):
+        Threshold(k=0, children=(Leaf(0),))
+    with pytest.raises(ValueError):
+        Threshold(k=3, children=(Leaf(0), Leaf(1)))
+    with pytest.raises(ValueError):
+        Threshold(k=1, children=())
+
+
+def test_majority_helper():
+    f = majority([0, 1, 2, 3], 3)
+    assert f.evaluate(frozenset({0, 1, 3}))
+    assert not f.evaluate(frozenset({0, 1}))
+
+
+def test_leaves_enumerates_paths():
+    f = Or(And(Leaf(5), Leaf(6)), Leaf(5))
+    leaves = list(f.leaves())
+    paths = [p for p, _ in leaves]
+    parties = [q for _, q in leaves]
+    assert len(leaves) == 3
+    assert len(set(paths)) == 3  # paths are unique slot ids
+    assert parties.count(5) == 2
+    assert f.parties() == frozenset({5, 6})
+
+
+def test_nested_paths_are_prefixed():
+    inner = And(Leaf(0), Leaf(1))
+    outer = Or(inner, Leaf(2))
+    paths = {party: path for path, party in outer.leaves()}
+    assert paths[0] == (0, 0)
+    assert paths[1] == (0, 1)
+    assert paths[2] == (1,)
+
+
+@given(st.sets(st.integers(0, 5)), st.integers(1, 6))
+@settings(max_examples=50)
+def test_monotonicity(present, k):
+    """Adding parties never turns a satisfied formula unsatisfied."""
+    f = Threshold(k=min(k, 6), children=tuple(Leaf(i) for i in range(6)))
+    p = frozenset(present)
+    if f.evaluate(p):
+        assert f.evaluate(p | {0})
+        assert f.evaluate(frozenset(range(6)))

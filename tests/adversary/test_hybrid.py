@@ -1,0 +1,131 @@
+"""Hybrid failure structures (Section 6): b Byzantine + c crash faults."""
+
+import random
+
+import pytest
+
+from repro.adversary.hybrid import HybridQuorumSystem
+from repro.core.binary_agreement import BinaryAgreement, aba_session
+from repro.core.runtime import ProtocolRuntime
+from repro.crypto import deal_system, small_group
+from repro.net.adversary import SilentNode
+from repro.net.scheduler import RandomScheduler
+from repro.net.simulator import Network
+
+
+class TestRules:
+    def test_reduces_to_threshold_at_c_zero(self):
+        hybrid = HybridQuorumSystem(n=7, b=2, c=0)
+        from repro.adversary.quorums import ThresholdQuorumSystem
+
+        thresh = ThresholdQuorumSystem(n=7, t=2)
+        for size in range(8):
+            s = set(range(size))
+            assert hybrid.is_quorum(s) == thresh.is_quorum(s)
+            assert hybrid.is_strong_quorum(s) == thresh.is_strong_quorum(s)
+            assert hybrid.contains_honest(s) == thresh.contains_honest(s)
+            assert hybrid.can_be_corrupted(s) == thresh.can_be_corrupted(s)
+
+    def test_admissibility_condition(self):
+        assert HybridQuorumSystem(n=10, b=2, c=1).satisfies_q3  # 10 > 8
+        assert not HybridQuorumSystem(n=8, b=2, c=1).satisfies_q3  # 8 = 8
+        assert HybridQuorumSystem(n=9, b=1, c=2).satisfies_q3  # 9 > 7
+        assert HybridQuorumSystem(n=9, b=0, c=4).satisfies_q3  # 9 > 8
+        assert not HybridQuorumSystem(n=9, b=0, c=5).satisfies_q3
+
+    def test_crashes_cost_less_than_corruptions(self):
+        """n=9 admits (b=1, c=2): three faults; the classical Byzantine
+        bound admits only t=2 faults of any kind."""
+        assert HybridQuorumSystem(n=9, b=1, c=2).satisfies_q3
+        assert not HybridQuorumSystem(n=9, b=3, c=0).satisfies_q3
+
+    def test_quorum_sizes(self):
+        q = HybridQuorumSystem(n=9, b=1, c=2)
+        assert q.is_quorum(range(6)) and not q.is_quorum(range(5))
+        # 2b + c + 1 = 5
+        assert q.is_strong_quorum(range(5)) and not q.is_strong_quorum(range(4))
+        assert q.contains_honest(range(2)) and not q.contains_honest(range(1))
+        # Secrecy: crashed servers do not leak, so only b shares matter.
+        assert q.can_be_corrupted({0}) and not q.can_be_corrupted({0, 1})
+
+    def test_nesting(self):
+        q = HybridQuorumSystem(n=9, b=1, c=2)
+        quorum = set(range(9 - 1 - 2))
+        assert q.is_strong_quorum(quorum)
+        assert q.contains_honest(quorum)
+
+    def test_fault_pattern_accounting(self):
+        q = HybridQuorumSystem(n=9, b=1, c=2)
+        assert q.admissible_faults(byzantine={0}, crashed={1, 2})
+        assert not q.admissible_faults(byzantine={0, 1}, crashed={2})
+        assert not q.admissible_faults(byzantine={0}, crashed={1, 2, 3})
+        # A Byzantine server counted once even if listed crashed too.
+        assert q.admissible_faults(byzantine={0}, crashed={0, 1, 2})
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            HybridQuorumSystem(n=4, b=-1, c=0)
+        with pytest.raises(ValueError):
+            HybridQuorumSystem(n=4, b=2, c=2)
+
+
+class TestDealerIntegration:
+    def test_dealer_accepts_hybrid(self):
+        keys = deal_system(9, random.Random(1), hybrid=(1, 2), group=small_group())
+        assert isinstance(keys.public.quorum, HybridQuorumSystem)
+        assert keys.public.quorum.describe().startswith("hybrid")
+
+    def test_dealer_rejects_inadmissible_hybrid(self):
+        with pytest.raises(ValueError):
+            deal_system(9, random.Random(2), hybrid=(1, 3), group=small_group())
+
+    def test_hybrid_exclusive_with_threshold(self):
+        with pytest.raises(ValueError):
+            deal_system(9, random.Random(3), t=1, hybrid=(1, 2), group=small_group())
+
+    def test_sharing_threshold_is_b_plus_one(self):
+        """Crashed servers keep secrets: one honest share beyond the
+        Byzantine budget reconstructs."""
+        keys = deal_system(9, random.Random(4), hybrid=(1, 2), group=small_group())
+        assert keys.public.access_scheme.is_qualified({0, 1})
+        assert not keys.public.access_scheme.is_qualified({0})
+
+
+class TestProtocolsUnderHybridFaults:
+    def test_agreement_with_one_byzantine_and_two_crashes(self):
+        """n=9, one silent-Byzantine server plus two crashed servers —
+        three faults, beyond the classical t=2 — agreement still holds."""
+        keys = deal_system(9, random.Random(5), hybrid=(1, 2), group=small_group())
+        net = Network(RandomScheduler(), random.Random(6))
+        live = [0, 1, 2, 3, 4, 5]
+        rts = {}
+        for i in live:
+            rt = ProtocolRuntime(i, net, keys.public, keys.private[i], seed=7)
+            net.attach(i, rt)
+            rts[i] = rt
+        net.attach(6, SilentNode())  # Byzantine (silent)
+        for crashed in (7, 8):
+            net.attach(crashed, SilentNode())
+            net.crash(crashed)
+        session = aba_session("hybrid")
+        for i, rt in rts.items():
+            rt.spawn(session, BinaryAgreement(i % 2))
+        net.run(
+            until=lambda: all(rt.result(session) is not None for rt in rts.values()),
+            max_steps=900_000,
+        )
+        assert len({rt.result(session) for rt in rts.values()}) == 1
+
+    def test_service_with_four_crashes_of_nine(self):
+        from repro.apps import DirectoryService
+        from repro.smr import build_service
+
+        dep = build_service(9, DirectoryService, hybrid=(0, 4), seed=8)
+        for crashed in (5, 6, 7, 8):
+            dep.network.attach_crashed = None  # no-op marker
+            dep.network.crash(crashed)
+        client = dep.new_client()
+        dep.network.start()
+        nonce = client.submit(("bind", "k", "v"))
+        results = dep.run_until_complete(client, [nonce], max_steps=900_000)
+        assert results[nonce].result == ("bound", "k", 1)

@@ -1,0 +1,156 @@
+"""Generalized quorum systems: the Section 4.2 substitution rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.attributes import (
+    example1_access_formula,
+    example1_structure,
+    example2_structure,
+)
+from repro.adversary.formulas import majority
+from repro.adversary.quorums import (
+    GeneralQuorumSystem,
+    ThresholdQuorumSystem,
+    access_formula_compatible,
+    quorum_system_for,
+)
+from repro.adversary.structures import threshold_structure
+
+
+class TestThresholdQuorums:
+    def test_rules_match_the_paper_counts(self):
+        q = ThresholdQuorumSystem(n=7, t=2)
+        assert q.is_quorum(range(5)) and not q.is_quorum(range(4))
+        assert q.is_strong_quorum(range(5)) and not q.is_strong_quorum(range(4))
+        assert q.contains_honest(range(3)) and not q.contains_honest(range(2))
+        assert q.can_be_corrupted(range(2)) and not q.can_be_corrupted(range(3))
+
+    def test_q3_flag(self):
+        assert ThresholdQuorumSystem(n=4, t=1).satisfies_q3
+        assert not ThresholdQuorumSystem(n=6, t=2).satisfies_q3
+
+    def test_sample_quorum(self):
+        q = ThresholdQuorumSystem(n=7, t=2)
+        assert q.is_quorum(q.sample_quorum())
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdQuorumSystem(n=3, t=3)
+
+
+class TestGeneralQuorums:
+    def test_agrees_with_threshold_on_threshold_structure(self):
+        """The general implementation specializes to the O(1) threshold
+        one on the same structure — checked exhaustively for n=5,t=1."""
+        thresh = ThresholdQuorumSystem(n=5, t=1)
+        general = GeneralQuorumSystem(structure=threshold_structure(5, 1))
+        from itertools import chain, combinations
+
+        subsets = chain.from_iterable(combinations(range(5), k) for k in range(6))
+        for subset in subsets:
+            s = set(subset)
+            assert thresh.is_quorum(s) == general.is_quorum(s), s
+            assert thresh.is_strong_quorum(s) == general.is_strong_quorum(s), s
+            assert thresh.contains_honest(s) == general.contains_honest(s), s
+            assert thresh.can_be_corrupted(s) == general.can_be_corrupted(s), s
+
+    def test_example1_quorums(self):
+        q = GeneralQuorumSystem(structure=example1_structure())
+        # Complement of class a is a quorum.
+        assert q.is_quorum({4, 5, 6, 7, 8})
+        # Complement of a non-class-a pair is a quorum.
+        assert q.is_quorum(set(range(9)) - {4, 6})
+        # Missing three spread servers: their absence is not corruptible.
+        assert not q.is_quorum(set(range(9)) - {4, 6, 8})
+
+    def test_example1_strong_quorum(self):
+        q = GeneralQuorumSystem(structure=example1_structure())
+        # All of b, c, d (5 servers): remove any corruptible set and a
+        # non-corruptible remainder survives?  Removing pair {4,6} leaves
+        # {5,7,8} (non-corruptible, 3 spread) — and removing class a
+        # doesn't intersect. Check the predicate holds:
+        assert q.is_strong_quorum({4, 5, 6, 7, 8})
+        # Class a plus one is NOT strong: removing class a leaves {4}.
+        assert not q.is_strong_quorum({0, 1, 2, 3, 4})
+
+    def test_nesting_quorum_implies_strong_implies_honest(self):
+        """Under Q^3: is_quorum => is_strong_quorum => contains_honest."""
+        for structure in (example1_structure(), example2_structure(),
+                          threshold_structure(7, 2)):
+            q = GeneralQuorumSystem(structure=structure)
+            n = structure.n
+            import random
+
+            rng = random.Random(7)
+            for _ in range(40):
+                s = {p for p in range(n) if rng.random() < 0.6}
+                if q.is_quorum(s):
+                    assert q.is_strong_quorum(s)
+                if q.is_strong_quorum(s):
+                    assert q.contains_honest(s)
+
+    def test_two_quorums_intersect_in_honest_party(self):
+        """The agreement-critical fact: any two quorums share a
+        non-corruptible set."""
+        structure = example1_structure()
+        q = GeneralQuorumSystem(structure=structure)
+        quorums = []
+        for bad in structure.maximal_sets:
+            quorums.append(structure.all_parties - bad)
+        for a in quorums[:8]:
+            for b in quorums[:8]:
+                assert not structure.is_corruptible(a & b)
+
+    def test_sample_quorum_valid(self):
+        q = GeneralQuorumSystem(structure=example2_structure())
+        assert q.is_quorum(q.sample_quorum())
+
+
+class TestFactoryAndCompatibility:
+    def test_factory_dispatch(self):
+        assert isinstance(quorum_system_for(4, t=1), ThresholdQuorumSystem)
+        assert isinstance(
+            quorum_system_for(9, structure=example1_structure()), GeneralQuorumSystem
+        )
+
+    def test_factory_requires_exactly_one(self):
+        with pytest.raises(ValueError):
+            quorum_system_for(4)
+        with pytest.raises(ValueError):
+            quorum_system_for(9, t=1, structure=example1_structure())
+
+    def test_factory_checks_n(self):
+        with pytest.raises(ValueError):
+            quorum_system_for(8, structure=example1_structure())
+
+    def test_access_formula_compatible_positive(self):
+        assert access_formula_compatible(example1_structure(), example1_access_formula())
+        assert access_formula_compatible(
+            threshold_structure(4, 1), majority(list(range(4)), 2)
+        )
+
+    def test_access_formula_compatible_rejects_unsafe(self):
+        # 1-of-4 lets a single (corruptible) party reconstruct.
+        assert not access_formula_compatible(
+            threshold_structure(4, 1), majority(list(range(4)), 1)
+        )
+
+    def test_access_formula_compatible_rejects_unlive(self):
+        # 4-of-4 cannot be reconstructed once one party is corrupted.
+        assert not access_formula_compatible(
+            threshold_structure(4, 1), majority(list(range(4)), 4)
+        )
+
+
+@given(st.integers(4, 10), st.data())
+@settings(max_examples=40, deadline=None)
+def test_threshold_and_general_agree_property(n, data):
+    t = data.draw(st.integers(0, (n - 1) // 3))
+    subset = data.draw(st.sets(st.integers(0, n - 1), max_size=n))
+    thresh = ThresholdQuorumSystem(n=n, t=t)
+    general = GeneralQuorumSystem(structure=threshold_structure(n, t))
+    assert thresh.is_quorum(subset) == general.is_quorum(subset)
+    assert thresh.contains_honest(subset) == general.contains_honest(subset)
+    assert thresh.can_be_corrupted(subset) == general.can_be_corrupted(subset)

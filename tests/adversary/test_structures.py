@@ -1,0 +1,118 @@
+"""Adversary structures: membership, Q^3, extraction from formulas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.attributes import example1_access_formula, example1_structure
+from repro.adversary.formulas import majority
+from repro.adversary.structures import (
+    AdversaryStructure,
+    structure_from_access_formula,
+    threshold_structure,
+)
+
+
+def test_threshold_structure_membership():
+    s = threshold_structure(7, 2)
+    assert s.is_corruptible({0, 1})
+    assert s.is_corruptible({5})
+    assert s.is_corruptible(set())
+    assert not s.is_corruptible({0, 1, 2})
+    assert s.is_qualified({0, 1, 2})
+
+
+def test_threshold_structure_t_zero():
+    s = threshold_structure(4, 0)
+    assert s.is_corruptible(set())
+    assert not s.is_corruptible({0})
+
+
+def test_threshold_q3_boundary():
+    assert threshold_structure(4, 1).satisfies_q3()
+    assert threshold_structure(7, 2).satisfies_q3()
+    assert not threshold_structure(3, 1).satisfies_q3()
+    assert not threshold_structure(6, 2).satisfies_q3()
+    assert not threshold_structure(9, 3).satisfies_q3()
+    assert threshold_structure(10, 3).satisfies_q3()
+
+
+def test_q2_weaker_than_q3():
+    s = threshold_structure(5, 2)  # Q2 (5 > 4) but not Q3 (5 < 7)
+    assert s.satisfies_q2()
+    assert not s.satisfies_q3()
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        threshold_structure(4, 4)
+    with pytest.raises(ValueError):
+        threshold_structure(4, -1)
+
+
+def test_maximal_sets_form_antichain():
+    s = AdversaryStructure(
+        n=4,
+        maximal_sets=(
+            frozenset({0}),
+            frozenset({0, 1}),  # supersedes {0}
+            frozenset({2, 3}),
+        ),
+    )
+    assert frozenset({0}) not in s.maximal_sets
+    assert frozenset({0, 1}) in s.maximal_sets
+    assert s.is_corruptible({0})  # still corruptible via {0,1}
+
+
+def test_out_of_range_sets_rejected():
+    with pytest.raises(ValueError):
+        AdversaryStructure(n=3, maximal_sets=(frozenset({5}),))
+
+
+def test_structure_from_access_formula_threshold_case():
+    extracted = structure_from_access_formula(5, majority(list(range(5)), 3))
+    expected = threshold_structure(5, 2)
+    assert set(extracted.maximal_sets) == set(expected.maximal_sets)
+
+
+def test_structure_from_access_formula_matches_example1():
+    extracted = structure_from_access_formula(9, example1_access_formula())
+    analytic = example1_structure()
+    assert set(extracted.maximal_sets) == set(analytic.maximal_sets)
+
+
+def test_minimal_qualified_sets_threshold():
+    s = threshold_structure(4, 1)
+    minimal = s.minimal_qualified_sets()
+    assert all(len(m) == 2 for m in minimal)
+    assert len(minimal) == 6  # all pairs
+
+
+def test_minimal_qualified_sets_example1():
+    s = example1_structure()
+    minimal = s.minimal_qualified_sets()
+    # Smallest qualified coalitions have size 3 and cover >= 2 classes.
+    assert all(len(m) == 3 for m in minimal)
+    classes = {0: "a", 1: "a", 2: "a", 3: "a", 4: "b", 5: "b", 6: "c", 7: "c", 8: "d"}
+    for m in minimal:
+        assert len({classes[i] for i in m}) >= 2
+
+
+def test_max_corruptible_size():
+    assert threshold_structure(7, 2).max_corruptible_size() == 2
+    assert example1_structure().max_corruptible_size() == 4
+
+
+def test_describe_is_readable():
+    text = threshold_structure(4, 1).describe()
+    assert "n=4" in text
+
+
+@given(st.sets(st.integers(0, 6), max_size=7), st.integers(0, 2))
+@settings(max_examples=50)
+def test_monotone_membership(subset, t):
+    """Subsets of corruptible sets are corruptible."""
+    s = threshold_structure(7, t)
+    if s.is_corruptible(subset):
+        for drop in list(subset):
+            assert s.is_corruptible(subset - {drop})

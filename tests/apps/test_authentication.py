@@ -1,0 +1,111 @@
+"""Authentication service: enrollment, verification, lockout."""
+
+from repro.apps.authentication import AuthenticationService, credential_digest
+from repro.smr.state_machine import Request
+
+
+def _req(op, client=1000):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=_req.counter, operation=op)
+
+
+def _cred(user, secret):
+    return credential_digest(user, secret)
+
+
+def test_enroll_and_authenticate():
+    a = AuthenticationService()
+    assert a.apply(_req(("enroll", "alice", _cred("alice", b"pw")))) == (
+        "enrolled",
+        "alice",
+    )
+    assert a.apply(_req(("authenticate", "alice", _cred("alice", b"pw")))) == (
+        "authenticated",
+        "alice",
+    )
+
+
+def test_wrong_credential_denied():
+    a = AuthenticationService()
+    a.apply(_req(("enroll", "alice", _cred("alice", b"pw"))))
+    verdict = a.apply(_req(("authenticate", "alice", _cred("alice", b"wrong"))))
+    assert verdict == ("denied", "bad credential")
+
+
+def test_unknown_principal_denied():
+    a = AuthenticationService()
+    assert a.apply(_req(("authenticate", "ghost", b"x" * 32)))[0] == "denied"
+
+
+def test_double_enrollment_denied():
+    a = AuthenticationService()
+    a.apply(_req(("enroll", "alice", _cred("alice", b"pw"))))
+    assert a.apply(_req(("enroll", "alice", _cred("alice", b"pw2"))))[0] == "denied"
+
+
+def test_lockout_after_max_failures():
+    a = AuthenticationService(max_failures=3)
+    a.apply(_req(("enroll", "alice", _cred("alice", b"pw"))))
+    for _ in range(3):
+        a.apply(_req(("authenticate", "alice", _cred("alice", b"bad"))))
+    # Even the right credential is now refused.
+    assert a.apply(_req(("authenticate", "alice", _cred("alice", b"pw")))) == (
+        "denied",
+        "locked",
+    )
+    assert a.apply(_req(("status", "alice"))) == ("status", "alice", "locked")
+
+
+def test_success_resets_failure_counter():
+    a = AuthenticationService(max_failures=3)
+    a.apply(_req(("enroll", "alice", _cred("alice", b"pw"))))
+    for _ in range(2):
+        a.apply(_req(("authenticate", "alice", _cred("alice", b"bad"))))
+    a.apply(_req(("authenticate", "alice", _cred("alice", b"pw"))))
+    for _ in range(2):
+        a.apply(_req(("authenticate", "alice", _cred("alice", b"bad"))))
+    # Still not locked: counter was reset after the success.
+    assert a.apply(_req(("authenticate", "alice", _cred("alice", b"pw"))))[0] == (
+        "authenticated"
+    )
+
+
+def test_change_credential():
+    a = AuthenticationService()
+    a.apply(_req(("enroll", "alice", _cred("alice", b"old"))))
+    result = a.apply(
+        _req(("change", "alice", _cred("alice", b"old"), _cred("alice", b"new")))
+    )
+    assert result == ("changed", "alice")
+    assert a.apply(_req(("authenticate", "alice", _cred("alice", b"new"))))[0] == (
+        "authenticated"
+    )
+    assert a.apply(_req(("authenticate", "alice", _cred("alice", b"old"))))[0] == (
+        "denied"
+    )
+
+
+def test_change_requires_old_credential():
+    a = AuthenticationService()
+    a.apply(_req(("enroll", "alice", _cred("alice", b"old"))))
+    result = a.apply(
+        _req(("change", "alice", _cred("alice", b"guess"), _cred("alice", b"new")))
+    )
+    assert result[0] == "denied"
+
+
+def test_status_unknown():
+    a = AuthenticationService()
+    assert a.apply(_req(("status", "ghost"))) == ("unknown", "ghost")
+
+
+def test_credential_digest_is_salted_by_principal():
+    assert _cred("alice", b"pw") != _cred("bob", b"pw")
+
+
+def test_malformed_operations():
+    a = AuthenticationService()
+    assert a.apply(_req(()))[0] == "error"
+    assert a.apply(_req(("enroll", 5, b"x")))[0] == "error"
+    assert a.apply(_req(("authenticate", "a", "not-bytes")))[0] == "error"
+    assert a.apply(_req(("bogus", "a")))[0] == "error"

@@ -1,0 +1,121 @@
+"""Certification authority: policy, issuance, revocation (unit-level)."""
+
+from repro.apps.ca import CertificationAuthority
+from repro.smr.state_machine import Request
+
+
+def _req(op, client=1000, nonce=None):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=nonce or _req.counter, operation=op)
+
+
+def _creds(**fields):
+    return tuple(sorted(fields.items()))
+
+
+class TestIssuance:
+    def test_issue_with_full_credentials(self):
+        ca = CertificationAuthority()
+        result = ca.apply(_req(("issue", "alice", 111,
+                                _creds(name="A", email="a@x"))))
+        assert result[0] == "certificate"
+        assert result[1] == 1 and result[2] == "alice"
+
+    def test_missing_credentials_denied(self):
+        ca = CertificationAuthority()
+        result = ca.apply(_req(("issue", "alice", 111, _creds(name="A"))))
+        assert result[0] == "denied"
+        assert "email" in result[1][1]
+
+    def test_serials_increase(self):
+        ca = CertificationAuthority()
+        r1 = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        r2 = ca.apply(_req(("issue", "b", 2, _creds(name="x", email="y"))))
+        assert (r1[1], r2[1]) == (1, 2)
+
+    def test_duplicate_subject_denied(self):
+        ca = CertificationAuthority()
+        ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        result = ca.apply(_req(("issue", "a", 2, _creds(name="x", email="y"))))
+        assert result[0] == "denied"
+
+    def test_reissue_after_revocation(self):
+        ca = CertificationAuthority()
+        first = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        ca.apply(_req(("revoke", first[1], "compromise")))
+        again = ca.apply(_req(("issue", "a", 2, _creds(name="x", email="y"))))
+        assert again[0] == "certificate" and again[1] == 2
+
+    def test_malformed_issue(self):
+        ca = CertificationAuthority()
+        assert ca.apply(_req(("issue", 5, 1, ())))[0] == "error"
+        assert ca.apply(_req(("issue", "a", "key", ())))[0] == "error"
+        assert ca.apply(_req(("issue", "a", 1, "creds")))[0] == "error"
+
+
+class TestLookupAndRevocation:
+    def test_lookup_unknown(self):
+        ca = CertificationAuthority()
+        assert ca.apply(_req(("lookup", "ghost"))) == ("unknown", "ghost")
+
+    def test_lookup_valid_then_revoked(self):
+        ca = CertificationAuthority()
+        issued = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        assert ca.apply(_req(("lookup", "a")))[1] == "valid"
+        ca.apply(_req(("revoke", issued[1], "stolen")))
+        assert ca.apply(_req(("lookup", "a")))[1] == "revoked"
+
+    def test_revoke_unknown_serial(self):
+        ca = CertificationAuthority()
+        assert ca.apply(_req(("revoke", 99, "x")))[0] == "error"
+
+    def test_revocation_is_idempotent_first_reason_kept(self):
+        ca = CertificationAuthority()
+        issued = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        ca.apply(_req(("revoke", issued[1], "first")))
+        ca.apply(_req(("revoke", issued[1], "second")))
+        assert ca.revoked[issued[1]] == "first"
+
+
+class TestPolicy:
+    def test_policy_change_applies_to_later_requests(self):
+        ca = CertificationAuthority()
+        ca.apply(_req(("set_policy", "name", "email", "badge")))
+        denied = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        assert denied[0] == "denied"
+        ok = ca.apply(
+            _req(("issue", "a", 1, _creds(name="x", email="y", badge="7")))
+        )
+        assert ok[0] == "certificate"
+
+    def test_certificates_record_policy_version(self):
+        ca = CertificationAuthority()
+        before = ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y"))))
+        ca.apply(_req(("set_policy", "name")))
+        after = ca.apply(_req(("issue", "b", 2, _creds(name="x"))))
+        assert before[4] == 1 and after[4] == 2
+
+    def test_get_policy(self):
+        ca = CertificationAuthority()
+        assert ca.apply(_req(("get_policy",))) == ("policy", 1, ("name", "email"))
+
+    def test_malformed_policy(self):
+        ca = CertificationAuthority()
+        assert ca.apply(_req(("set_policy", 5)))[0] == "error"
+
+
+def test_snapshot_determinism():
+    def run():
+        ca = CertificationAuthority()
+        ca.apply(_req(("issue", "a", 1, _creds(name="x", email="y")), nonce=1))
+        ca.apply(_req(("set_policy", "name"), nonce=2))
+        ca.apply(_req(("issue", "b", 2, _creds(name="x")), nonce=3))
+        return ca.snapshot()
+
+    assert run() == run()
+
+
+def test_unknown_and_empty_operations():
+    ca = CertificationAuthority()
+    assert ca.apply(_req(("dance",)))[0] == "error"
+    assert ca.apply(_req(()))[0] == "error"

@@ -1,0 +1,89 @@
+"""Secure directory: binding, ownership, resolution (unit-level)."""
+
+from repro.apps.directory import DirectoryService
+from repro.smr.state_machine import Request
+
+
+def _req(op, client=1000):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=_req.counter, operation=op)
+
+
+def test_bind_and_resolve():
+    d = DirectoryService()
+    assert d.apply(_req(("bind", "www", "1.2.3.4"))) == ("bound", "www", 1)
+    assert d.apply(_req(("resolve", "www"))) == ("entry", "www", "1.2.3.4", 1000, 1)
+
+
+def test_resolve_unknown():
+    d = DirectoryService()
+    assert d.apply(_req(("resolve", "nope"))) == ("unknown", "nope")
+
+
+def test_bind_existing_denied():
+    d = DirectoryService()
+    d.apply(_req(("bind", "www", "a"), client=1000))
+    assert d.apply(_req(("bind", "www", "b"), client=2000))[0] == "denied"
+
+
+def test_rebind_owner_only():
+    d = DirectoryService()
+    d.apply(_req(("bind", "www", "a"), client=1000))
+    assert d.apply(_req(("rebind", "www", "evil"), client=2000)) == (
+        "denied",
+        "not owner",
+    )
+    assert d.apply(_req(("rebind", "www", "b"), client=1000))[0] == "bound"
+    assert d.apply(_req(("resolve", "www")))[2] == "b"
+
+
+def test_rebind_unknown_name():
+    d = DirectoryService()
+    assert d.apply(_req(("rebind", "ghost", "x")))[0] == "denied"
+
+
+def test_unbind_owner_only():
+    d = DirectoryService()
+    d.apply(_req(("bind", "www", "a"), client=1000))
+    assert d.apply(_req(("unbind", "www"), client=2000))[0] == "denied"
+    assert d.apply(_req(("unbind", "www"), client=1000))[0] == "unbound"
+    assert d.apply(_req(("resolve", "www"))) == ("unknown", "www")
+
+
+def test_name_reusable_after_unbind():
+    d = DirectoryService()
+    d.apply(_req(("bind", "www", "a"), client=1000))
+    d.apply(_req(("unbind", "www"), client=1000))
+    assert d.apply(_req(("bind", "www", "b"), client=2000))[0] == "bound"
+
+
+def test_list_prefix():
+    d = DirectoryService()
+    for name in ("svc/a", "svc/b", "db/x"):
+        d.apply(_req(("bind", name, 1)))
+    assert d.apply(_req(("list", "svc/"))) == ("names", ("svc/a", "svc/b"))
+    assert d.apply(_req(("list", ""))) == ("names", ("db/x", "svc/a", "svc/b"))
+
+
+def test_versions_monotone():
+    d = DirectoryService()
+    d.apply(_req(("bind", "a", 1)))
+    d.apply(_req(("bind", "b", 1)))
+    d.apply(_req(("rebind", "a", 2)))
+    assert d.version == 3
+    assert d.apply(_req(("resolve", "a")))[4] == 3
+
+
+def test_malformed_operations():
+    d = DirectoryService()
+    assert d.apply(_req(()))[0] == "error"
+    assert d.apply(_req(("bind", 5, "v")))[0] == "error"
+    assert d.apply(_req(("resolve",)))[0] == "error"
+    assert d.apply(_req(("list", 7)))[0] == "error"
+
+
+def test_snapshot_tracks_entries():
+    d = DirectoryService()
+    before = d.snapshot()
+    d.apply(_req(("bind", "a", 1)))
+    assert d.snapshot() != before

@@ -1,0 +1,99 @@
+"""Fair exchange TTP: atomicity of the swap."""
+
+from repro.apps.fair_exchange import FairExchangeService
+from repro.smr.state_machine import Request
+
+A, B, EVE = 1000, 2000, 3000
+
+
+def _req(op, client):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=_req.counter, operation=op)
+
+
+def _opened(service=None):
+    s = service or FairExchangeService()
+    s.apply(_req(("offer", "x1", "item-A", "item-B", B), A))
+    return s
+
+
+def test_offer_and_status():
+    s = _opened()
+    assert s.apply(_req(("status", "x1"), EVE)) == ("status", "x1", "offered")
+
+
+def test_complete_exchange_both_collect():
+    s = _opened()
+    assert s.apply(_req(("accept", "x1", "item-B"), B)) == ("completed", "x1")
+    assert s.apply(_req(("collect", "x1"), A)) == ("item", "x1", "item-B")
+    assert s.apply(_req(("collect", "x1"), B)) == ("item", "x1", "item-A")
+
+
+def test_collect_before_completion_denied():
+    s = _opened()
+    assert s.apply(_req(("collect", "x1"), A))[0] == "denied"
+    assert s.apply(_req(("collect", "x1"), B))[0] == "denied"
+
+
+def test_only_counterparty_may_accept():
+    s = _opened()
+    assert s.apply(_req(("accept", "x1", "item-B"), EVE))[0] == "denied"
+
+
+def test_mismatched_item_rejected():
+    s = _opened()
+    assert s.apply(_req(("accept", "x1", "wrong-item"), B))[0] == "denied"
+    # Exchange still open for the right item.
+    assert s.apply(_req(("accept", "x1", "item-B"), B))[0] == "completed"
+
+
+def test_third_party_cannot_collect():
+    s = _opened()
+    s.apply(_req(("accept", "x1", "item-B"), B))
+    assert s.apply(_req(("collect", "x1"), EVE))[0] == "denied"
+
+
+def test_abort_before_accept():
+    s = _opened()
+    assert s.apply(_req(("abort", "x1"), A)) == ("aborted", "x1")
+    assert s.apply(_req(("accept", "x1", "item-B"), B))[0] == "denied"
+    assert s.apply(_req(("collect", "x1"), A))[0] == "denied"
+
+
+def test_abort_after_accept_denied():
+    """Atomicity: once completed, neither side can back out."""
+    s = _opened()
+    s.apply(_req(("accept", "x1", "item-B"), B))
+    assert s.apply(_req(("abort", "x1"), A))[0] == "denied"
+    assert s.apply(_req(("collect", "x1"), B)) == ("item", "x1", "item-A")
+
+
+def test_only_offerer_may_abort():
+    s = _opened()
+    assert s.apply(_req(("abort", "x1"), B))[0] == "denied"
+    assert s.apply(_req(("abort", "x1"), EVE))[0] == "denied"
+
+
+def test_duplicate_exchange_id_rejected():
+    s = _opened()
+    assert s.apply(_req(("offer", "x1", "i", "j", B), EVE))[0] == "denied"
+
+
+def test_unknown_exchange_operations():
+    s = FairExchangeService()
+    assert s.apply(_req(("accept", "nope", "i"), B))[0] == "denied"
+    assert s.apply(_req(("abort", "nope"), A))[0] == "denied"
+    assert s.apply(_req(("status", "nope"), A)) == ("status", "nope", "unknown")
+
+
+def test_malformed_operations():
+    s = FairExchangeService()
+    assert s.apply(_req((), A))[0] == "error"
+    assert s.apply(_req(("offer", "x", "i", "j", "not-int"), A))[0] == "error"
+    assert s.apply(_req(("collect",), A))[0] == "error"
+
+
+def test_snapshot():
+    s = _opened()
+    snap = s.snapshot()
+    assert snap == (("x1", "offered", A, B),)

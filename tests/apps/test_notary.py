@@ -1,0 +1,81 @@
+"""Notary: sequence numbers, first-wins registration, audit log."""
+
+from repro.apps.notary import NotaryService, document_digest
+from repro.smr.state_machine import Request
+
+
+def _req(op, client=1000):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=_req.counter, operation=op)
+
+
+def _digest(text):
+    return document_digest(text.encode())
+
+
+def test_first_registration_wins():
+    n = NotaryService()
+    d = _digest("invention")
+    first = n.apply(_req(("register", d), client=1000))
+    second = n.apply(_req(("register", d), client=2000))
+    assert first == ("registered", 1, d, 1000, True)
+    assert second == ("registered", 1, d, 1000, False)  # original owner kept
+
+
+def test_sequence_numbers_are_a_logical_clock():
+    n = NotaryService()
+    results = [n.apply(_req(("register", _digest(f"doc{i}")))) for i in range(5)]
+    assert [r[1] for r in results] == [1, 2, 3, 4, 5]
+
+
+def test_query():
+    n = NotaryService()
+    d = _digest("x")
+    assert n.apply(_req(("query", d))) == ("unregistered", d)
+    n.apply(_req(("register", d), client=1007))
+    assert n.apply(_req(("query", d))) == ("registered", 1, d, 1007, False)
+
+
+def test_history_window():
+    n = NotaryService()
+    digests = [_digest(f"d{i}") for i in range(4)]
+    for d in digests:
+        n.apply(_req(("register", d)))
+    hist = n.apply(_req(("history", 1, 2)))
+    assert hist[0] == "history"
+    assert [e[0] for e in hist[1]] == [2, 3]
+
+
+def test_history_out_of_range():
+    n = NotaryService()
+    assert n.apply(_req(("history", 100, 10))) == ("history", ())
+    assert n.apply(_req(("history", -5, -1))) == ("history", ())
+
+
+def test_duplicate_registration_not_logged_twice():
+    n = NotaryService()
+    d = _digest("once")
+    n.apply(_req(("register", d)))
+    n.apply(_req(("register", d)))
+    assert len(n.log) == 1
+
+
+def test_malformed_operations():
+    n = NotaryService()
+    assert n.apply(_req(()))[0] == "error"
+    assert n.apply(_req(("register", "not-bytes")))[0] == "error"
+    assert n.apply(_req(("query", 7)))[0] == "error"
+    assert n.apply(_req(("history", "a", 1)))[0] == "error"
+
+
+def test_digest_is_stable_and_collision_free_in_practice():
+    assert document_digest(b"a") == document_digest(b"a")
+    assert document_digest(b"a") != document_digest(b"b")
+
+
+def test_snapshot_reflects_registry():
+    a, b = NotaryService(), NotaryService()
+    d = _digest("same")
+    a.apply(_req(("register", d)))
+    b.apply(_req(("register", d)))
+    assert a.snapshot() == b.snapshot()

@@ -1,0 +1,141 @@
+"""Hash-linked time-stamping: chain integrity and auditing."""
+
+from repro.apps.timestamping import (
+    GENESIS,
+    TimestampingService,
+    verify_chain_segment,
+)
+from repro.crypto.hashing import hash_bytes
+from repro.smr.state_machine import Request
+
+
+def _req(op, client=1000):
+    _req.counter = getattr(_req, "counter", 0) + 1
+    return Request(client=client, nonce=_req.counter, operation=op)
+
+
+def _digest(text):
+    return hash_bytes("timestamp-doc", text.encode())
+
+
+def _stamped(service, text):
+    return service.apply(_req(("stamp", _digest(text))))
+
+
+class TestStamping:
+    def test_sequential_stamps(self):
+        s = TimestampingService()
+        r1, r2 = _stamped(s, "a"), _stamped(s, "b")
+        assert r1[1] == 1 and r2[1] == 2
+        assert r1[5] is True and r2[5] is True
+
+    def test_duplicate_returns_original(self):
+        s = TimestampingService()
+        first = _stamped(s, "doc")
+        again = _stamped(s, "doc")
+        assert again[1] == first[1]
+        assert again[5] is False
+        assert s.sequence == 1
+
+    def test_head_advances_with_each_stamp(self):
+        s = TimestampingService()
+        heads = [s.head]
+        for text in ("a", "b", "c"):
+            _stamped(s, text)
+            heads.append(s.head)
+        assert len(set(heads)) == 4
+
+    def test_anchor_and_proof(self):
+        s = TimestampingService()
+        _stamped(s, "x")
+        anchor = s.apply(_req(("anchor",)))
+        assert anchor == ("anchor", 1, s.head)
+        proof = s.apply(_req(("proof", 1)))
+        assert proof[0] == "proof" and proof[1][0] == 1
+
+    def test_proof_out_of_range(self):
+        s = TimestampingService()
+        assert s.apply(_req(("proof", 1)))[0] == "error"
+        assert s.apply(_req(("proof", 0)))[0] == "error"
+
+
+class TestChainVerification:
+    def test_server_side_audit(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c", "d"):
+            _stamped(s, text)
+        assert s.apply(_req(("verify_chain", 1, 4))) == ("chain", True, 4)
+        assert s.apply(_req(("verify_chain", 2, 2))) == ("chain", True, 2)
+        assert s.apply(_req(("verify_chain", 0, 2)))[0] == "error"
+
+    def test_client_side_audit_from_genesis(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c"):
+            _stamped(s, text)
+        assert verify_chain_segment(s.records, GENESIS)
+
+    def test_client_side_audit_from_anchor(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c", "d"):
+            _stamped(s, text)
+        anchor_head = s.records[1][2]  # head after seq 2
+        assert verify_chain_segment(s.records[2:], anchor_head)
+
+    def test_tampered_digest_detected(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c"):
+            _stamped(s, text)
+        forged = list(s.records)
+        seq, digest, link = forged[1]
+        forged[1] = (seq, _digest("evil"), link)
+        assert not verify_chain_segment(forged, GENESIS)
+
+    def test_reordering_detected(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c"):
+            _stamped(s, text)
+        swapped = [s.records[0], s.records[2], s.records[1]]
+        assert not verify_chain_segment(swapped, GENESIS)
+
+    def test_deletion_detected(self):
+        s = TimestampingService()
+        for text in ("a", "b", "c"):
+            _stamped(s, text)
+        assert not verify_chain_segment(
+            [s.records[0], s.records[2]], GENESIS
+        )
+
+    def test_wrong_anchor_detected(self):
+        s = TimestampingService()
+        _stamped(s, "a")
+        assert not verify_chain_segment(s.records, hash_bytes("x", "y"))
+
+
+def test_end_to_end_with_corruption():
+    from repro.net.adversary import SilentNode
+    from repro.smr import build_service
+    from repro.apps.timestamping import TimestampClient
+
+    dep = build_service(4, TimestampingService, t=1, seed=31)
+    dep.controller.corrupt(dep.network, 0, SilentNode())
+    client = TimestampClient(dep.new_client())
+    dep.network.start()
+    n1 = client.stamp(b"contract v1")
+    dep.run_until_complete(client.client, [n1])
+    n2 = client.stamp(b"contract v2")
+    dep.run_until_complete(client.client, [n2])
+    n3 = client.verify_chain(1, 2)
+    results = dep.run_until_complete(client.client, [n3])
+    assert results[n3].result == ("chain", True, 2)
+    # Replicated chains identical on all honest servers.
+    dep.network.run(max_steps=400_000)
+    heads = {r.state_machine.head for r in dep.honest_replicas()}
+    assert len(heads) == 1
+
+
+def test_snapshot_and_determinism():
+    a, b = TimestampingService(), TimestampingService()
+    for s in (a, b):
+        for text in ("x", "y"):
+            _stamped(s, text)
+    assert a.snapshot() == b.snapshot()

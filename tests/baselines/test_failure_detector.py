@@ -1,0 +1,89 @@
+"""Failure detectors and view-based membership: the Section 2.2 critique."""
+
+from repro.baselines.failure_detector import TimeoutFailureDetector, ViewBasedGroup
+
+
+class TestTimeoutFailureDetector:
+    def test_silence_triggers_suspicion(self):
+        fd = TimeoutFailureDetector(parties=[0, 1, 2], timeout=5)
+        for _ in range(6):
+            fd.tick()
+        assert fd.suspected == {0, 1, 2}
+
+    def test_messages_prevent_suspicion(self):
+        fd = TimeoutFailureDetector(parties=[0, 1], timeout=5)
+        for _ in range(20):
+            fd.heard(0)
+            fd.tick()
+        assert 0 not in fd.suspected
+        assert 1 in fd.suspected
+
+    def test_late_message_retracts_suspicion(self):
+        fd = TimeoutFailureDetector(parties=[0], timeout=3)
+        for _ in range(4):
+            fd.tick()
+        assert 0 in fd.suspected
+        fd.heard(0)
+        assert 0 not in fd.suspected
+
+    def test_wrong_suspicions_accumulate_without_bound(self):
+        """An adversary that alternates starving and releasing an honest
+        party makes the detector wrong over and over — the Section 2.2
+        'unlimited number of wrong suspicions'."""
+        fd = TimeoutFailureDetector(parties=[0], timeout=3, honest=frozenset({0}))
+        for _cycle in range(10):
+            for _ in range(4):
+                fd.tick()  # starve: suspicion fires (wrongly)
+            fd.heard(0)  # release: suspicion retracted
+        assert fd.wrong_suspicions == 10
+
+    def test_unknown_party_heard_is_ignored(self):
+        fd = TimeoutFailureDetector(parties=[0], timeout=3)
+        fd.heard(99)  # no crash
+        assert 99 not in fd.last_heard
+
+
+class TestViewBasedGroup:
+    def test_expulsion_requires_two_thirds(self):
+        g = ViewBasedGroup(members=list(range(6)))
+        assert not g.vote_expel(0, 5)
+        assert not g.vote_expel(1, 5)
+        assert not g.vote_expel(2, 5)
+        assert not g.vote_expel(3, 5)
+        assert g.vote_expel(4, 5)  # fifth vote: 5 >= 2*6/3+1
+        assert 5 not in g.members
+        assert g.view_number == 1
+
+    def test_non_member_votes_ignored(self):
+        g = ViewBasedGroup(members=[0, 1, 2])
+        assert not g.vote_expel(9, 0)
+        assert not g.vote_expel(0, 9)
+
+    def test_adversary_shrinks_group_to_corrupt_majority(self):
+        """The Rampart attack: delay honest members one at a time; each
+        gets expelled by (legitimate-looking) suspicion votes.  With
+        n=7, t=2 corrupted, expelling three honest members leaves 4
+        members of which 2 are corrupted — integrity gone."""
+        corrupted = frozenset({5, 6})
+        g = ViewBasedGroup(members=list(range(7)), corrupted=corrupted)
+        assert not g.integrity_lost
+        for victim in (0, 1, 2):
+            voters = [m for m in g.members if m != victim]
+            for voter in voters:
+                if g.vote_expel(voter, victim):
+                    break
+        assert g.members == [3, 4, 5, 6]
+        assert g.integrity_lost  # 2 corrupt of 4: >= one third
+        assert g.view_number == 3
+
+    def test_static_group_never_reaches_this_state(self):
+        """Contrast: the architecture under test never changes the
+        group, so the corrupt fraction is fixed at dealing time."""
+        corrupted = frozenset({5, 6})
+        g = ViewBasedGroup(members=list(range(7)), corrupted=corrupted)
+        assert g.corrupt_fraction < 1 / 3
+        assert not g.integrity_lost
+
+    def test_empty_group_is_lost(self):
+        g = ViewBasedGroup(members=[])
+        assert g.integrity_lost

@@ -1,0 +1,112 @@
+"""Deterministic leader-based baseline: fast path, safety, liveness loss."""
+
+from helpers import ctx_for, make_network
+
+from repro.baselines.leader_based import LeaderConsensus, leader_session
+from repro.net.scheduler import FifoScheduler, StarvingScheduler
+
+
+def _drive(net, rts, instances, session, budget):
+    net.start()
+    for _ in range(budget):
+        net.step()
+        for party, runtime in rts.items():
+            instances[party].tick(ctx_for(runtime, session))
+        if all(r.result(session) is not None for r in rts.values()):
+            break
+    return {p: r.result(session) for p, r in rts.items()}
+
+
+def _spawn(rts, session, timeout=200):
+    return {
+        p: rt.spawn(session, LeaderConsensus(("v", p), timeout=timeout))
+        for p, rt in rts.items()
+    }
+
+
+def test_fast_path_on_friendly_network(keys_4_1):
+    net, rts = make_network(keys_4_1, FifoScheduler(), seed=1)
+    session = leader_session("fast")
+    instances = _spawn(rts, session, timeout=500)
+    results = _drive(net, rts, instances, session, budget=2000)
+    assert all(v == ("v", 0) for v in results.values())  # view-0 leader's value
+    assert all(inst.view == 0 for inst in instances.values())
+
+
+def test_agreement_is_never_violated(keys_4_1):
+    for seed in range(4):
+        net, rts = make_network(keys_4_1, FifoScheduler(), seed=seed)
+        session = leader_session(("safe", seed))
+        instances = _spawn(rts, session, timeout=30)  # aggressive timeouts
+        results = _drive(net, rts, instances, session, budget=5000)
+        decided = {v for v in results.values() if v is not None}
+        assert len(decided) <= 1, f"seed {seed}: split decision {decided}"
+
+
+def test_view_change_preserves_prepared_value(keys_4_1):
+    """The PBFT safety rule: if a value prepared in view v, later views
+    re-propose it.  Force a view change after prepare by starving the
+    leader's commits — decision must still be the view-0 value."""
+    session = leader_session("prepared")
+    instances = {}
+
+    def leaders():
+        return {inst.view % 4 for inst in instances.values()} or set()
+
+    # Starve nothing at first; flip on after prepare happens.
+    scheduler = StarvingScheduler(set(), patience=300)
+    net, rts = make_network(keys_4_1, scheduler, seed=5)
+    instances.update(_spawn(rts, session, timeout=40))
+    net.start()
+    prepared_seen = None
+    for _ in range(8000):
+        net.step()
+        for party, runtime in rts.items():
+            instances[party].tick(ctx_for(runtime, session))
+        if prepared_seen is None:
+            for inst in instances.values():
+                if inst.prepared is not None:
+                    prepared_seen = inst.prepared
+                    scheduler._targets = {0}  # now starve the old leader
+                    break
+        if all(r.result(session) is not None for r in rts.values()):
+            break
+    decided = {r.result(session) for r in rts.values() if r.result(session)}
+    if prepared_seen is not None and decided:
+        assert decided == {prepared_seen[1]}
+
+
+def test_liveness_lost_under_leader_starvation(keys_4_1):
+    """The Figure 1 claim: a deterministic protocol with timeout-driven
+    view changes never decides when the adversary starves every leader
+    (content-aware starvation is exercised in the example/benchmark; the
+    blunt form here already blocks it)."""
+    session = leader_session("starved")
+    instances = {}
+
+    def leaders():
+        return {inst.view % 4 for inst in instances.values()} or {0}
+
+    net, rts = make_network(keys_4_1, StarvingScheduler(leaders, patience=3000), seed=6)
+    instances.update(_spawn(rts, session, timeout=40))
+    results = _drive(net, rts, instances, session, budget=15_000)
+    assert all(v is None for v in results.values())
+
+
+def test_view_changes_make_progress_without_leader(keys_4_1):
+    """If the view-0 leader is simply dead (not network-starved), the
+    timeout mechanism does recover via a view change — the case
+    failure detectors are designed for."""
+    net, rts = make_network(keys_4_1, FifoScheduler(), seed=7, parties=[1, 2, 3])
+    from repro.net.adversary import SilentNode
+
+    net.attach(0, SilentNode())
+    session = leader_session("dead-leader")
+    instances = {
+        p: rt.spawn(session, LeaderConsensus(("v", p), timeout=30))
+        for p, rt in rts.items()
+    }
+    results = _drive(net, rts, instances, session, budget=8000)
+    decided = {v for v in results.values() if v is not None}
+    assert len(decided) == 1
+    assert max(inst.view for inst in instances.values()) >= 1

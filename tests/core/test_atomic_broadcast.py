@@ -1,0 +1,146 @@
+"""Atomic broadcast: total order, dedup, liveness, fairness."""
+
+import pytest
+
+from helpers import ctx_for, make_network
+
+from repro.core.atomic_broadcast import AbcProposal, AtomicBroadcast, abc_session
+from repro.net.adversary import SilentNode
+from repro.net.scheduler import DelayScheduler, RandomScheduler, ReorderScheduler
+
+
+def _spawn(runtimes, session):
+    logs = {}
+    for party, runtime in runtimes.items():
+        logs[party] = []
+        runtime.spawn(
+            session, AtomicBroadcast(on_deliver=lambda m, r, p=party: logs[p].append(m))
+        )
+    return logs
+
+
+def _submit(runtimes, session, party, payload):
+    inst = runtimes[party].instances[session]
+    inst.submit(ctx_for(runtimes[party], session), payload)
+
+
+@pytest.mark.parametrize("scheduler", [RandomScheduler, ReorderScheduler])
+def test_total_order_identical_at_all_parties(keys_4_1, scheduler):
+    net, rts = make_network(keys_4_1, scheduler(), seed=1)
+    session = abc_session(("order", scheduler.__name__))
+    logs = _spawn(rts, session)
+    net.start()
+    for p in rts:
+        _submit(rts, session, p, ("req", p))
+    net.run(until=lambda: all(len(logs[p]) >= 4 for p in rts), max_steps=400_000)
+    assert all(logs[p] == logs[0] for p in rts)
+    assert set(logs[0]) == {("req", p) for p in rts}
+
+
+def test_duplicate_submissions_delivered_once(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=2)
+    session = abc_session("dedup")
+    logs = _spawn(rts, session)
+    net.start()
+    # Same payload submitted at every server (a client broadcast).
+    for p in rts:
+        _submit(rts, session, p, ("req", "shared"))
+    net.run(until=lambda: all(len(logs[p]) >= 1 for p in rts), max_steps=400_000)
+    net.run(max_steps=400_000)  # drain
+    assert all(logs[p] == [("req", "shared")] for p in rts)
+
+
+def test_idle_parties_join_rounds(keys_4_1):
+    """Only one server has input; the rest must join with empty batches."""
+    net, rts = make_network(keys_4_1, seed=3)
+    session = abc_session("idle")
+    logs = _spawn(rts, session)
+    net.start()
+    _submit(rts, session, 0, ("req", "solo"))
+    net.run(until=lambda: all(len(logs[p]) >= 1 for p in rts), max_steps=400_000)
+    assert all(logs[p] == [("req", "solo")] for p in rts)
+
+
+def test_multiple_rounds_sequential_payloads(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=4)
+    session = abc_session("rounds")
+    logs = _spawn(rts, session)
+    net.start()
+    _submit(rts, session, 0, ("req", 1))
+    net.run(until=lambda: all(len(logs[p]) >= 1 for p in rts), max_steps=400_000)
+    _submit(rts, session, 1, ("req", 2))
+    net.run(until=lambda: all(len(logs[p]) >= 2 for p in rts), max_steps=400_000)
+    assert all(logs[p] == [("req", 1), ("req", 2)] for p in rts)
+    assert rts[0].instances[session].round >= 2
+
+
+def test_liveness_with_silent_party(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=5, parties=[0, 1, 2])
+    net.attach(3, SilentNode())
+    session = abc_session("silent")
+    logs = _spawn(rts, session)
+    net.start()
+    for p in rts:
+        _submit(rts, session, p, ("req", p))
+    net.run(until=lambda: all(len(logs[p]) >= 3 for p in rts), max_steps=400_000)
+    assert all(logs[p] == logs[0] for p in rts)
+
+
+def test_fairness_request_held_by_honest_quorum_is_delivered(keys_4_1):
+    """The paper's fairness: once an honest-containing set holds m, any
+    decided list's proposals intersect the holders, so m is delivered in
+    the next round — even under targeted delays."""
+    net, rts = make_network(keys_4_1, DelayScheduler({0}), seed=6)
+    session = abc_session("fair")
+    logs = _spawn(rts, session)
+    net.start()
+    # m is submitted at parties 0 and 1 (t+1 = 2 holders).
+    for holder in (0, 1):
+        _submit(rts, session, holder, ("req", "held"))
+    # Other traffic floods from everyone.
+    for p in rts:
+        _submit(rts, session, p, ("noise", p))
+    net.run(
+        until=lambda: all(("req", "held") in logs[p] for p in rts),
+        max_steps=400_000,
+    )
+    rounds = rts[2].instances[session].round
+    assert rounds <= 3  # delivered promptly, not starved
+
+
+def test_unsigned_proposals_rejected(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=7, parties=[1])
+    session = abc_session("forge")
+    _spawn(rts, session)
+    net.start()
+    from repro.crypto.schnorr import Signature
+
+    fake = AbcProposal(1, (("req", "evil"),), Signature(challenge=1, response=1))
+    net.send(0, 1, (session, fake))
+    net.run(max_steps=1000)
+    inst = rts[1].instances[session]
+    assert 1 not in inst.proposals or 0 not in inst.proposals.get(1, {})
+
+
+def test_delivered_log_records_rounds(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=8)
+    session = abc_session("log")
+    logs = _spawn(rts, session)
+    net.start()
+    _submit(rts, session, 2, ("req", "x"))
+    net.run(until=lambda: all(len(logs[p]) >= 1 for p in rts), max_steps=400_000)
+    entry = rts[0].instances[session].delivered_log[0]
+    assert entry[0] == ("req", "x") and entry[1] >= 1
+
+
+def test_seven_party_broadcast_with_mixed_inputs(keys_7_2):
+    net, rts = make_network(keys_7_2, seed=9, parties=[0, 1, 2, 3, 4])
+    for bad in (5, 6):
+        net.attach(bad, SilentNode())
+    session = abc_session("seven")
+    logs = _spawn(rts, session)
+    net.start()
+    for p in rts:
+        _submit(rts, session, p, ("req", p))
+    net.run(until=lambda: all(len(logs[p]) >= 5 for p in rts), max_steps=600_000)
+    assert all(logs[p] == logs[0] for p in rts)

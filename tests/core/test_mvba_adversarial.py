@@ -1,0 +1,110 @@
+"""Adversarial inputs to multi-valued agreement: forged values, bogus
+coin shares, junk — none may break agreement or external validity."""
+
+from helpers import make_network, run_until_outputs
+
+from repro.core.consistent_broadcast import CbcDelivery
+from repro.core.multivalued_agreement import (
+    MultiValuedAgreement,
+    MvbaPermShare,
+    MvbaValue,
+    mvba_session,
+)
+from repro.crypto.coin import CoinShare
+from repro.crypto.threshold_sig import QuorumCertificate
+from repro.net.adversary import SilentNode
+
+
+def _valid(v):
+    return isinstance(v, tuple) and len(v) == 2 and v[0] == "proposal"
+
+
+def _spawn(rts, session):
+    for p, rt in rts.items():
+        rt.spawn(session, MultiValuedAgreement(("proposal", p), predicate=_valid))
+
+
+def test_forged_mvba_value_rejected(keys_4_1):
+    """An MvbaValue with an empty/foreign certificate never becomes the
+    decision."""
+    net, rts = make_network(keys_4_1, seed=1, parties=[0, 1, 2])
+
+    class Forger(SilentNode):
+        def __init__(self):
+            self.fired = False
+
+        def on_message(self, sender, payload):
+            if self.fired:
+                return
+            self.fired = True
+            fake = MvbaValue(
+                3,
+                CbcDelivery(
+                    sender=3,
+                    value=("proposal", "FORGED"),
+                    certificate=QuorumCertificate(signatures={}),
+                ),
+            )
+            net.broadcast(3, (session, fake))
+
+    session = mvba_session("forge")
+    net.attach(3, Forger())
+    _spawn(rts, session)
+    outputs = run_until_outputs(net, rts, session)
+    for d in outputs.values():
+        assert d.value != ("proposal", "FORGED")
+
+
+def test_bogus_perm_coin_shares_ignored(keys_4_1):
+    """Coin shares replayed under the wrong name or wrong claimed party
+    cannot poison the candidate permutation."""
+    net, rts = make_network(keys_4_1, seed=2, parties=[0, 1, 2])
+
+    class CoinMixer(SilentNode):
+        def __init__(self):
+            self.count = 0
+
+        def on_message(self, sender, payload):
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                return
+            _sess, msg = payload
+            if isinstance(msg, MvbaPermShare) and self.count < 3:
+                self.count += 1
+                # Replay someone else's share as our own (party mismatch)
+                net.broadcast(3, (session, msg))
+                # ...and a share for a different coin name.
+                wrong = CoinShare(
+                    party=3, name=("wrong", "name"),
+                    values=msg.share.values, proofs=msg.share.proofs,
+                )
+                net.broadcast(3, (session, MvbaPermShare(wrong)))
+
+    session = mvba_session("coin-mix")
+    net.attach(3, CoinMixer())
+    _spawn(rts, session)
+    outputs = run_until_outputs(net, rts, session)
+    assert len({(d.proposer, d.value) for d in outputs.values()}) == 1
+
+
+def test_junk_messages_do_not_stall(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=3, parties=[0, 1, 2])
+
+    class JunkSprayer(SilentNode):
+        def __init__(self):
+            self.count = 0
+
+        def on_message(self, sender, payload):
+            if self.count > 20:
+                return
+            self.count += 1
+            net.broadcast(3, (session, ("garbage", self.count)))
+            net.broadcast(3, (session, MvbaValue("x", "y")))
+
+    session = mvba_session("junk")
+    net.attach(3, JunkSprayer())
+    _spawn(rts, session)
+    outputs = run_until_outputs(net, rts, session)
+    decisions = {(d.proposer, d.value) for d in outputs.values()}
+    assert len(decisions) == 1
+    proposer, value = decisions.pop()
+    assert _valid(value) and proposer in (0, 1, 2)

@@ -1,0 +1,161 @@
+"""Reliable broadcast (Bracha): totality, agreement, Byzantine senders."""
+
+import pytest
+
+from helpers import make_network, run_until_outputs
+
+from repro.core.reliable_broadcast import (
+    RbcEcho,
+    RbcReady,
+    RbcSend,
+    ReliableBroadcast,
+    rbc_session,
+)
+from repro.net.adversary import MutatingNode, SilentNode
+from repro.net.scheduler import RandomScheduler, ReorderScheduler
+from repro.core.runtime import ProtocolRuntime
+
+
+def _spawn_rbc(runtimes, session, sender, value, validate=None):
+    for party, runtime in runtimes.items():
+        runtime.spawn(
+            session,
+            ReliableBroadcast(
+                sender, value=value if party == sender else None, validate=validate
+            ),
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("scheduler", [RandomScheduler, ReorderScheduler])
+def test_honest_sender_all_deliver(keys_4_1, seed, scheduler):
+    net, rts = make_network(keys_4_1, scheduler(), seed=seed)
+    session = rbc_session(0, "m")
+    _spawn_rbc(rts, session, 0, ("payload", seed))
+    outputs = run_until_outputs(net, rts, session)
+    assert all(v == ("payload", seed) for v in outputs.values())
+
+
+def test_silent_sender_nobody_delivers(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=3, parties=[1, 2, 3])
+    net.attach(0, SilentNode())
+    session = rbc_session(0, "m")
+    _spawn_rbc(rts, session, 0, None)
+    net.run()  # quiescence
+    assert all(rts[p].result(session) is None for p in (1, 2, 3))
+
+
+def test_equivocating_sender_agreement(keys_4_1):
+    """A sender that tells half the parties 'A' and half 'B': honest
+    parties may deliver nothing, but never different values."""
+    for seed in range(6):
+        net, rts = make_network(keys_4_1, seed=seed, parties=[1, 2, 3])
+        session = rbc_session(0, "eq")
+
+        class Sender:
+            def __init__(self, facade):
+                self.facade = facade
+
+            def on_start(self):
+                for r in (1, 2):
+                    self.facade.send(0, r, (session, RbcSend("A")))
+                self.facade.send(0, 3, (session, RbcSend("B")))
+
+            def on_message(self, sender, payload):
+                pass
+
+        net.attach(
+            0,
+            MutatingNode(net, 0, lambda facade: Sender(facade), lambda r, p: p),
+        )
+        _spawn_rbc(rts, session, 0, None)
+        net.run()
+        delivered = {rts[p].result(session) for p in (1, 2, 3)}
+        delivered.discard(None)
+        assert len(delivered) <= 1, f"seed {seed}: agreement violated {delivered}"
+
+
+def test_delivery_with_crashed_receivers(keys_7_2):
+    net, rts = make_network(keys_7_2, seed=4, parties=[0, 1, 2, 3, 4])
+    for silent in (5, 6):
+        net.attach(silent, SilentNode())
+    session = rbc_session(0, "m")
+    _spawn_rbc(rts, session, 0, "survives")
+    outputs = run_until_outputs(net, rts, session)
+    assert all(v == "survives" for v in outputs.values())
+
+
+def test_validation_predicate_blocks_bad_values(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=5)
+    session = rbc_session(2, "v")
+    _spawn_rbc(rts, session, 2, ("bad", 666), validate=lambda v: v[0] == "good")
+    net.run()
+    assert all(rts[p].result(session) is None for p in rts)
+
+
+def test_validation_predicate_allows_good_values(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=6)
+    session = rbc_session(2, "v")
+    _spawn_rbc(rts, session, 2, ("good", 1), validate=lambda v: v[0] == "good")
+    outputs = run_until_outputs(net, rts, session)
+    assert set(outputs.values()) == {("good", 1)}
+
+
+def test_validation_exception_treated_as_reject(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=7)
+    session = rbc_session(0, "v")
+
+    def explosive(value):
+        raise RuntimeError("boom")
+
+    _spawn_rbc(rts, session, 0, "x", validate=explosive)
+    net.run()
+    assert all(rts[p].result(session) is None for p in rts)
+
+
+def test_forged_send_from_non_sender_ignored(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=8)
+    session = rbc_session(0, "m")
+    _spawn_rbc(rts, session, 0, None)  # sender has no input
+    # Party 2 forges a SEND claiming to be... itself (channel gives true
+    # sender, so the protocol must reject SENDs not from party 0).
+    net.send(2, 1, (session, RbcSend("forged")))
+    net.run()
+    assert all(rts[p].result(session) is None for p in rts)
+
+
+def test_echo_amplification_via_ready(keys_4_1):
+    """A party that missed the SEND+ECHO phase still delivers from
+    t+1 READYs (Bracha amplification)."""
+    net, rts = make_network(keys_4_1, seed=9)
+    session = rbc_session(0, "m")
+    # Inject READY messages from 3 parties directly at party 3 only.
+    for src in (0, 1, 2):
+        net.send(src, 3, (session, RbcReady("amplified")))
+    rts[3].spawn(session, ReliableBroadcast(0))
+    net.run()
+    assert rts[3].result(session) == "amplified"
+
+
+def test_duplicate_echoes_not_double_counted(keys_4_1):
+    net, rts = make_network(keys_4_1, seed=10, parties=[3])
+    session = rbc_session(0, "m")
+    inst = rts[3].spawn(session, ReliableBroadcast(0))
+    # Two echoes from the same party: must count once (quorum is 3).
+    for _ in range(5):
+        net.send(1, 3, (session, RbcEcho("v")))
+    net.run()
+    assert inst.echoes["v"] == {1}
+    assert not inst.readied
+
+
+def test_rbc_with_generalized_structure(keys_example1):
+    """Nine servers, all of class a silenced: delivery still succeeds."""
+    honest = [4, 5, 6, 7, 8]
+    net, rts = make_network(keys_example1, seed=11, parties=honest)
+    for bad in (0, 1, 2, 3):
+        net.attach(bad, SilentNode())
+    session = rbc_session(4, "gen")
+    _spawn_rbc(rts, session, 4, "resilient")
+    outputs = run_until_outputs(net, rts, session)
+    assert all(v == "resilient" for v in outputs.values())

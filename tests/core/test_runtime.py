@@ -1,0 +1,147 @@
+"""Protocol runtime: session routing, buffering, factories, outputs."""
+
+import pytest
+
+from repro.core.protocol import Context, Protocol
+from repro.core.runtime import ProtocolRuntime
+from repro.net.scheduler import FifoScheduler
+from repro.net.simulator import Network
+
+import random
+
+
+class Echo(Protocol):
+    """Outputs the first message it receives; records everything."""
+
+    def __init__(self):
+        self.log = []
+        self.started = False
+
+    def on_start(self, ctx):
+        self.started = True
+
+    def on_message(self, ctx, sender, message):
+        self.log.append((sender, message))
+        ctx.output(message)
+
+
+@pytest.fixture()
+def rig(keys_4_1):
+    net = Network(FifoScheduler(), random.Random(0))
+    runtimes = {}
+    for i in range(4):
+        rt = ProtocolRuntime(i, net, keys_4_1.public, keys_4_1.private[i], seed=1)
+        net.attach(i, rt)
+        runtimes[i] = rt
+    return net, runtimes
+
+
+def test_routing_by_session(rig):
+    net, rts = rig
+    a = rts[1].spawn(("s", "a"), Echo())
+    b = rts[1].spawn(("s", "b"), Echo())
+    net.send(0, 1, (("s", "a"), "for-a"))
+    net.send(0, 1, (("s", "b"), "for-b"))
+    net.run()
+    assert a.log == [(0, "for-a")]
+    assert b.log == [(0, "for-b")]
+
+
+def test_spawn_is_idempotent(rig):
+    _, rts = rig
+    first = rts[0].spawn(("s",), Echo())
+    second = rts[0].spawn(("s",), Echo())
+    assert first is second
+    assert first.started
+
+
+def test_buffering_before_spawn(rig):
+    net, rts = rig
+    net.send(0, 1, (("late",), "early-bird"))
+    net.run()
+    inst = rts[1].spawn(("late",), Echo())
+    assert inst.log == [(0, "early-bird")]  # replayed on spawn
+
+
+def test_factory_auto_creates(rig):
+    net, rts = rig
+    created = []
+
+    def factory(session):
+        created.append(session)
+        return Echo()
+
+    rts[2].register_factory("auto", factory)
+    net.send(0, 2, (("auto", 7), "hi"))
+    net.run()
+    assert created == [("auto", 7)]
+    assert rts[2].instances[("auto", 7)].log == [(0, "hi")]
+
+
+def test_factory_may_reject(rig):
+    net, rts = rig
+    rts[2].register_factory("picky", lambda s: Echo() if s[1] == "ok" else None)
+    net.send(0, 2, (("picky", "bad"), "x"))
+    net.send(0, 2, (("picky", "ok"), "y"))
+    net.run()
+    assert ("picky", "bad") not in rts[2].instances
+    assert rts[2].instances[("picky", "ok")].log == [(0, "y")]
+
+
+def test_output_callbacks_and_results(rig):
+    net, rts = rig
+    seen = []
+    rts[1].spawn(("s",), Echo(), on_output=seen.append)
+    net.send(0, 1, (("s",), "value"))
+    net.run()
+    assert seen == ["value"]
+    assert rts[1].result(("s",)) == "value"
+
+
+def test_first_output_wins(rig):
+    net, rts = rig
+    inst = rts[1].spawn(("s",), Echo())
+    net.send(0, 1, (("s",), "first"))
+    net.send(2, 1, (("s",), "second"))
+    net.run()
+    assert rts[1].result(("s",)) == "first"
+    assert len(inst.log) == 2  # messages still delivered
+
+
+def test_late_subscriber_gets_existing_output(rig):
+    net, rts = rig
+    rts[1].spawn(("s",), Echo())
+    net.send(0, 1, (("s",), "v"))
+    net.run()
+    seen = []
+    rts[1].subscribe(("s",), seen.append)
+    assert seen == ["v"]
+
+
+def test_junk_payloads_ignored(rig):
+    net, rts = rig
+    inst = rts[1].spawn(("s",), Echo())
+    net.send(0, 1, "not-a-tuple")
+    net.send(0, 1, (1, 2, 3))
+    net.send(0, 1, ((), "empty-session"))
+    net.send(0, 1, ("nontuple-session", "x"))
+    net.run()
+    assert inst.log == []
+
+
+def test_buffer_limit_bounds_memory(rig):
+    net, rts = rig
+    from repro.core import runtime as rt_mod
+
+    for k in range(rt_mod._BUFFER_LIMIT + 50):
+        rts[1].on_message(0, (("flood",), k))
+    assert len(rts[1]._buffered[("flood",)]) == rt_mod._BUFFER_LIMIT
+
+
+def test_context_exposes_identity_and_keys(rig):
+    _, rts = rig
+    ctx = Context(rts[3], ("s",))
+    assert ctx.party == 3
+    assert ctx.n == 4
+    assert ctx.keys.party == 3
+    assert ctx.quorum.is_quorum({0, 1, 2})

@@ -1,0 +1,136 @@
+"""Threshold coin-tossing: consistency, robustness, unpredictability."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.adversary.attributes import example1_access_formula
+from repro.crypto.coin import deal_coin
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import LsssScheme, threshold_scheme
+
+GROUP = small_group()
+
+
+@pytest.fixture(scope="module")
+def coin_5_2():
+    rng = random.Random(21)
+    scheme = threshold_scheme(5, 2, GROUP.q)
+    return deal_coin(GROUP, scheme, rng)
+
+
+def test_all_qualified_sets_agree(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(22)
+    values = set()
+    for subset in ([0, 1, 2], [2, 3, 4], [0, 2, 4], [1, 3, 4], [0, 1, 2, 3, 4]):
+        shares = {i: holders[i].share_for("coin-X", rng) for i in subset}
+        values.add(public.combine("coin-X", shares))
+    assert len(values) == 1
+    assert values.pop() in (0, 1)
+
+
+def test_different_names_give_independent_coins(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(23)
+    outcomes = []
+    for name in range(40):
+        shares = {i: holders[i].share_for(("c", name), rng) for i in (0, 1, 2)}
+        outcomes.append(public.combine(("c", name), shares))
+    # Statistically both values must appear across 40 coins
+    # (probability of a constant sequence is 2^-39).
+    assert set(outcomes) == {0, 1}
+
+
+def test_share_verification_accepts_honest(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(24)
+    for i in range(5):
+        assert public.verify_share(holders[i].share_for("v", rng))
+
+
+def test_share_verification_rejects_wrong_value(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(25)
+    share = holders[0].share_for("w", rng)
+    slot = next(iter(share.values))
+    forged_values = dict(share.values)
+    forged_values[slot] = GROUP.mul(forged_values[slot], GROUP.g)
+    assert not public.verify_share(replace(share, values=forged_values))
+
+
+def test_share_verification_rejects_replayed_name(coin_5_2):
+    """A share (with proof) for coin A must not pass as a share for B."""
+    public, holders = coin_5_2
+    rng = random.Random(26)
+    share = holders[1].share_for("A", rng)
+    assert not public.verify_share(replace(share, name="B"))
+
+
+def test_share_verification_rejects_missing_slots(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(27)
+    share = holders[2].share_for("m", rng)
+    assert not public.verify_share(replace(share, values={}))
+
+
+def test_combine_requires_qualified_set(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(28)
+    shares = {i: holders[i].share_for("q", rng) for i in (0, 1)}
+    with pytest.raises(ValueError):
+        public.combine("q", shares)
+
+
+def test_unqualified_shares_do_not_determine_coin(coin_5_2):
+    """Unpredictability proxy: the value a corruptible coalition could
+    compute from its own shares (by trying both completions) is not
+    fixed — over many coins the true value disagrees with any guess
+    based on two shares about half the time.  Here we just check the
+    honest-combined coins are not a constant function of the first two
+    shares' bits."""
+    public, holders = coin_5_2
+    rng = random.Random(29)
+    disagreements = 0
+    for name in range(30):
+        shares3 = {i: holders[i].share_for(("u", name), rng) for i in (0, 1, 2)}
+        true_value = public.combine(("u", name), shares3)
+        other = {i: holders[i].share_for(("u", name), rng) for i in (2, 3, 4)}
+        assert public.combine(("u", name), other) == true_value
+        disagreements += true_value
+    assert 0 < disagreements < 30
+
+
+def test_coin_over_generalized_structure():
+    rng = random.Random(30)
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=GROUP.q)
+    public, holders = deal_coin(GROUP, scheme, rng)
+    qualified = [{0, 4, 6}, {1, 5, 7, 8}, {4, 5, 6, 7, 8}]
+    values = set()
+    for subset in qualified:
+        shares = {i: holders[i].share_for("gen", rng) for i in subset}
+        assert all(public.verify_share(s) for s in shares.values())
+        values.add(public.combine("gen", shares))
+    assert len(values) == 1
+    # All of class a together cannot open the coin.
+    shares = {i: holders[i].share_for("gen", rng) for i in (0, 1, 2, 3)}
+    with pytest.raises(ValueError):
+        public.combine("gen", shares)
+
+
+def test_many_bits_extraction(coin_5_2):
+    public, holders = coin_5_2
+    rng = random.Random(31)
+    shares = {i: holders[i].share_for("bits", rng) for i in (0, 3, 4)}
+    v63 = public.combine_many_bits("bits", shares, bits=63)
+    assert 0 <= v63 < (1 << 63)
+    other = {i: holders[i].share_for("bits", rng) for i in (1, 2, 3)}
+    assert public.combine_many_bits("bits", other, bits=63) == v63
+
+
+def test_dealer_rejects_mismatched_modulus():
+    rng = random.Random(32)
+    scheme = threshold_scheme(4, 1, GROUP.q + 2)
+    with pytest.raises(ValueError):
+        deal_coin(GROUP, scheme, rng)

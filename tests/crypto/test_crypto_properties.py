@@ -1,0 +1,95 @@
+"""Property-based tests over the threshold-cryptography schemes."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.coin import deal_coin
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import threshold_scheme
+from repro.crypto.schnorr import keygen
+from repro.crypto.threshold_enc import deal_encryption
+
+GROUP = small_group()
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Module-level fixtures (dealt once; hypothesis examples reuse them).
+_SCHEME = threshold_scheme(4, 1, GROUP.q)
+_COIN_PUB, _COIN_HOLDERS = deal_coin(GROUP, _SCHEME, random.Random(1))
+_ENC_PUB, _ENC_HOLDERS = deal_encryption(GROUP, _SCHEME, random.Random(2))
+
+
+@given(
+    message=st.binary(min_size=0, max_size=200),
+    label=st.binary(max_size=30),
+    subset=st.sets(st.integers(0, 3), min_size=2, max_size=4),
+    seed=st.integers(0, 10**6),
+)
+@_settings
+def test_tdh2_roundtrip_property(message, label, subset, seed):
+    """Every message/label/qualified-subset combination decrypts."""
+    rng = random.Random(seed)
+    ct = _ENC_PUB.encrypt(message, label, rng)
+    assert _ENC_PUB.check_ciphertext(ct)
+    shares = {i: _ENC_HOLDERS[i].decryption_share(ct, rng) for i in subset}
+    assert _ENC_PUB.combine(ct, shares) == message
+
+
+@given(
+    name=st.tuples(st.text(max_size=10), st.integers(0, 10**9)),
+    subset_a=st.sets(st.integers(0, 3), min_size=2, max_size=4),
+    subset_b=st.sets(st.integers(0, 3), min_size=2, max_size=4),
+    seed=st.integers(0, 10**6),
+)
+@_settings
+def test_coin_consistency_property(name, subset_a, subset_b, seed):
+    """Any two qualified subsets open the same value for any coin name."""
+    rng = random.Random(seed)
+    shares_a = {i: _COIN_HOLDERS[i].share_for(name, rng) for i in subset_a}
+    shares_b = {i: _COIN_HOLDERS[i].share_for(name, rng) for i in subset_b}
+    assert all(_COIN_PUB.verify_share(s) for s in shares_a.values())
+    value_a = _COIN_PUB.combine(name, shares_a)
+    value_b = _COIN_PUB.combine(name, shares_b)
+    assert value_a == value_b
+    assert value_a in (0, 1)
+
+
+@given(
+    message=st.one_of(
+        st.text(max_size=50),
+        st.binary(max_size=50),
+        st.tuples(st.integers(), st.text(max_size=10)),
+    ),
+    other=st.text(min_size=1, max_size=20),
+    seed=st.integers(0, 10**6),
+)
+@_settings
+def test_schnorr_signature_property(message, other, seed):
+    """Signatures verify on the signed message and on nothing else."""
+    rng = random.Random(seed)
+    key = keygen(rng, GROUP)
+    sig = key.sign(message, rng)
+    assert key.verify_key.verify(message, sig)
+    if other != message:
+        assert not key.verify_key.verify(other, sig)
+
+
+@given(
+    secret=st.integers(0, GROUP.q - 1),
+    subset=st.sets(st.integers(0, 3), min_size=2, max_size=4),
+    small=st.sets(st.integers(0, 3), min_size=0, max_size=1),
+    seed=st.integers(0, 10**6),
+)
+@_settings
+def test_lsss_access_boundary_property(secret, subset, small, seed):
+    """Qualified sets reconstruct; corruptible sets get nothing."""
+    rng = random.Random(seed)
+    sharing = _SCHEME.deal(secret, rng)
+    assert _SCHEME.reconstruct(sharing, subset) == secret
+    assert _SCHEME.recombination(small) is None

@@ -1,0 +1,141 @@
+"""The trusted dealer: completeness and admissibility checks."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    And,
+    Leaf,
+    example1_access_formula,
+    example1_structure,
+    majority,
+    threshold_structure,
+)
+from repro.crypto import deal_system, small_group
+from repro.crypto.threshold_sig import QuorumCertScheme, ShoupRsaScheme
+
+
+def test_bundles_complete(keys_4_1):
+    public = keys_4_1.public
+    assert public.n == 4
+    assert public.threshold() == 1
+    assert set(keys_4_1.private) == {0, 1, 2, 3}
+    for i in range(4):
+        pk = keys_4_1.private[i]
+        assert pk.party == i
+        assert pk.coin.subshares  # everyone holds coin material
+        assert pk.decryption.subshares
+    assert set(public.verify_keys) == {0, 1, 2, 3}
+
+
+def test_q3_violation_rejected():
+    with pytest.raises(ValueError):
+        deal_system(3, random.Random(1), t=1, group=small_group())
+    with pytest.raises(ValueError):
+        deal_system(6, random.Random(2), t=2, group=small_group())
+
+
+def test_q3_violation_allowed_when_disabled():
+    keys = deal_system(
+        3, random.Random(3), t=1, group=small_group(), require_q3=False
+    )
+    assert keys.public.n == 3
+
+
+def test_generalized_structure_needs_formula():
+    with pytest.raises(ValueError):
+        deal_system(
+            9, random.Random(4), structure=example1_structure(), group=small_group()
+        )
+
+
+def test_incompatible_formula_rejected():
+    # An AND over two class-a servers is reconstructible by a corruptible
+    # coalition — must be refused.
+    bad = And(Leaf(0), Leaf(1))
+    with pytest.raises(ValueError):
+        deal_system(
+            9,
+            random.Random(5),
+            structure=example1_structure(),
+            access_formula=bad,
+            group=small_group(),
+        )
+
+
+def test_threshold_with_wrong_majority_formula_rejected():
+    # t=1 but a 2-of-4 access formula lets a single corrupted pair...
+    # actually a t-sized set must never be qualified: 2-of-4 with t=1 is
+    # fine; 1-of-4 is not.
+    with pytest.raises(ValueError):
+        deal_system(
+            4,
+            random.Random(6),
+            t=1,
+            access_formula=majority(list(range(4)), 1),
+            group=small_group(),
+        )
+
+
+def test_example1_system_deals(keys_example1):
+    public = keys_example1.public
+    assert public.n == 9
+    assert public.threshold() is None
+    assert public.quorum.can_be_corrupted({0, 1, 2, 3})
+    assert public.quorum.can_be_corrupted({0, 4})  # a pair, not both class a
+    assert not public.quorum.can_be_corrupted({0, 4, 6})
+
+
+def test_certs_backend_default(keys_4_1):
+    assert isinstance(keys_4_1.public.service_signature, QuorumCertScheme)
+
+
+def test_rsa_backend(keys_4_1_rsa):
+    public = keys_4_1_rsa.public
+    assert isinstance(public.service_signature, ShoupRsaScheme)
+    assert public.service_signature.k == 2  # t + 1
+    rng = random.Random(7)
+    shares = {}
+    for i in (0, 2):
+        holder = keys_4_1_rsa.private[i].service_signer
+        shares[holder.party] = holder.sign_share("answer", rng)
+    sig = public.service_signature.combine("answer", shares)
+    assert public.service_signature.verify("answer", sig)
+
+
+def test_rsa_backend_requires_threshold():
+    with pytest.raises(ValueError):
+        deal_system(
+            9,
+            random.Random(8),
+            structure=example1_structure(),
+            access_formula=example1_access_formula(),
+            group=small_group(),
+            signature_backend="rsa",
+        )
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        deal_system(
+            4, random.Random(9), t=1, group=small_group(), signature_backend="pq"
+        )
+
+
+def test_structure_mismatched_n_rejected():
+    with pytest.raises(ValueError):
+        deal_system(
+            8,
+            random.Random(10),
+            structure=threshold_structure(9, 2),
+            access_formula=majority(list(range(9)), 3),
+            group=small_group(),
+        )
+
+
+def test_dealing_is_deterministic_given_seed():
+    a = deal_system(4, random.Random(99), t=1, group=small_group())
+    b = deal_system(4, random.Random(99), t=1, group=small_group())
+    assert a.public.encryption.h == b.public.encryption.h
+    assert a.private[2].signing_key.x == b.private[2].signing_key.x

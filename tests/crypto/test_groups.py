@@ -1,0 +1,85 @@
+"""Schnorr group laws and membership."""
+
+import random
+
+import pytest
+
+from repro.crypto.groups import (
+    SchnorrGroup,
+    default_group,
+    generate_group,
+    small_group,
+)
+from repro.crypto.numtheory import is_probable_prime
+
+
+@pytest.fixture(scope="module", params=["small", "default"])
+def group(request):
+    return small_group() if request.param == "small" else default_group()
+
+
+def test_parameters_are_safe_prime_groups(group):
+    assert group.p == 2 * group.q + 1
+    assert is_probable_prime(group.p)
+    assert is_probable_prime(group.q)
+
+
+def test_generator_has_order_q(group):
+    assert group.exp(group.g, group.q) == 1
+    assert group.g != 1
+
+
+def test_group_closure_and_associativity(group):
+    rng = random.Random(7)
+    a, b, c = (group.random_element(rng) for _ in range(3))
+    assert group.is_member(group.mul(a, b))
+    assert group.mul(group.mul(a, b), c) == group.mul(a, group.mul(b, c))
+
+
+def test_inverse(group):
+    rng = random.Random(8)
+    a = group.random_element(rng)
+    assert group.mul(a, group.inv(a)) == 1
+
+
+def test_exponent_arithmetic_mod_q(group):
+    rng = random.Random(9)
+    x = group.random_exponent(rng)
+    assert group.power_of_g(x) == group.power_of_g(x + group.q)
+    assert group.exp(group.g, -1) == group.inv(group.g)
+
+
+def test_membership_rejects_non_residues(group):
+    # -1 is a quadratic non-residue mod a safe prime p > 3.
+    assert not group.is_member(group.p - 1)
+    assert not group.is_member(0)
+    assert not group.is_member(group.p)
+
+
+def test_element_from_bytes_lands_in_subgroup(group):
+    for i in range(20):
+        assert group.is_member(group.element_from_bytes(i * 7919 + 3))
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        SchnorrGroup(p=23, q=7, g=2)  # p != 2q+1
+    good = small_group()
+    with pytest.raises(ValueError):
+        SchnorrGroup(p=good.p, q=good.q, g=1)  # trivial generator
+
+
+def test_generate_group_produces_valid_group():
+    grp = generate_group(32, random.Random(5))
+    assert grp.p == 2 * grp.q + 1
+    assert grp.is_member(grp.g)
+    rng = random.Random(6)
+    x = grp.random_exponent(rng)
+    assert grp.is_member(grp.power_of_g(x))
+
+
+def test_random_element_uses_full_subgroup():
+    grp = small_group()
+    rng = random.Random(10)
+    seen = {grp.random_element(rng) for _ in range(50)}
+    assert len(seen) == 50  # collisions in a 2^63 group would be a bug

@@ -1,0 +1,109 @@
+"""Random-oracle helpers: unambiguous encoding and domain separation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.groups import small_group
+from repro.crypto.hashing import (
+    encode,
+    hash_bytes,
+    hash_to_exponent,
+    hash_to_group,
+    hash_to_int,
+    mgf1,
+    xor_bytes,
+)
+from repro.crypto.schnorr import Signature
+
+# Values the protocols actually hash: nested tuples of primitives.
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**12), 10**12),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+values = st.recursive(atoms, lambda c: st.tuples(c, c) | st.lists(c, max_size=3), max_leaves=8)
+
+
+@given(values, values)
+def test_encode_injective_on_distinct_values(a, b):
+    # Lists and tuples encode identically by design; normalize first.
+    def norm(v):
+        if isinstance(v, (list, tuple)):
+            return tuple(norm(x) for x in v)
+        return v
+
+    if norm(a) != norm(b):
+        assert encode(a) != encode(b)
+    else:
+        assert encode(a) == encode(b)
+
+
+def test_encode_distinguishes_adjacent_strings():
+    # The classic concatenation pitfall: ("ab","c") vs ("a","bc").
+    assert encode("ab", "c") != encode("a", "bc")
+    assert encode(b"ab", b"c") != encode(b"a", b"bc")
+    assert encode(12, 3) != encode(1, 23)
+
+
+def test_encode_distinguishes_types():
+    assert encode(1) != encode("1")
+    assert encode(b"1") != encode("1")
+    assert encode(True) != encode(1)
+    assert encode(None) != encode("")
+
+
+def test_encode_handles_dataclasses_and_dicts():
+    sig = Signature(challenge=5, response=9)
+    assert encode(sig) == encode(Signature(challenge=5, response=9))
+    assert encode(sig) != encode(Signature(challenge=5, response=10))
+    assert encode({1: "a", 2: "b"}) == encode({2: "b", 1: "a"})
+
+
+def test_encode_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode(object())
+
+
+def test_domain_separation():
+    assert hash_bytes("a", "x") != hash_bytes("b", "x")
+    assert hash_to_int("a", "x") != hash_to_int("b", "x")
+
+
+def test_hash_to_int_respects_bit_bound():
+    for bits in (8, 64, 256, 300):
+        v = hash_to_int("t", "data", bits=bits)
+        assert 0 <= v < (1 << bits)
+
+
+def test_hash_to_exponent_in_range():
+    grp = small_group()
+    for i in range(50):
+        e = hash_to_exponent(grp, "t", i)
+        assert 0 < e < grp.q
+
+
+def test_hash_to_group_members():
+    grp = small_group()
+    seen = set()
+    for i in range(30):
+        h = hash_to_group(grp, "t", i)
+        assert grp.is_member(h)
+        seen.add(h)
+    assert len(seen) == 30
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(ValueError):
+        xor_bytes(b"a", b"ab")
+
+
+def test_mgf1_lengths_and_prefix_freeness():
+    short = mgf1(b"seed", 10)
+    long = mgf1(b"seed", 100)
+    assert len(short) == 10 and len(long) == 100
+    assert long.startswith(short)  # counter-mode expansion
+    assert mgf1(b"seed2", 10) != short

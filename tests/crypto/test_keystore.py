@@ -1,0 +1,163 @@
+"""Keystore: dealer output round-trips through JSON files."""
+
+import json
+import random
+
+import pytest
+
+from repro.adversary import example1_access_formula, example1_structure
+from repro.crypto import deal_system, small_group
+from repro.crypto.keystore import (
+    KeystoreError,
+    load_party,
+    load_public,
+    party_from_dict,
+    party_to_dict,
+    public_from_dict,
+    public_to_dict,
+    write_deployment,
+)
+
+
+def _roundtrip_and_sign(keys, tmp_path):
+    """Write to disk, reload, and exercise every reloaded capability."""
+    paths = write_deployment(keys, tmp_path)
+    public = load_public(tmp_path / "public.json")
+    rng = random.Random(9)
+
+    # Coin: shares from reloaded bundles combine and verify.
+    holders = {
+        i: load_party(tmp_path / f"server-{i}.json", public).coin
+        for i in range(public.n)
+    }
+    shares = {i: holders[i].share_for("reloaded", rng) for i in (0, 1)}
+    assert all(public.coin.verify_share(s) for s in shares.values())
+    original_shares = {
+        i: keys.private[i].coin.share_for("reloaded", rng) for i in (2, 3)
+    }
+    assert public.coin.combine("reloaded", shares) == keys.public.coin.combine(
+        "reloaded", original_shares
+    )
+
+    # Encryption: a ciphertext made with the original public key decrypts
+    # with reloaded shares.
+    ct = keys.public.encryption.encrypt(b"persisted", b"L", rng)
+    dec = {
+        i: load_party(tmp_path / f"server-{i}.json", public).decryption
+        for i in (0, 2)
+    }
+    dshares = {i: dec[i].decryption_share(ct, rng) for i in dec}
+    assert public.encryption.combine(ct, dshares) == b"persisted"
+
+    # Channel signatures verify across the reload boundary.
+    party0 = load_party(tmp_path / "server-0.json", public)
+    sig = party0.signing_key.sign("hello", rng)
+    assert public.verify_keys[0].verify("hello", sig)
+    return paths
+
+
+def test_threshold_deployment_roundtrip(tmp_path):
+    keys = deal_system(4, random.Random(1), t=1, group=small_group())
+    paths = _roundtrip_and_sign(keys, tmp_path)
+    assert len(paths) == 5  # public + 4 servers
+
+
+def test_generalized_deployment_roundtrip(tmp_path):
+    keys = deal_system(
+        9,
+        random.Random(2),
+        structure=example1_structure(),
+        access_formula=example1_access_formula(),
+        group=small_group(),
+    )
+    write_deployment(keys, tmp_path)
+    public = load_public(tmp_path / "public.json")
+    # The generalized quorum semantics survive the round-trip.
+    assert public.quorum.can_be_corrupted({0, 1, 2, 3})
+    assert not public.quorum.can_be_corrupted({0, 4, 6})
+    assert public.access_scheme.is_qualified({0, 4, 6})
+    assert not public.access_scheme.is_qualified({0, 1, 2, 3})
+
+
+def test_hybrid_deployment_roundtrip(tmp_path):
+    keys = deal_system(9, random.Random(3), hybrid=(1, 2), group=small_group())
+    write_deployment(keys, tmp_path)
+    public = load_public(tmp_path / "public.json")
+    assert public.quorum.describe() == keys.public.quorum.describe()
+
+
+def test_rsa_backend_roundtrip(tmp_path, keys_4_1_rsa):
+    write_deployment(keys_4_1_rsa, tmp_path)
+    public = load_public(tmp_path / "public.json")
+    rng = random.Random(4)
+    holders = {
+        i: load_party(tmp_path / f"server-{i}.json", public).service_signer
+        for i in (0, 1)
+    }
+    shares = {h.party: h.sign_share("msg", rng) for h in holders.values()}
+    signature = public.service_signature.combine("msg", shares)
+    assert public.service_signature.verify("msg", signature)
+    # ...and verifies under the ORIGINAL public bundle too.
+    assert keys_4_1_rsa.public.service_signature.verify("msg", signature)
+
+
+def test_reloaded_system_runs_the_protocols(tmp_path):
+    """End-to-end: a service built entirely from reloaded key files."""
+    import random as _r
+
+    from repro.core.runtime import ProtocolRuntime
+    from repro.net.scheduler import RandomScheduler
+    from repro.net.simulator import Network
+    from repro.smr import KeyValueStore
+    from repro.smr.client import ServiceClient
+    from repro.smr.replica import Replica, service_session
+
+    keys = deal_system(4, random.Random(5), t=1, group=small_group())
+    write_deployment(keys, tmp_path)
+    public = load_public(tmp_path / "public.json")
+    net = Network(RandomScheduler(), _r.Random(6))
+    for i in range(4):
+        bundle = load_party(tmp_path / f"server-{i}.json", public)
+        rt = ProtocolRuntime(i, net, public, bundle, seed=6)
+        net.attach(i, rt)
+        rt.spawn(service_session("service"), Replica(KeyValueStore()))
+    client = ServiceClient(1000, net, public, _r.Random(7))
+    net.attach(1000, client)
+    net.start()
+    nonce = client.submit(("set", "persisted", True))
+    net.run(until=lambda: nonce in client.completed, max_steps=600_000)
+    assert client.completed[nonce].result == ("ok", 1)
+
+
+class TestValidation:
+    def test_version_check(self):
+        keys = deal_system(4, random.Random(7), t=1, group=small_group())
+        data = public_to_dict(keys.public)
+        data["version"] = 99
+        with pytest.raises(KeystoreError):
+            public_from_dict(data)
+
+    def test_party_version_check(self):
+        keys = deal_system(4, random.Random(8), t=1, group=small_group())
+        data = party_to_dict(keys.private[0])
+        data["version"] = 0
+        with pytest.raises(KeystoreError):
+            party_from_dict(data, keys.public)
+
+    def test_backend_mismatch_detected(self, keys_4_1_rsa):
+        certs_keys = deal_system(4, random.Random(9), t=1, group=small_group())
+        rsa_party = party_to_dict(keys_4_1_rsa.private[0])
+        with pytest.raises(KeystoreError):
+            party_from_dict(rsa_party, certs_keys.public)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "public.json"
+        path.write_text("{not json")
+        with pytest.raises(KeystoreError):
+            load_public(path)
+
+    def test_json_is_pure_text(self, tmp_path):
+        keys = deal_system(4, random.Random(10), t=1, group=small_group())
+        write_deployment(keys, tmp_path)
+        data = json.loads((tmp_path / "public.json").read_text())
+        assert data["version"] == 1  # plain JSON, no binary blobs

@@ -1,0 +1,165 @@
+"""Generalized linear secret sharing (Benaloh-Leichter)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.formulas import And, Leaf, Or, Threshold, majority
+from repro.adversary.attributes import (
+    example1_access_formula,
+    example2_access_formula,
+    example2_structure,
+)
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import LsssScheme, threshold_scheme
+from repro.crypto.shamir import reconstruct, share_secret
+
+Q = small_group().q
+
+
+def test_threshold_scheme_matches_shamir_semantics():
+    rng = random.Random(1)
+    scheme = threshold_scheme(5, 2, Q)
+    sharing = scheme.deal(4242, rng)
+    assert scheme.reconstruct(sharing, {0, 2, 4}) == 4242
+    assert scheme.recombination({0, 2}) is None
+
+
+def test_and_gate_requires_everyone():
+    rng = random.Random(2)
+    scheme = LsssScheme(formula=And(Leaf(0), Leaf(1), Leaf(2)), modulus=Q)
+    sharing = scheme.deal(7, rng)
+    assert scheme.reconstruct(sharing, {0, 1, 2}) == 7
+    assert scheme.recombination({0, 1}) is None
+    assert scheme.recombination({1, 2}) is None
+
+
+def test_or_gate_any_single_party():
+    rng = random.Random(3)
+    scheme = LsssScheme(formula=Or(Leaf(0), Leaf(1)), modulus=Q)
+    sharing = scheme.deal(55, rng)
+    assert scheme.reconstruct(sharing, {0}) == 55
+    assert scheme.reconstruct(sharing, {1}) == 55
+
+
+def test_nested_formula():
+    # (P0 AND P1) OR (P2 AND P3)
+    rng = random.Random(4)
+    formula = Or(And(Leaf(0), Leaf(1)), And(Leaf(2), Leaf(3)))
+    scheme = LsssScheme(formula=formula, modulus=Q)
+    sharing = scheme.deal(31337, rng)
+    assert scheme.reconstruct(sharing, {0, 1}) == 31337
+    assert scheme.reconstruct(sharing, {2, 3}) == 31337
+    assert scheme.recombination({0, 2}) is None
+    assert scheme.recombination({1, 3}) is None
+
+
+def test_party_appearing_in_multiple_leaves_gets_multiple_slots():
+    formula = Or(And(Leaf(0), Leaf(1)), And(Leaf(0), Leaf(2)))
+    scheme = LsssScheme(formula=formula, modulus=Q)
+    assert len(scheme.slots_of_party(0)) == 2
+    rng = random.Random(5)
+    sharing = scheme.deal(9, rng)
+    assert scheme.reconstruct(sharing, {0, 2}) == 9
+
+
+def test_example1_access_structure_semantics():
+    rng = random.Random(6)
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=Q)
+    sharing = scheme.deal(777, rng)
+    # Qualified: >= 3 servers covering >= 2 classes.
+    assert scheme.reconstruct(sharing, {0, 1, 4}) == 777
+    assert scheme.reconstruct(sharing, {4, 6, 8}) == 777
+    # All of class a (4 servers, one class): not qualified.
+    assert scheme.recombination({0, 1, 2, 3}) is None
+    # Two servers of two classes: size too small.
+    assert scheme.recombination({4, 6}) is None
+
+
+def test_example2_access_structure_semantics():
+    rng = random.Random(7)
+    scheme = LsssScheme(formula=example2_access_formula(), modulus=Q)
+    sharing = scheme.deal(2001, rng)
+    structure = example2_structure()
+    # The complement of any maximal corruptible set reconstructs.
+    worst = max(structure.maximal_sets, key=len)
+    rest = set(range(16)) - worst
+    assert scheme.reconstruct(sharing, rest) == 2001
+    # No corruptible coalition reconstructs.
+    for bad in structure.maximal_sets[:4]:
+        assert scheme.recombination(set(bad)) is None
+
+
+def test_recombination_is_linear():
+    """secret = Σ λ_slot · subshare_slot with public λ — the property
+    the coin and the cryptosystem rely on to combine in the exponent."""
+    rng = random.Random(8)
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=Q)
+    s1 = scheme.deal(100, rng)
+    s2 = scheme.deal(23, rng)
+    lam = scheme.recombination({0, 4, 6})
+    flat1, flat2 = s1.all_slots(), s2.all_slots()
+    combined = sum(c * ((flat1[s] + flat2[s]) % Q) for s, c in lam.items()) % Q
+    assert combined == (100 + 23) % Q
+
+
+def test_unqualified_reconstruct_raises():
+    rng = random.Random(9)
+    scheme = threshold_scheme(4, 1, Q)
+    sharing = scheme.deal(5, rng)
+    with pytest.raises(ValueError):
+        scheme.reconstruct(sharing, {2})
+
+
+def test_slot_owner_lookup():
+    scheme = threshold_scheme(3, 1, Q)
+    for slot, party in scheme.slots():
+        assert scheme.slot_owner(slot) == party
+    with pytest.raises(KeyError):
+        scheme.slot_owner((99, 99))
+
+
+@given(st.integers(0, Q - 1), st.integers(1, 4), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_threshold_lsss_agrees_with_direct_shamir(secret, k, extra):
+    """The single-gate LSSS is literally Shamir: same access semantics."""
+    n = k + 1 + extra
+    rng = random.Random(secret % 100000 + n * 131 + k)
+    scheme = threshold_scheme(n, k, Q)
+    sharing = scheme.deal(secret, rng)
+    qualified = set(rng.sample(range(n), k + 1))
+    assert scheme.reconstruct(sharing, qualified) == secret
+    small = set(rng.sample(range(n), k))
+    assert scheme.recombination(small) is None
+    shares, _ = share_secret(secret, n, k, Q, random.Random(0))
+    assert reconstruct(shares[: k + 1], Q) == secret
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_formula_access_semantics(data):
+    """For random small formulas: a set reconstructs iff it satisfies
+    the formula — dealing and recombination agree with evaluation."""
+    n = data.draw(st.integers(2, 5))
+    leaf = st.integers(0, n - 1).map(Leaf)
+    formula_strategy = st.recursive(
+        leaf,
+        lambda children: st.lists(children, min_size=2, max_size=3).flatmap(
+            lambda cs: st.integers(1, len(cs)).map(
+                lambda k: Threshold(k=k, children=tuple(cs))
+            )
+        ),
+        max_leaves=6,
+    )
+    formula = data.draw(formula_strategy)
+    secret = data.draw(st.integers(0, Q - 1))
+    scheme = LsssScheme(formula=formula, modulus=Q)
+    rng = random.Random(42)
+    sharing = scheme.deal(secret, rng)
+    present = frozenset(data.draw(st.sets(st.integers(0, n - 1), max_size=n)))
+    if formula.evaluate(present):
+        assert scheme.reconstruct(sharing, present) == secret
+    else:
+        assert scheme.recombination(present) is None

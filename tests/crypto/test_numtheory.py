@@ -1,0 +1,100 @@
+"""Number theory: primality, safe primes, egcd/modinv, CRT."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numtheory import (
+    crt,
+    egcd,
+    is_probable_prime,
+    modinv,
+    random_prime,
+    random_safe_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 104729, 2**61 - 1, 2**89 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 15, 341, 561, 1105, 2821, 6601, 104729 * 3]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+def test_known_composites_including_carmichael(c):
+    # 561, 1105, 2821, 6601 are Carmichael numbers: Fermat-liar heavy.
+    assert not is_probable_prime(c)
+
+
+def test_negative_and_zero_not_prime():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+def test_random_prime_has_exact_bit_length():
+    rng = random.Random(1)
+    for bits in (8, 16, 32, 64):
+        p = random_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_random_prime_rejects_tiny_bits():
+    with pytest.raises(ValueError):
+        random_prime(1, random.Random(0))
+
+
+def test_safe_prime_structure():
+    rng = random.Random(2)
+    sp = random_safe_prime(32, rng)
+    assert sp.p == 2 * sp.q + 1
+    assert is_probable_prime(sp.p)
+    assert is_probable_prime(sp.q)
+    assert sp.p.bit_length() == 32
+
+
+def test_safe_prime_rejects_tiny_bits():
+    with pytest.raises(ValueError):
+        random_safe_prime(3, random.Random(0))
+
+
+@given(st.integers(1, 10**9), st.integers(1, 10**9))
+def test_egcd_bezout_identity(a, b):
+    g, x, y = egcd(a, b)
+    assert a * x + b * y == g
+    assert a % g == 0 and b % g == 0
+
+
+def test_modinv_roundtrip():
+    m = 104729
+    for a in (1, 2, 17, 104728, 55):
+        inv = modinv(a, m)
+        assert (a * inv) % m == 1
+
+
+def test_modinv_noninvertible_raises():
+    with pytest.raises(ValueError):
+        modinv(6, 9)
+
+
+def test_modinv_of_negative_value():
+    m = 101
+    assert ((-3) * modinv(-3, m)) % m == 1
+
+
+@given(st.integers(0, 10**6))
+@settings(max_examples=50)
+def test_crt_reconstructs_value(x):
+    moduli = [101, 103, 107, 109]
+    residues = [x % m for m in moduli]
+    product = 101 * 103 * 107 * 109
+    assert crt(residues, moduli) == x % product
+
+
+def test_crt_length_mismatch():
+    with pytest.raises(ValueError):
+        crt([1, 2], [3])

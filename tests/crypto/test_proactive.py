@@ -1,0 +1,98 @@
+"""Proactive share refresh (Section 6 extension)."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.adversary.attributes import example1_access_formula
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import LsssScheme, threshold_scheme
+from repro.crypto.proactive import (
+    apply_refresh,
+    deal_zero_sharing,
+    refresh_lsss,
+    verify_zero_sharing,
+)
+from repro.crypto.shamir import reconstruct, share_secret
+
+GROUP = small_group()
+
+
+def test_zero_sharing_verifies():
+    rng = random.Random(1)
+    sharing = deal_zero_sharing(GROUP, 5, 2, dealer=0, rng=rng)
+    for point in range(1, 6):
+        assert verify_zero_sharing(GROUP, sharing, point)
+
+
+def test_zero_sharing_with_nonzero_constant_rejected():
+    rng = random.Random(2)
+    sharing = deal_zero_sharing(GROUP, 4, 1, dealer=1, rng=rng)
+    forged = replace(sharing, commitments=[GROUP.g] + sharing.commitments[1:])
+    assert not verify_zero_sharing(GROUP, forged, 1)
+
+
+def test_tampered_subshare_rejected():
+    rng = random.Random(3)
+    sharing = deal_zero_sharing(GROUP, 4, 1, dealer=0, rng=rng)
+    bad_subshares = dict(sharing.subshares)
+    bad_subshares[2] = (bad_subshares[2] + 1) % GROUP.q
+    assert not verify_zero_sharing(GROUP, replace(sharing, subshares=bad_subshares), 2)
+
+
+def test_refresh_preserves_secret_and_rerandomizes():
+    rng = random.Random(4)
+    n, t, secret = 5, 2, 31337
+    shares, _ = share_secret(secret, n, t, GROUP.q, rng)
+    updates = [deal_zero_sharing(GROUP, n, t, dealer=d, rng=rng) for d in range(3)]
+    refreshed = [apply_refresh(GROUP, s, updates) for s in shares]
+    # Secret unchanged...
+    assert reconstruct(refreshed[:3], GROUP.q) == secret
+    # ...but every share differs (old epoch's exposures are useless).
+    assert all(old.value != new.value for old, new in zip(shares, refreshed))
+
+
+def test_mixing_epochs_breaks_reconstruction():
+    """Shares from different epochs must not interpolate to the secret —
+    the property that invalidates a mobile adversary's stale captures."""
+    rng = random.Random(5)
+    secret = 777
+    shares, _ = share_secret(secret, 5, 2, GROUP.q, rng)
+    updates = [deal_zero_sharing(GROUP, 5, 2, dealer=0, rng=rng)]
+    refreshed = [apply_refresh(GROUP, s, updates) for s in shares]
+    mixed = [shares[0], refreshed[1], refreshed[2]]
+    assert reconstruct(mixed, GROUP.q) != secret
+
+
+def test_apply_refresh_rejects_invalid_update():
+    rng = random.Random(6)
+    shares, _ = share_secret(1, 4, 1, GROUP.q, rng)
+    update = deal_zero_sharing(GROUP, 4, 1, dealer=0, rng=rng)
+    forged = replace(update, commitments=[GROUP.g] + update.commitments[1:])
+    with pytest.raises(ValueError):
+        apply_refresh(GROUP, shares[0], [forged])
+
+
+def test_lsss_refresh_threshold_case():
+    rng = random.Random(7)
+    scheme = threshold_scheme(4, 1, GROUP.q)
+    sharing = scheme.deal(4242, rng)
+    refreshed = refresh_lsss(scheme, sharing, rng)
+    assert scheme.reconstruct(refreshed, {0, 2}) == 4242
+    assert sharing.all_slots() != refreshed.all_slots()
+
+
+def test_lsss_refresh_generalized_case():
+    rng = random.Random(8)
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=GROUP.q)
+    sharing = scheme.deal(99, rng)
+    refreshed = refresh_lsss(scheme, sharing, rng)
+    assert scheme.reconstruct(refreshed, {0, 4, 6}) == 99
+    assert scheme.reconstruct(refreshed, {5, 7, 8}) == 99
+    changed = sum(
+        1
+        for slot, value in sharing.all_slots().items()
+        if refreshed.all_slots()[slot] != value
+    )
+    assert changed > 0

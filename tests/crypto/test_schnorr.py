@@ -1,0 +1,63 @@
+"""Schnorr signatures: correctness and rejection of forgeries."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.groups import small_group
+from repro.crypto.schnorr import Signature, keygen
+
+
+@pytest.fixture()
+def key():
+    return keygen(random.Random(3), small_group())
+
+
+def test_sign_verify_roundtrip(key):
+    rng = random.Random(4)
+    for message in ("hello", ("tuple", 1), b"bytes", 42):
+        sig = key.sign(message, rng)
+        assert key.verify_key.verify(message, sig)
+
+
+def test_wrong_message_rejected(key):
+    sig = key.sign("msg", random.Random(5))
+    assert not key.verify_key.verify("other", sig)
+
+
+def test_wrong_key_rejected(key):
+    other = keygen(random.Random(6), small_group())
+    sig = key.sign("msg", random.Random(7))
+    assert not other.verify_key.verify("msg", sig)
+
+
+def test_tampered_signature_rejected(key):
+    sig = key.sign("msg", random.Random(8))
+    grp = key.group
+    assert not key.verify_key.verify(
+        "msg", replace(sig, response=(sig.response + 1) % grp.q)
+    )
+    assert not key.verify_key.verify(
+        "msg", replace(sig, challenge=(sig.challenge + 1) % grp.q)
+    )
+
+
+def test_malformed_values_rejected(key):
+    grp = key.group
+    assert not key.verify_key.verify("msg", Signature(challenge=0, response=5))
+    assert not key.verify_key.verify("msg", Signature(challenge=grp.q, response=5))
+    assert not key.verify_key.verify("msg", Signature(challenge=5, response=grp.q))
+
+
+def test_signatures_are_randomized(key):
+    a = key.sign("msg", random.Random(9))
+    b = key.sign("msg", random.Random(10))
+    assert a != b  # fresh nonce per signature
+    assert key.verify_key.verify("msg", a) and key.verify_key.verify("msg", b)
+
+
+def test_distinct_keys_distinct_verify_keys():
+    rng = random.Random(11)
+    keys = [keygen(rng, small_group()) for _ in range(10)]
+    assert len({k.verify_key.h for k in keys}) == 10

@@ -1,0 +1,146 @@
+"""Corruption harness: structure enforcement and malicious behaviors."""
+
+import random
+
+import pytest
+
+from repro.adversary.quorums import GeneralQuorumSystem, ThresholdQuorumSystem
+from repro.adversary.attributes import example1_structure
+from repro.net.adversary import (
+    CorruptionController,
+    CrashNode,
+    MutatingNode,
+    SilentNode,
+    SpamNode,
+)
+from repro.net.scheduler import FifoScheduler
+from repro.net.simulator import Network, Node
+
+
+class Sink(Node):
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+def _net(n=4):
+    net = Network(FifoScheduler(), random.Random(0))
+    nodes = {}
+    for i in range(n):
+        nodes[i] = Sink()
+        net.attach(i, nodes[i])
+    return net, nodes
+
+
+def test_controller_allows_admissible_corruption():
+    net, _ = _net(4)
+    ctrl = CorruptionController(ThresholdQuorumSystem(n=4, t=1))
+    ctrl.corrupt(net, 2, SilentNode())
+    assert ctrl.corrupted == {2}
+    assert ctrl.honest(list(range(4))) == [0, 1, 3]
+
+
+def test_controller_rejects_excess_corruption():
+    net, _ = _net(4)
+    ctrl = CorruptionController(ThresholdQuorumSystem(n=4, t=1))
+    ctrl.corrupt(net, 2, SilentNode())
+    with pytest.raises(ValueError):
+        ctrl.corrupt(net, 3, SilentNode())
+
+
+def test_controller_unchecked_override():
+    net, _ = _net(4)
+    ctrl = CorruptionController(ThresholdQuorumSystem(n=4, t=1))
+    ctrl.corrupt(net, 2, SilentNode())
+    ctrl.corrupt(net, 3, SilentNode(), unchecked=True)
+    assert ctrl.corrupted == {2, 3}
+
+
+def test_controller_with_generalized_structure():
+    net, _ = _net(9)
+    ctrl = CorruptionController(GeneralQuorumSystem(structure=example1_structure()))
+    for i in (0, 1, 2, 3):  # whole class a is admissible
+        ctrl.corrupt(net, i, SilentNode())
+    with pytest.raises(ValueError):
+        ctrl.corrupt(net, 4, SilentNode())
+
+
+def test_silent_node_consumes_without_response():
+    net, nodes = _net(2)
+    net.nodes[1] = SilentNode()
+    net.send(0, 1, "x")
+    net.run()
+    assert not net.pending
+
+
+def test_crash_node_stops_after_budget():
+    net, _ = _net(2)
+    inner = Sink()
+    net.nodes[1] = CrashNode(inner, crash_after=2)
+    for k in range(5):
+        net.send(0, 1, k)
+    net.run()
+    assert [p for _, p in inner.received] == [0, 1]
+
+
+def test_spam_node_floods():
+    net, nodes = _net(3)
+    net.nodes[0] = SpamNode(
+        net, 0, payload_factory=lambda rng: "junk", rng=random.Random(1), fanout=2
+    )
+    net.send(1, 0, "trigger")
+    # Each delivery to the spammer creates 2 junk messages; run a few.
+    for _ in range(5):
+        net.step()
+    junk = sum(
+        1 for i in (1, 2) for _, p in nodes[i].received if p == "junk"
+    )
+    assert junk >= 1
+
+
+def test_mutating_node_equivocates():
+    net, nodes = _net(3)
+
+    class Speaker(Node):
+        def __init__(self, facade):
+            self.facade = facade
+
+        def on_start(self):
+            self.facade.broadcast(0, "truth")
+
+        def on_message(self, sender, payload):
+            pass
+
+    def two_faced(recipient, payload):
+        return "lie-to-2" if recipient == 2 else payload
+
+    net.nodes[0] = MutatingNode(net, 0, lambda facade: Speaker(facade), two_faced)
+    net.start()
+    net.run()
+    assert (0, "truth") in nodes[1].received
+    assert (0, "lie-to-2") in nodes[2].received
+
+
+def test_mutating_node_can_drop():
+    net, nodes = _net(3)
+
+    class Speaker(Node):
+        def __init__(self, facade):
+            self.facade = facade
+
+        def on_start(self):
+            self.facade.broadcast(0, "m")
+
+        def on_message(self, sender, payload):
+            pass
+
+    net.nodes[0] = MutatingNode(
+        net, 0, lambda facade: Speaker(facade),
+        lambda r, p: None if r == 1 else [p, p],  # drop to 1, duplicate to 2
+    )
+    net.start()
+    net.run()
+    assert nodes[1].received == []
+    assert nodes[2].received.count((0, "m")) == 2

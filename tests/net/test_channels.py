@@ -1,0 +1,70 @@
+"""Authenticated channels bootstrapped from the dealer's PKI."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.groups import small_group
+from repro.crypto.schnorr import keygen
+from repro.net.channels import ChannelAuthenticator
+
+
+@pytest.fixture()
+def channel_pair():
+    rng = random.Random(1)
+    keys = {i: keygen(rng, small_group()) for i in range(3)}
+    directory = {i: k.verify_key for i, k in keys.items()}
+    alice = ChannelAuthenticator(0, keys[0], directory, random.Random(2))
+    bob = ChannelAuthenticator(1, keys[1], directory, random.Random(3))
+    mallory = ChannelAuthenticator(2, keys[2], directory, random.Random(4))
+    return alice, bob, mallory
+
+
+def test_roundtrip(channel_pair):
+    alice, bob, _ = channel_pair
+    signed = alice.wrap(("request", 1))
+    assert bob.unwrap(0, signed) == ("request", 1)
+
+
+def test_sender_mismatch_rejected(channel_pair):
+    alice, bob, _ = channel_pair
+    signed = alice.wrap("m")
+    assert bob.unwrap(2, signed) is None  # claimed sender != origin
+
+
+def test_forged_origin_rejected(channel_pair):
+    alice, bob, mallory = channel_pair
+    signed = mallory.wrap("m")
+    forged = replace(signed, origin=0)
+    assert bob.unwrap(0, forged) is None
+
+
+def test_tampered_payload_rejected(channel_pair):
+    alice, bob, _ = channel_pair
+    signed = alice.wrap("m")
+    assert bob.unwrap(0, replace(signed, payload="evil")) is None
+
+
+def test_replay_rejected(channel_pair):
+    alice, bob, _ = channel_pair
+    signed = alice.wrap("m")
+    assert bob.unwrap(0, signed) == "m"
+    assert bob.unwrap(0, signed) is None  # second time: replay
+
+
+def test_unknown_origin_rejected(channel_pair):
+    alice, bob, _ = channel_pair
+    rng = random.Random(5)
+    stranger_key = keygen(rng, small_group())
+    stranger = ChannelAuthenticator(9, stranger_key, {9: stranger_key.verify_key}, rng)
+    signed = stranger.wrap("m")
+    assert bob.unwrap(9, signed) is None
+
+
+def test_sequences_increase(channel_pair):
+    alice, bob, _ = channel_pair
+    s1, s2 = alice.wrap("a"), alice.wrap("b")
+    assert s2.sequence == s1.sequence + 1
+    assert bob.unwrap(0, s2) == "b"
+    assert bob.unwrap(0, s1) == "a"  # out-of-order but fresh: accepted

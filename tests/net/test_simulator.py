@@ -1,0 +1,171 @@
+"""The discrete-event network: delivery, determinism, crash, liveness."""
+
+import random
+
+import pytest
+
+from repro.net.scheduler import FifoScheduler, RandomScheduler
+from repro.net.simulator import LivenessError, Network, Node
+
+
+class Recorder(Node):
+    def __init__(self):
+        self.received = []
+        self.started = False
+
+    def on_start(self):
+        self.started = True
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+class Echoer(Node):
+    """Replies once to each message — generates follow-up traffic."""
+
+    def __init__(self, network, party):
+        self.network = network
+        self.party = party
+        self.seen = 0
+
+    def on_message(self, sender, payload):
+        self.seen += 1
+        if payload == "ping":
+            self.network.send(self.party, sender, "pong")
+
+
+def _network(scheduler=None, seed=0, nodes=3, node_factory=None):
+    net = Network(scheduler or FifoScheduler(), random.Random(seed))
+    out = {}
+    for i in range(nodes):
+        node = node_factory(net, i) if node_factory else Recorder()
+        net.attach(i, node)
+        out[i] = node
+    return net, out
+
+
+def test_point_to_point_delivery():
+    net, nodes = _network()
+    net.send(0, 1, "hello")
+    net.run()
+    assert nodes[1].received == [(0, "hello")]
+    assert nodes[2].received == []
+
+
+def test_broadcast_includes_sender():
+    net, nodes = _network()
+    net.broadcast(1, "x")
+    net.run()
+    for i in range(3):
+        assert (1, "x") in nodes[i].received
+
+
+def test_on_start_called_once():
+    net, nodes = _network()
+    net.start()
+    net.start()
+    assert all(n.started for n in nodes.values())
+
+
+def test_send_to_unknown_party_rejected():
+    net, _ = _network()
+    with pytest.raises(ValueError):
+        net.send(0, 99, "x")
+
+
+def test_fifo_preserves_order():
+    net, nodes = _network()
+    for k in range(10):
+        net.send(0, 1, k)
+    net.run()
+    assert [p for _, p in nodes[1].received] == list(range(10))
+
+
+def test_random_scheduler_is_deterministic_per_seed():
+    def run(seed):
+        net, nodes = _network(RandomScheduler(), seed=seed)
+        for k in range(20):
+            net.send(0, 1, k)
+            net.send(0, 2, k)
+        net.run()
+        return [p for _, p in nodes[1].received]
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)  # overwhelmingly likely
+
+
+def test_reply_traffic_is_processed():
+    net, nodes = _network(node_factory=Echoer)
+    net.send(0, 1, "ping")
+    net.run()
+    assert nodes[0].seen == 1  # got the pong
+
+
+def test_crashed_party_receives_nothing():
+    net, nodes = _network()
+    net.crash(2)
+    net.broadcast(0, "x")
+    net.run()
+    assert nodes[2].received == []
+    assert (0, "x") in nodes[1].received
+
+
+def test_recover_restores_delivery():
+    net, nodes = _network()
+    net.crash(2)
+    net.send(0, 2, "lost")  # dropped while crashed
+    net.run()
+    net.recover(2)
+    net.send(0, 2, "after")
+    net.run()
+    assert nodes[2].received == [(0, "after")]
+
+
+def test_recover_with_replacement_node():
+    net, nodes = _network()
+    net.crash(1)
+    fresh = Recorder()
+    net.recover(1, fresh)
+    net.send(0, 1, "hello-again")
+    net.run()
+    assert fresh.received == [(0, "hello-again")]
+    assert nodes[1].received == []  # the old node is detached
+
+
+def test_run_until_predicate_counts_steps():
+    net, nodes = _network()
+    for k in range(10):
+        net.send(0, 1, k)
+    steps = net.run(until=lambda: len(nodes[1].received) >= 3)
+    assert steps == 3
+    assert len(net.pending) == 7
+
+
+def test_liveness_error_on_quiescence():
+    net, nodes = _network()
+    net.send(0, 1, "only")
+    with pytest.raises(LivenessError):
+        net.run(until=lambda: False, max_steps=100)
+
+
+def test_liveness_error_on_budget_exhaustion():
+    net, _ = _network(node_factory=Echoer)
+    # Echoers generate pongs; predicate never true.
+    net.send(0, 1, "ping")
+    with pytest.raises(LivenessError):
+        net.run(until=lambda: False, max_steps=5)
+
+
+def test_trace_counts():
+    net, _ = _network()
+    net.broadcast(0, "m")
+    net.run()
+    assert net.trace.sent == 3
+    assert net.trace.delivered == 3
+    assert net.delivered_count == 3
+
+
+def test_duplicate_attach_rejected():
+    net, _ = _network()
+    with pytest.raises(ValueError):
+        net.attach(0, Recorder())

@@ -1,0 +1,65 @@
+"""Trace accounting used by the benchmark harness."""
+
+from dataclasses import dataclass
+
+from repro.net.tracing import Trace, _kind_of
+
+
+@dataclass(frozen=True)
+class FakeMessage:
+    value: int
+
+
+def test_send_and_delivery_counters():
+    trace = Trace()
+    trace.record_send(0, 1, (("session",), FakeMessage(1)))
+    trace.record_send(0, 2, (("session",), FakeMessage(2)))
+    trace.record_delivery(object())
+    assert trace.sent == 2
+    assert trace.delivered == 1
+
+
+def test_kind_extraction_unwraps_session_tuples():
+    assert _kind_of((("rbc", 0, "tag"), FakeMessage(1))) == "FakeMessage"
+    assert _kind_of(FakeMessage(1)) == "FakeMessage"
+    assert _kind_of("raw") == "str"
+    assert _kind_of(()) == "tuple"
+
+
+def test_by_kind_and_by_party():
+    trace = Trace()
+    for _ in range(3):
+        trace.record_send(7, 1, (("s",), FakeMessage(0)))
+    trace.record_send(2, 1, "junk")
+    assert trace.sent_by_kind["FakeMessage"] == 3
+    assert trace.sent_by_kind["str"] == 1
+    assert trace.sent_by_party[7] == 3
+
+
+def test_custom_counters_and_snapshot():
+    trace = Trace()
+    trace.bump("aba.rounds")
+    trace.bump("aba.rounds", 2)
+    snapshot = trace.snapshot()
+    assert snapshot["counters"]["aba.rounds"] == 3
+    assert set(snapshot) == {"sent", "delivered", "by_kind", "counters"}
+
+
+def test_byte_accounting_uses_wire_sizes():
+    from repro.core.reliable_broadcast import RbcSend
+    from repro.net import wire
+
+    trace = Trace()
+    trace.enable_byte_accounting()
+    payload = (("rbc", 0, "t"), RbcSend("hello"))
+    trace.record_send(0, 1, payload)
+    assert trace.bytes_sent == len(wire.dumps(payload))
+    assert trace.bytes_by_kind["RbcSend"] == trace.bytes_sent
+
+
+def test_byte_accounting_skips_non_wire_payloads():
+    trace = Trace()
+    trace.enable_byte_accounting()
+    trace.record_send(0, 1, object())
+    assert trace.sent == 1
+    assert trace.bytes_sent == 0

@@ -1,0 +1,110 @@
+"""Client-side verification: corrupted replicas cannot forge answers."""
+
+import random
+
+from repro.crypto.schnorr import Signature
+from repro.smr import KeyValueStore, build_service
+from repro.smr.replica import service_session
+from repro.smr.state_machine import Reply
+
+
+def _deploy(seed):
+    dep = build_service(4, KeyValueStore, t=1, seed=seed)
+    client = dep.new_client()
+    dep.network.start()
+    return dep, client
+
+
+def test_forged_result_from_single_replica_ignored():
+    """One corrupted replica sends a wrong result with a junk share;
+    the client completes with the honest majority's answer."""
+    dep, client = _deploy(61)
+    nonce = client.submit(("get", "missing"))
+    # Corrupt reply raced in from "server 3".
+    forged = Reply(
+        replica=3,
+        client=client.client_id,
+        nonce=nonce,
+        result=("value", "EVIL"),
+        signature_share=Signature(challenge=1, response=1),
+    )
+    dep.network.send(3, client.client_id, (service_session("service"), forged))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].result == ("value", None)
+
+
+def test_matching_lies_without_valid_shares_never_complete():
+    """Even t+1 *claimed* identical wrong answers cannot complete the
+    request when their signature shares do not verify."""
+    dep, client = _deploy(62)
+    nonce = client.submit(("get", "x"))
+    for replica in (2, 3):
+        forged = Reply(
+            replica=replica,
+            client=client.client_id,
+            nonce=nonce,
+            result=("value", "EVIL"),
+            signature_share=Signature(challenge=1, response=1),
+        )
+        dep.network.send(replica, client.client_id,
+                         (service_session("service"), forged))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].result == ("value", None)
+
+
+def test_reply_claiming_wrong_replica_id_ignored():
+    """A reply whose channel sender and claimed replica differ is junk."""
+    dep, client = _deploy(63)
+    nonce = client.submit(("set", "k", 1))
+    real_share_holder = dep.keys.private[0].service_signer
+    rng = random.Random(1)
+    # Build a *valid* share from replica 0 but deliver it as if from 2.
+    from repro.smr.replica import reply_statement
+
+    digest = ("request", client.client_id, nonce, ("set", "k", 1))
+    share = real_share_holder.sign_share(
+        reply_statement(digest, ("ok", 1)), rng
+    )
+    spoofed = Reply(
+        replica=0,
+        client=client.client_id,
+        nonce=nonce,
+        result=("ok", 1),
+        signature_share=share,
+    )
+    dep.network.send(2, client.client_id, (service_session("service"), spoofed))
+    results = dep.run_until_complete(client, [nonce])
+    # The genuine flow still completes; the spoof contributed nothing
+    # (sender mismatch is rejected before share verification).
+    assert results[nonce].result == ("ok", 1)
+    assert 2 not in client._replies.get(nonce, {})
+
+
+def test_replies_for_foreign_nonces_ignored():
+    dep, client = _deploy(64)
+    stray = Reply(
+        replica=1,
+        client=client.client_id,
+        nonce=999,  # never submitted
+        result=("ok", 1),
+        signature_share=Signature(challenge=1, response=1),
+    )
+    dep.network.send(1, client.client_id, (service_session("service"), stray))
+    dep.network.run(max_steps=10_000)
+    assert 999 not in client.completed
+
+
+def test_completed_answer_is_externally_verifiable():
+    """The combined service signature convinces any third party holding
+    only the public bundle — and fails for any altered result."""
+    dep, client = _deploy(65)
+    nonce = client.submit(("set", "audited", 7))
+    results = dep.run_until_complete(client, [nonce])
+    completed = results[nonce]
+    assert completed.verify(dep.keys.public, client.client_id, ("set", "audited", 7))
+    # Tampered operation or result: verification fails.
+    assert not completed.verify(dep.keys.public, client.client_id, ("set", "audited", 8))
+    from dataclasses import replace
+
+    tampered = replace(completed, result=("ok", 99))
+    assert not tampered.verify(dep.keys.public, client.client_id, ("set", "audited", 7))

@@ -1,0 +1,60 @@
+"""Canonical request codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smr import codec
+
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**30), 10**30),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+values = st.recursive(atoms, lambda c: st.lists(c, max_size=4).map(tuple), max_leaves=12)
+
+
+@given(values)
+def test_roundtrip(value):
+    assert codec.loads(codec.dumps(value)) == value
+
+
+@given(values, values)
+def test_canonical_encoding(a, b):
+    if a == b:
+        assert codec.dumps(a) == codec.dumps(b)
+    else:
+        assert codec.dumps(a) != codec.dumps(b)
+
+
+def test_bool_int_distinction():
+    assert codec.loads(codec.dumps(True)) is True
+    assert codec.loads(codec.dumps(1)) == 1
+    assert codec.dumps(True) != codec.dumps(1)
+
+
+def test_unsupported_types_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.dumps([1, 2])  # lists are not canonical; tuples only
+    with pytest.raises(codec.CodecError):
+        codec.dumps({"a": 1})
+
+
+def test_malformed_inputs_rejected():
+    for data in (b"", b"Z", b"I\x00\x00\x00\x02x", b"S\x00\x00\x00\x05ab",
+                 b"L\x00\x00\x00\x01", b"B\xff\xff\xff\xff", b"Nx"):
+        with pytest.raises(codec.CodecError):
+            codec.loads(data)
+
+
+def test_non_utf8_string_rejected():
+    data = b"S" + (2).to_bytes(4, "big") + b"\xff\xfe"
+    with pytest.raises(codec.CodecError):
+        codec.loads(data)
+
+
+def test_nested_structure():
+    value = ("req", 1000, 7, ("register", b"\x00digest\xff", None, True))
+    assert codec.loads(codec.dumps(value)) == value

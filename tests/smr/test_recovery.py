@@ -1,0 +1,108 @@
+"""Crash-recovery (Section 6): a restarted replica rebuilds its state."""
+
+import pytest
+
+from repro.core.protocol import Context
+from repro.core.runtime import ProtocolRuntime
+from repro.smr import KeyValueStore, build_service
+from repro.smr.replica import RecoverLog, Replica, service_session
+
+
+def _deploy(seed=51):
+    dep = build_service(4, KeyValueStore, t=1, seed=seed)
+    client = dep.new_client()
+    dep.network.start()
+    return dep, client
+
+
+def _drain(dep):
+    dep.network.run(max_steps=600_000)
+
+
+def _fresh_rejoin(dep, party, seed=99):
+    """Replace a crashed server with a fresh (state-less) replica."""
+    runtime = ProtocolRuntime(
+        party, dep.network, dep.keys.public, dep.keys.private[party], seed=seed
+    )
+    replica = Replica(KeyValueStore())
+    runtime.spawn(service_session("service"), replica)
+    dep.network.recover(party, runtime)
+    replica.begin_recovery(Context(runtime, service_session("service")))
+    dep.replicas[party] = replica
+    return replica
+
+
+def test_recovered_replica_matches_peers():
+    dep, client = _deploy()
+    nonces = [client.submit(("set", f"k{i}", i)) for i in range(3)]
+    dep.run_until_complete(client, nonces)
+    _drain(dep)
+
+    dep.network.crash(2)
+    n4 = client.submit(("set", "during-crash", 1))
+    dep.run_until_complete(client, [n4])
+    _drain(dep)
+
+    fresh = _fresh_rejoin(dep, 2)
+    _drain(dep)
+    assert fresh.state_machine.snapshot() == dep.replicas[0].state_machine.snapshot()
+    assert fresh.abc.round == dep.replicas[0].abc.round
+    assert not fresh.recovering
+
+
+def test_recovered_replica_participates_again():
+    dep, client = _deploy(seed=52)
+    dep.run_until_complete(client, [client.submit(("set", "a", 1))])
+    _drain(dep)
+    dep.network.crash(1)
+    dep.run_until_complete(client, [client.submit(("set", "b", 2))])
+    _drain(dep)
+    fresh = _fresh_rejoin(dep, 1)
+    _drain(dep)
+    # New request processed by everyone, including the rejoined replica.
+    dep.run_until_complete(client, [client.submit(("set", "c", 3))])
+    _drain(dep)
+    snapshots = {r.state_machine.snapshot() for r in dep.replicas.values()}
+    assert len(snapshots) == 1
+    assert fresh.state_machine.data == {"a": 1, "b": 2, "c": 3}
+
+
+def test_recovery_does_not_resend_client_replies():
+    dep, client = _deploy(seed=53)
+    nonce = client.submit(("set", "x", 1))
+    dep.run_until_complete(client, [nonce])
+    _drain(dep)
+    dep.network.crash(3)
+    _drain(dep)
+    replies_before = dict(client.completed)
+    fresh = _fresh_rejoin(dep, 3)
+    _drain(dep)
+    assert fresh.executed  # replayed
+    assert client.completed == replies_before  # no duplicate answers
+
+
+def test_lying_peer_cannot_poison_recovery():
+    """A single (corruptible) peer reporting a forged log is ignored:
+    adoption needs an honest-containing set reporting identically."""
+    dep, client = _deploy(seed=54)
+    dep.run_until_complete(client, [client.submit(("set", "real", 1))])
+    _drain(dep)
+    dep.network.crash(2)
+    _drain(dep)
+    fresh = _fresh_rejoin(dep, 2)
+    # Inject a forged log from a single (corrupt) sender alongside the
+    # genuine responses.
+    forged = RecoverLog(entries=((("req", 9999, 1, ("set", "fake", 666)), 1),), round=9)
+    dep.network.send(0, 2, (service_session("service"), forged))
+    _drain(dep)
+    assert "fake" not in fresh.state_machine.data
+    assert fresh.state_machine.data.get("real") == 1
+
+
+def test_causal_replica_refuses_recovery():
+    dep = build_service(4, KeyValueStore, t=1, causal=True, seed=55)
+    replica = dep.replicas[0]
+    with pytest.raises(ValueError):
+        replica.begin_recovery(
+            Context(dep.runtimes[0], service_session("service"))
+        )

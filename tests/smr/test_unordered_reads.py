@@ -1,0 +1,76 @@
+"""Commuting (read-only) requests over the fast unordered path."""
+
+from repro.net.adversary import SilentNode
+from repro.smr import KeyValueStore, build_service
+
+
+def _deploy(seed=71, factory=KeyValueStore):
+    dep = build_service(4, factory, t=1, seed=seed)
+    client = dep.new_client()
+    dep.network.start()
+    return dep, client
+
+
+def test_unordered_read_returns_current_value():
+    dep, client = _deploy()
+    dep.run_until_complete(client, [client.submit(("set", "k", "v"))])
+    dep.network.run(max_steps=400_000)  # settle all replicas
+    before = dep.network.delivered_count
+    nonce = client.submit_unordered(("get", "k"))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].result == ("value", "v")
+    # The fast path costs a handful of messages — no agreement round.
+    assert dep.network.delivered_count - before < 20
+
+
+def test_unordered_read_is_far_cheaper_than_ordered():
+    dep, client = _deploy(seed=72)
+    dep.run_until_complete(client, [client.submit(("set", "k", 1))])
+    dep.network.run(max_steps=400_000)
+    base = dep.network.delivered_count
+    dep.run_until_complete(client, [client.submit_unordered(("get", "k"))])
+    fast = dep.network.delivered_count - base
+    base = dep.network.delivered_count
+    dep.run_until_complete(client, [client.submit(("get", "k"))])
+    dep.network.run(max_steps=400_000)
+    ordered = dep.network.delivered_count - base
+    assert fast * 5 < ordered
+
+
+def test_unordered_write_is_refused():
+    dep, client = _deploy(seed=73)
+    nonce = client.submit_unordered(("set", "sneaky", 1))
+    dep.network.run(max_steps=200_000)
+    assert nonce not in client.completed
+    # And no replica mutated state.
+    assert all(r.state_machine.data == {} for r in dep.honest_replicas())
+
+
+def test_unordered_read_signature_verifies():
+    dep, client = _deploy(seed=74)
+    dep.run_until_complete(client, [client.submit(("set", "a", 9))])
+    dep.network.run(max_steps=400_000)
+    nonce = client.submit_unordered(("get", "a"))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].verify(dep.keys.public, client.client_id, ("get", "a"))
+
+
+def test_unordered_read_with_silent_corruption():
+    dep, client = _deploy(seed=75)
+    dep.controller.corrupt(dep.network, 3, SilentNode())
+    dep.run_until_complete(client, [client.submit(("set", "x", 1))])
+    dep.network.run(max_steps=400_000)
+    nonce = client.submit_unordered(("get", "x"))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].result == ("value", 1)
+
+
+def test_directory_resolve_supports_unordered():
+    from repro.apps import DirectoryService
+
+    dep, client = _deploy(seed=76, factory=DirectoryService)
+    dep.run_until_complete(client, [client.submit(("bind", "n", "v"))])
+    dep.network.run(max_steps=400_000)
+    nonce = client.submit_unordered(("resolve", "n"))
+    results = dep.run_until_complete(client, [nonce])
+    assert results[nonce].result[2] == "v"

@@ -1,0 +1,63 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_deal_writes_deployment(tmp_path, capsys):
+    rc = main(["deal", "--n", "4", "--t", "1", "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "public.json").exists()
+    assert (tmp_path / "server-3.json").exists()
+    data = json.loads((tmp_path / "public.json").read_text())
+    assert data["n"] == 4
+    out = capsys.readouterr().out
+    assert "threshold(n=4, t=1)" in out
+
+
+def test_deal_hybrid(tmp_path, capsys):
+    rc = main(["deal", "--n", "9", "--hybrid", "1,2", "--out", str(tmp_path)])
+    assert rc == 0
+    assert "hybrid(n=9" in capsys.readouterr().out
+
+
+def test_deal_example1(tmp_path, capsys):
+    rc = main(["deal", "--structure", "example1", "--out", str(tmp_path)])
+    assert rc == 0
+    assert json.loads((tmp_path / "public.json").read_text())["n"] == 9
+
+
+def test_demo_directory(capsys):
+    rc = main(["demo", "directory", "--corrupt", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "('bound', 'demo/name', 1)" in out
+    assert "honest replicas consistent: True" in out
+
+
+def test_demo_notary(capsys):
+    rc = main(["demo", "notary"])
+    assert rc == 0
+    assert "registered" in capsys.readouterr().out
+
+
+def test_structure_inspection(capsys):
+    rc = main(["structure", "example2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Q^3: True" in out
+    assert "max corruptible coalition: 7" in out
+
+
+def test_structure_threshold(capsys):
+    rc = main(["structure", "threshold", "--n", "7", "--t", "2"])
+    assert rc == 0
+    assert "Q^3: True" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
