@@ -1,0 +1,19 @@
+# Convenience entry points; CI runs scripts/check.sh.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: lint test check baseline
+
+lint:
+	$(PYTHON) -m repro lint src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check:
+	./scripts/check.sh
+
+# Re-snapshot the lint baseline (then add a justifying "reason" to each
+# new entry — the guard test requires one).
+baseline:
+	$(PYTHON) -m repro lint src/repro --write-baseline

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Full static + dynamic check gate, as run by CI.
+#
+#   scripts/check.sh          # repro lint (JSON) + ruff + mypy + pytest
+#   scripts/check.sh --fast   # skip pytest
+#
+# ruff and mypy are optional-dependency tools (pip install -e '.[lint]');
+# when absent they are skipped with a notice so the gate still runs in
+# minimal containers.  `repro lint` and pytest have no dependencies
+# beyond the standard toolchain and always run.
+
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+failures=0
+
+step() {
+    echo
+    echo "== $1"
+}
+
+step "repro lint (protocol-invariant rules RL001-RL005)"
+if ! python -m repro lint src/repro --format json > /tmp/repro-lint.json; then
+    cat /tmp/repro-lint.json
+    echo "repro lint: FAILED"
+    failures=$((failures + 1))
+else
+    python - <<'EOF'
+import json
+report = json.load(open("/tmp/repro-lint.json"))
+print(f"repro lint: ok ({report['files_scanned']} files, "
+      f"{report['baselined']} baselined, {report['suppressed']} suppressed)")
+EOF
+fi
+
+step "ruff"
+if python -m ruff --version >/dev/null 2>&1; then
+    if ! python -m ruff check src/repro; then
+        echo "ruff: FAILED"
+        failures=$((failures + 1))
+    else
+        echo "ruff: ok"
+    fi
+else
+    echo "ruff: not installed, skipped (pip install -e '.[lint]')"
+fi
+
+step "mypy (strict on repro.core / repro.adversary / repro.analysis)"
+if python -m mypy --version >/dev/null 2>&1; then
+    if ! python -m mypy; then
+        echo "mypy: FAILED"
+        failures=$((failures + 1))
+    else
+        echo "mypy: ok"
+    fi
+else
+    echo "mypy: not installed, skipped (pip install -e '.[lint]')"
+fi
+
+if [ "${1:-}" != "--fast" ]; then
+    step "pytest (tier-1)"
+    if ! python -m pytest -x -q; then
+        echo "pytest: FAILED"
+        failures=$((failures + 1))
+    fi
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures gate(s) failed"
+    exit 1
+fi
+echo "check.sh: all gates passed"

@@ -1,0 +1,176 @@
+"""The ``repro lint`` engine: discovery, checking, baseline, output.
+
+Pipeline::
+
+    paths -> discover *.py -> parse -> run scoped rules
+          -> drop inline `# repro: noqa-RLxxx` suppressions
+          -> split against the baseline -> report (text or JSON)
+
+The engine is import-light and dependency-free: it runs on the ``ast``
+module only, so CI can run it everywhere the package itself runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline, BaselineEntry
+from .diagnostics import Diagnostic
+from .rules import Rule, rules_by_id
+from .source import LintSyntaxError, SourceFile
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "LintReport",
+    "discover_files",
+    "format_json",
+    "lint_sources",
+    "run_lint",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class LintReport:
+    """Everything a caller (CLI, guard test) needs to act on."""
+
+    diagnostics: list[Diagnostic]  # new findings (not suppressed, not baselined)
+    baselined: list[Diagnostic]
+    suppressed: int
+    stale_baseline: list[BaselineEntry]
+    files_scanned: int
+    errors: list[str] = field(default_factory=list)  # unparseable files etc.
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "baselined": len(self.baselined),
+            "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
+            "errors": self.errors,
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+        }
+
+    def format_text(self, *, verbose: bool = False) -> str:
+        lines = [diag.format_text() for diag in self.diagnostics]
+        for error in self.errors:
+            lines.append(f"error: {error}")
+        if verbose and self.baselined:
+            lines.append(f"note: {len(self.baselined)} baselined finding(s) not shown")
+        if self.stale_baseline:
+            lines.append(
+                f"note: {len(self.stale_baseline)} stale baseline entr"
+                f"{'y' if len(self.stale_baseline) == 1 else 'ies'} — the violation "
+                "is gone; delete the entry to ratchet"
+            )
+            for entry in self.stale_baseline:
+                lines.append(f"  stale: {entry.rule} {entry.path}: {entry.code}")
+        summary = (
+            f"{len(self.diagnostics)} finding(s), {len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed, {self.files_scanned} file(s) scanned"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.is_file():
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_sources(
+    sources: list[SourceFile],
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run rules over already-parsed sources (the testable core)."""
+    active = rules if rules is not None else rules_by_id(None)
+    raw: list[Diagnostic] = []
+    for rule in active:
+        if rule.project_wide:
+            raw.extend(rule.check_project(sources))
+        else:
+            for source in sources:
+                if rule.applies_to(source.relpath):
+                    raw.extend(rule.check(source))
+
+    by_relpath = {source.relpath: source for source in sources}
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        source = by_relpath.get(diag.path)
+        if source is not None and source.is_suppressed(diag.line, diag.rule):
+            suppressed += 1
+        else:
+            kept.append(diag)
+    kept.sort(key=Diagnostic.sort_key)
+
+    if baseline is None:
+        new, matched, stale = kept, [], []
+    else:
+        new, matched, stale = baseline.split(kept)
+    return LintReport(
+        diagnostics=new,
+        baselined=matched,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=len(sources),
+    )
+
+
+def run_lint(
+    paths: list[Path],
+    *,
+    rule_ids: list[str] | None = None,
+    baseline_path: Path | None = None,
+) -> LintReport:
+    """Discover, parse and lint ``paths``; the CLI entry point's core."""
+    files = discover_files(paths)
+    sources: list[SourceFile] = []
+    errors: list[str] = []
+    for file in files:
+        try:
+            sources.append(SourceFile.from_path(file))
+        except LintSyntaxError as exc:
+            errors.append(str(exc))
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(f"{file}: {exc}")
+
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    report = lint_sources(sources, rules=rules_by_id(rule_ids), baseline=baseline)
+    report.errors.extend(errors)
+    return report
+
+
+def write_baseline(report: LintReport, path: Path) -> Baseline:
+    """Snapshot the report's findings (new + already baselined) to ``path``."""
+    baseline = Baseline.from_diagnostics(
+        report.diagnostics + report.baselined,
+        reason="baselined by --write-baseline; add a specific justification",
+    )
+    baseline.write(path)
+    return baseline
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)

@@ -1,0 +1,157 @@
+"""RL005 — async hygiene in protocol handlers.
+
+Two failure modes (``core/`` and ``smr/``):
+
+1. **Un-awaited coroutines.**  A bare statement ``self.flush(ctx)``
+   where ``flush`` is an ``async def`` creates a coroutine object and
+   drops it — the body never runs.  Flagged when the called name is an
+   ``async def`` defined in the same module (the only case decidable
+   without type inference).
+
+2. **State mutation after ``await`` without re-checking the guard.**
+   Every ``await`` is a scheduling point: by the time the handler
+   resumes, other messages may have advanced the round/epoch/view, so
+   writes to shared protocol state (``self.*`` / ``state.*``) based on
+   pre-await reasoning can clobber newer state.  Flagged when an async
+   function assigns to such an attribute after an ``await`` with no
+   intervening conditional that mentions a guard variable (a name
+   containing ``round``, ``epoch``, ``view``, ``halted``, ``closed`` or
+   ``decided``).  Re-checking the guard (e.g. ``if r != self.round:
+   return``) clears the taint.
+
+The current simulator core is callback-driven (no ``async`` at all),
+so this rule protects the planned asyncio transport: violations cannot
+creep in unnoticed once real network backends land.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..source import SourceFile
+from . import Rule
+
+__all__ = ["AsyncHygieneRule"]
+
+_GUARD_FRAGMENTS = ("round", "epoch", "view", "halted", "closed", "decided")
+_STATE_BASES = {"self", "state"}
+
+
+def _async_def_names(tree: ast.Module) -> set[str]:
+    return {node.name for node in ast.walk(tree) if isinstance(node, ast.AsyncFunctionDef)}
+
+
+def _called_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _mentions_guard(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and any(frag in name.lower() for frag in _GUARD_FRAGMENTS):
+            return True
+    return False
+
+
+def _contains_await(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Await) for sub in ast.walk(node))
+
+
+def _shared_state_target(node: ast.AST) -> ast.Attribute | None:
+    """An assignment target of the form ``self.x`` / ``state.x``."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in _STATE_BASES
+        ):
+            return target
+    return None
+
+
+class AsyncHygieneRule(Rule):
+    rule_id = "RL005"
+    summary = "async hygiene: dropped coroutines, unguarded post-await writes"
+    scope = ("core/", "smr/")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        async_names = _async_def_names(source.tree)
+
+        if async_names:
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and _called_name(node.value) in async_names
+                ):
+                    diagnostics.append(
+                        self.diagnostic(
+                            source,
+                            node.lineno,
+                            node.col_offset,
+                            f"coroutine {_called_name(node.value)}(...) is never "
+                            "awaited; its body will not run",
+                            hint="await the call (or schedule it explicitly as a task)",
+                        )
+                    )
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._scan_async_body(source, node.body, awaited=False, out=diagnostics)
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics
+
+    def _scan_async_body(
+        self,
+        source: SourceFile,
+        body: list[ast.stmt],
+        awaited: bool,
+        out: list[Diagnostic],
+    ) -> bool:
+        """Linear taint scan; returns whether an await has happened."""
+        for stmt in body:
+            if isinstance(stmt, ast.If) and _mentions_guard(stmt.test):
+                # The handler re-checked its round/epoch guard: writes
+                # below (and inside) are considered re-validated.
+                for branch in (stmt.body, stmt.orelse):
+                    self._scan_async_body(source, branch, awaited=False, out=out)
+                awaited = _contains_await(stmt) or False
+                continue
+            target = _shared_state_target(stmt)
+            if target is not None and awaited:
+                out.append(
+                    self.diagnostic(
+                        source,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"shared protocol state '{ast.unparse(target)}' is mutated "
+                        "after an await without re-checking the round/epoch guard",
+                        hint=(
+                            "re-validate the guard after resuming (e.g. "
+                            "`if r != self.round: return`) before writing"
+                        ),
+                    )
+                )
+            if _contains_await(stmt):
+                awaited = True
+            # Recurse into nested compound statements with the current taint.
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if isinstance(sub, list) and sub and not isinstance(stmt, ast.FunctionDef):
+                    awaited = self._scan_async_body(source, sub, awaited=awaited, out=out) or awaited
+        return awaited

@@ -1,0 +1,187 @@
+"""RL003 — nondeterminism in protocol code (``core/`` and ``smr/``).
+
+The protocol core must be a deterministic function of the delivered
+message sequence: the simulator replays adversarial schedules (Section
+2's asynchronous model — the scheduler *is* the adversary) and the SMR
+layer requires replicas that execute the same log to reach the same
+state.  All randomness must come from the scheduler-provided, seeded
+``ctx.rng``; all time from the simulated clock.
+
+Flagged:
+
+* module-level ``random.*`` calls (``random.random()``,
+  ``random.choice(...)`` ...).  Constructing a seeded generator with
+  ``random.Random(seed)`` is the sanctioned pattern and is allowed;
+* wall-clock reads: ``time.time/monotonic/perf_counter/*_ns``,
+  ``datetime.now/utcnow/today``;
+* ``dict.popitem()`` (pops an arrival-order-dependent entry);
+* arrival-order-dependent iteration over ``dict``/``set`` state:
+  ``for``-loops and order-*sensitive* comprehensions over
+  ``.items()/.keys()/.values()`` (or ``set(...)``) that are not wrapped
+  in ``sorted(...)``.  Set/dict comprehensions and order-insensitive
+  reducers (``any``, ``all``, ``sum``, ``min``, ``max``, ``len``,
+  ``sorted``, ``set``, ``frozenset``, ``dict``, ``Counter``) are
+  exempt: their result does not depend on iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..source import SourceFile
+from . import Rule
+
+__all__ = ["DeterminismRule"]
+
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+_TIME_ATTRS = {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns", "perf_counter_ns"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "any",
+    "all",
+    "sum",
+    "min",
+    "max",
+    "len",
+    "sorted",
+    "set",
+    "frozenset",
+    "dict",
+    "Counter",
+}
+_VIEW_METHODS = {"items", "keys", "values"}
+
+
+def _is_module_attr_call(call: ast.Call, module: str) -> str | None:
+    """``module.attr(...)`` -> attr name, else None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == module
+    ):
+        return func.attr
+    return None
+
+
+def _is_unsorted_view(node: ast.expr) -> bool:
+    """Iterating a dict view / ``set(...)`` directly, not via sorted()."""
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _VIEW_METHODS:
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return False
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL003"
+    summary = "nondeterminism in protocol code"
+    scope = ("core/", "smr/")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        exempt_comprehensions = self._order_insensitive_nodes(source.tree)
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(source, node, diagnostics)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_unsorted_view(node.iter):
+                    diagnostics.append(
+                        self._iteration_diag(source, node.iter)
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if id(node) in exempt_comprehensions:
+                    continue
+                for comp in node.generators:
+                    if _is_unsorted_view(comp.iter):
+                        diagnostics.append(self._iteration_diag(source, comp.iter))
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics
+
+    def _iteration_diag(self, source: SourceFile, node: ast.expr) -> Diagnostic:
+        return self.diagnostic(
+            source,
+            node.lineno,
+            node.col_offset,
+            "iteration order over dict/set protocol state depends on message "
+            "arrival order",
+            hint=(
+                "iterate sorted(...) (party ids are sortable) or consume the "
+                "iteration with an order-insensitive reducer"
+            ),
+        )
+
+    def _check_call(
+        self, source: SourceFile, call: ast.Call, diagnostics: list[Diagnostic]
+    ) -> None:
+        attr = _is_module_attr_call(call, "random")
+        if attr is not None and attr not in _RANDOM_ALLOWED:
+            diagnostics.append(
+                self.diagnostic(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    f"random.{attr}() uses the shared module RNG",
+                    hint="use the scheduler-provided deterministic ctx.rng",
+                )
+            )
+            return
+        attr = _is_module_attr_call(call, "time")
+        if attr in _TIME_ATTRS:
+            diagnostics.append(
+                self.diagnostic(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    f"time.{attr}() reads the wall clock",
+                    hint="protocol code must take time from the simulated scheduler clock",
+                )
+            )
+            return
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _DATETIME_ATTRS:
+            base = func.value
+            base_name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            if base_name in {"datetime", "date"}:
+                diagnostics.append(
+                    self.diagnostic(
+                        source,
+                        call.lineno,
+                        call.col_offset,
+                        f"{base_name}.{func.attr}() reads the wall clock",
+                        hint="protocol code must take time from the simulated scheduler clock",
+                    )
+                )
+                return
+        if isinstance(func, ast.Attribute) and func.attr == "popitem" and not call.args:
+            diagnostics.append(
+                self.diagnostic(
+                    source,
+                    call.lineno,
+                    call.col_offset,
+                    "dict.popitem() removes an arrival-order-dependent entry",
+                    hint="pop an explicit, deterministically chosen key instead",
+                )
+            )
+
+    @staticmethod
+    def _order_insensitive_nodes(tree: ast.Module) -> set[int]:
+        """ids of comprehension nodes fed to order-insensitive reducers."""
+        exempt: set[int] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE_CONSUMERS
+            ):
+                for arg in node.args:
+                    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                        exempt.add(id(arg))
+        return exempt

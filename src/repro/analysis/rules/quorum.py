@@ -1,0 +1,119 @@
+"""RL001 — raw quorum arithmetic outside the ``adversary`` package.
+
+Section 4.2 of the paper replaces the classical thresholds ``n - t``,
+``2t + 1`` and ``t + 1`` with set predicates over a Q^3 adversary
+structure.  The protocols stay correct under generalized trust only
+because every quorum decision goes through the
+:class:`~repro.adversary.quorums.QuorumSystem` interface — a literal
+``len(received) >= 2 * t + 1`` silently pins the code to the threshold
+case (exactly the rot Asymmetric Distributed Trust warns about).
+
+Flagged patterns (outside ``adversary/``):
+
+* ``2 * t + 1`` / ``3 * t + 1`` (and the commuted forms),
+* ``n - t`` where ``n`` is an ``n``-like name or ``len(...)``,
+* integer division by 3 (``n // 3``, ``(2 * len(m)) // 3``).
+
+``t + 1`` alone is *not* flagged — it is far too common in threshold
+cryptography (polynomial degrees, share counts) to be a useful signal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..source import SourceFile
+from . import Rule
+
+__all__ = ["QuorumArithmeticRule"]
+
+_T_NAMES = {"t", "f", "faults", "threshold", "max_faults", "num_faults"}
+_N_NAMES = {"n", "num_parties", "num_servers", "num_replicas", "total"}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier at the tip of a Name/Attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_t_like(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    return name is not None and name.lower() in _T_NAMES
+
+
+def _is_n_like(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id == "len":
+        return True
+    name = _terminal_name(node)
+    return name is not None and name.lower() in _N_NAMES
+
+
+def _is_const(node: ast.expr, value: int) -> bool:
+    return isinstance(node, ast.Constant) and node.value == value
+
+
+def _is_kt(node: ast.expr) -> bool:
+    """``2 * t`` or ``3 * t`` in either operand order."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+        return False
+    left, right = node.left, node.right
+    return (_is_const(left, 2) or _is_const(left, 3)) and _is_t_like(right) or (
+        (_is_const(right, 2) or _is_const(right, 3)) and _is_t_like(left)
+    )
+
+
+def _match(node: ast.expr) -> str | None:
+    """Return a description when ``node`` is raw quorum arithmetic."""
+    if isinstance(node, ast.BinOp):
+        # k*t + 1  /  1 + k*t
+        if isinstance(node.op, ast.Add):
+            if (_is_kt(node.left) and _is_const(node.right, 1)) or (
+                _is_kt(node.right) and _is_const(node.left, 1)
+            ):
+                return "threshold expression 'k*t + 1'"
+        # n - t
+        if isinstance(node.op, ast.Sub) and _is_n_like(node.left) and _is_t_like(node.right):
+            return "threshold expression 'n - t'"
+        # ... // 3
+        if isinstance(node.op, ast.FloorDiv) and _is_const(node.right, 3):
+            return "integer division by 3 (classical n/3 resilience bound)"
+        # bare 2*t / 3*t in comparisons such as len(x) > 3*t
+        if _is_kt(node):
+            return "threshold expression 'k*t'"
+    return None
+
+
+class QuorumArithmeticRule(Rule):
+    rule_id = "RL001"
+    summary = "raw quorum arithmetic outside adversary/"
+    hint = (
+        "route the check through the QuorumSystem (ctx.quorum.is_quorum / "
+        "is_strong_quorum / contains_honest) so generalized Q^3 structures keep working"
+    )
+    exclude = ("adversary/", "analysis/")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        stack: list[ast.AST] = [source.tree]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.expr):
+                what = _match(node)
+                if what is not None:
+                    diagnostics.append(
+                        self.diagnostic(
+                            source,
+                            node.lineno,
+                            node.col_offset,
+                            f"{what} hard-codes the classical threshold quorum",
+                        )
+                    )
+                    continue  # do not re-flag sub-expressions of a match
+            stack.extend(ast.iter_child_nodes(node))
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return diagnostics

@@ -1,0 +1,115 @@
+"""Parsed source files and inline suppression handling.
+
+A :class:`SourceFile` bundles a file's text, its parsed AST and its
+package-relative path (the path the scoping rules and the baseline key
+off, e.g. ``core/binary_agreement.py``).  Inline suppressions use the
+dedicated marker
+
+    # repro: noqa            -- silence every rule on this line
+    # repro: noqa-RL003      -- silence one rule
+    # repro: noqa-RL001,RL003
+
+so they never collide with flake8/ruff ``# noqa`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceFile", "LintSyntaxError", "package_relative_path"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*))?", re.IGNORECASE
+)
+
+
+class LintSyntaxError(Exception):
+    """A file to be linted does not parse."""
+
+    def __init__(self, path: str, error: SyntaxError) -> None:
+        super().__init__(f"{path}: {error}")
+        self.path = path
+        self.error = error
+
+
+def package_relative_path(path: Path) -> str:
+    """Path relative to the innermost ``repro`` package directory.
+
+    Falls back to the file name when the file is not inside a ``repro``
+    package (e.g. test fixtures, which pass an explicit relpath).
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return path.name
+
+
+@dataclass
+class SourceFile:
+    """One parsed file, ready for the checkers."""
+
+    path: str  # display path (as given on the command line)
+    relpath: str  # package-relative path used for scoping and baselines
+    text: str
+    tree: ast.Module = field(repr=False)
+    lines: list[str] = field(repr=False)
+    # line number -> None (suppress all) or set of rule ids
+    noqa: dict[int, set[str] | None] = field(repr=False)
+
+    @classmethod
+    def from_source(cls, text: str, *, path: str = "<memory>", relpath: str | None = None) -> "SourceFile":
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            raise LintSyntaxError(path, exc) from exc
+        lines = text.splitlines()
+        return cls(
+            path=path,
+            relpath=relpath if relpath is not None else path,
+            text=text,
+            tree=tree,
+            lines=lines,
+            noqa=_collect_noqa(lines),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path, *, relpath: str | None = None) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        if relpath is None:
+            relpath = package_relative_path(path)
+        return cls.from_source(text, path=str(path), relpath=relpath)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule in rules
+
+
+def _collect_noqa(lines: list[str]) -> dict[int, set[str] | None]:
+    noqa: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            noqa[lineno] = None
+        else:
+            ids = {rule.strip().upper() for rule in rules.split(",")}
+            existing = noqa.get(lineno)
+            if existing is None and lineno in noqa:
+                continue  # blanket suppression already present
+            noqa[lineno] = ids | (existing or set())
+    return noqa

@@ -7,6 +7,7 @@ Gives the library a direct operational surface::
     python -m repro demo directory --corrupt 1
     python -m repro structure example2
     python -m repro attack leader
+    python -m repro lint src/repro --format json
 
 Every command is deterministic given ``--seed``.
 """
@@ -140,6 +141,55 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis import engine, rules
+
+    try:
+        rule_ids = args.rules.split(",") if args.rules else None
+        if rule_ids is not None:
+            rules.rules_by_id(rule_ids)  # validate before any file IO
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = [pathlib.Path(p) for p in (args.paths or ["src/repro"])]
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = pathlib.Path(args.baseline)
+    else:
+        # Default: lint-baseline.json next to the first path's repo root
+        # (the directory that contains src/), else the current directory.
+        anchor = paths[0].resolve()
+        baseline_path = pathlib.Path(engine.DEFAULT_BASELINE_NAME)
+        for parent in (anchor, *anchor.parents):
+            candidate = parent / engine.DEFAULT_BASELINE_NAME
+            if candidate.exists():
+                baseline_path = candidate
+                break
+
+    try:
+        report = engine.run_lint(paths, rule_ids=rule_ids, baseline_path=baseline_path)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or pathlib.Path(engine.DEFAULT_BASELINE_NAME)
+        engine.write_baseline(report, target)
+        print(f"wrote {len(report.diagnostics) + len(report.baselined)} "
+              f"finding(s) to {target}")
+        return 0
+
+    if args.format == "json":
+        print(engine.format_json(report))
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -181,6 +231,28 @@ def main(argv: list[str] | None = None) -> int:
     attack = sub.add_parser("attack", help="run a scheduling-attack demonstration")
     attack.add_argument("target", choices=["leader"])
     attack.set_defaults(func=_cmd_attack)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the protocol-invariant static analysis (rules RL001-RL005)",
+        description=(
+            "AST-based checks for the invariants the protocol stack relies on: "
+            "quorum abstraction (RL001), verified-result gating (RL002), "
+            "determinism (RL003), wire registration/handling (RL004) and async "
+            "hygiene (RL005). See docs/STATIC_ANALYSIS.md."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", help="files or directories (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--rules", help="comma-separated rule ids, e.g. RL001,RL003")
+    lint.add_argument("--baseline", help="baseline file (default: nearest lint-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings into the baseline file")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="also summarize baselined findings")
+    lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -136,7 +136,7 @@ class AtomicBroadcast(Protocol):
             on_output=lambda decision, rr=r: self._on_decision(ctx, rr, decision),
         )
 
-    def _list_predicate(self, ctx: Context, r: int):
+    def _list_predicate(self, ctx: Context, r: int) -> Callable[[object], bool]:
         """External validity: a quorum of distinct, properly signed proposals."""
         public = ctx.public
         quorum = ctx.quorum

@@ -304,8 +304,13 @@ class CksBinaryAgreement(Protocol):
             state.prevote_certs[value] = cert
             self._send_mainvote(ctx, r, value, ("cert", cert))
         else:
-            zero = next(pv for pv in state.prevotes.values() if pv.value == 0)
-            one = next(pv for pv in state.prevotes.values() if pv.value == 1)
+            # Pick the witnesses by lowest party id so the conflict
+            # justification is a function of the prevote *set*, not of
+            # the adversarial arrival order.
+            zero = next(state.prevotes[p] for p in sorted(state.prevotes)
+                        if state.prevotes[p].value == 0)
+            one = next(state.prevotes[p] for p in sorted(state.prevotes)
+                       if state.prevotes[p].value == 1)
             self._send_mainvote(ctx, r, ABSTAIN, ("conflict", zero, one))
 
     def _maybe_close(self, ctx: Context, r: int, state: _Round) -> None:
@@ -351,8 +356,10 @@ class CksBinaryAgreement(Protocol):
         if hard:
             cert = state.prevote_certs.get(value)
             if cert is None:
-                # Adopt the certificate carried by a main-vote for value.
-                for mv in state.mainvotes.values():
+                # Adopt the certificate carried by a main-vote for value,
+                # from the lowest-numbered voter for determinism.
+                for p in sorted(state.mainvotes):
+                    mv = state.mainvotes[p]
                     if mv.value == value:
                         cert = mv.justification[1]
                         break

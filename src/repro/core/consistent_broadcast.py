@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from ..crypto.dealer import PublicKeys
 from ..crypto.schnorr import Signature
 from ..crypto.threshold_sig import QuorumCertificate
 from .protocol import Context, Protocol, SessionId
@@ -78,7 +79,10 @@ def _statement(session: SessionId, value: Hashable) -> tuple:
 
 
 def verify_commit_certificate(
-    ctx_public, session: SessionId, value: Hashable, certificate: QuorumCertificate
+    ctx_public: PublicKeys,
+    session: SessionId,
+    value: Hashable,
+    certificate: QuorumCertificate,
 ) -> bool:
     """Check a transferred commit certificate (usable outside the instance)."""
     return ctx_public.cert_quorum.verify(_statement(session, value), certificate)

@@ -378,7 +378,7 @@ class OptimisticAtomicBroadcast(Protocol):
             on_output=lambda decision: self._on_fallback_decision(ctx, decision),
         )
 
-    def _proposal_predicate(self, ctx: Context):
+    def _proposal_predicate(self, ctx: Context) -> Callable[[object], bool]:
         quorum = ctx.quorum
         verify_keys = ctx.public.verify_keys
         session = ctx.session

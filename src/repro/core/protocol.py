@@ -23,6 +23,7 @@ from ..adversary.quorums import QuorumSystem
 from ..crypto.dealer import PartyKeys, PublicKeys
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..net.tracing import Trace
     from .runtime import ProtocolRuntime
 
 __all__ = ["Context", "Protocol", "SessionId"]
@@ -84,7 +85,7 @@ class Context:
         return self._runtime.rng
 
     @property
-    def trace(self):
+    def trace(self) -> "Trace":
         return self._runtime.network.trace
 
     # -- communication ---------------------------------------------------------

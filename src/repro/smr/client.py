@@ -163,9 +163,14 @@ class ServiceClient(Node):
     def _maybe_complete(self, nonce: int) -> None:
         """Complete once matching replies form an honest-containing set."""
         by_result: dict[object, dict[int, Reply]] = {}
-        for sender, reply in self._replies[nonce].items():
+        for sender in sorted(self._replies[nonce]):
+            reply = self._replies[nonce][sender]
             by_result.setdefault(reply.result, {})[sender] = reply
-        for result, group in by_result.items():
+        # Results need not be orderable; examine candidates by their
+        # lowest supporting replica id so completion is a function of
+        # the reply set, not of arrival order.
+        candidates = sorted(by_result.items(), key=lambda kv: min(kv[1]))
+        for result, group in candidates:
             if not self.public.quorum.contains_honest(group):
                 continue
             statement = self._statement(nonce, result)

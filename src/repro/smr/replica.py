@@ -216,9 +216,14 @@ class Replica(Protocol):
         self._recovery_logs.setdefault(sender, message)
         # Adopt a log once an honest-containing set reported it verbatim.
         by_log: dict[tuple, set[int]] = {}
-        for peer, log in self._recovery_logs.items():
+        for peer in sorted(self._recovery_logs):
+            log = self._recovery_logs[peer]
             by_log.setdefault((log.entries, log.round), set()).add(peer)
-        for (entries, round_number), supporters in by_log.items():
+        # Log tuples are not orderable across shapes; adopt the candidate
+        # backed by the lowest-numbered peer so the choice is a function
+        # of the received set, not of arrival order.
+        candidates = sorted(by_log.items(), key=lambda kv: min(kv[1]))
+        for (entries, round_number), supporters in candidates:
             if ctx.quorum.contains_honest(supporters):
                 self._adopt_log(ctx, entries, round_number)
                 return

@@ -1,0 +1,21 @@
+"""RL001 fixture: raw quorum arithmetic (linted as if in core/)."""
+
+
+def quorum_reached(received: set, n: int, t: int) -> bool:
+    return len(received) >= n - t  # line 5: n - t
+
+
+def strong_quorum(received: set, t: int) -> bool:
+    return len(received) >= 2 * t + 1  # line 9: 2*t + 1
+
+
+def resilience_bound(n: int) -> int:
+    return n // 3  # line 13: n // 3
+
+
+def commuted(t: int) -> int:
+    return 1 + t * 2  # line 17: commuted k*t + 1
+
+
+def q3_check(n: int, t: int) -> bool:
+    return n > 3 * t  # line 21: bare 3*t in a comparison

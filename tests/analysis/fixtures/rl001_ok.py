@@ -1,0 +1,18 @@
+"""RL001 clean fixture: quorum checks via the QuorumSystem, benign arithmetic."""
+
+
+def quorum_reached(ctx, received: set) -> bool:
+    return ctx.quorum.is_quorum(received)
+
+
+def strong_quorum(ctx, received: set) -> bool:
+    return ctx.quorum.is_strong_quorum(received)
+
+
+def polynomial_degree(t: int) -> int:
+    # t + 1 alone is threshold-crypto share counting, not quorum logic.
+    return t + 1
+
+
+def unrelated_arithmetic(n: int) -> int:
+    return n // 2 + 3 * n

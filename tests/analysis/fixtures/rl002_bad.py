@@ -1,0 +1,11 @@
+"""RL002 fixture: discarded verification results (linted as if in core/)."""
+
+
+def deliver(key, statement, message):
+    key.verify(statement, message.signature)  # line 5: result discarded
+    return message.payload
+
+
+def collect(scheme, statement, shares):
+    scheme.combine(statement, shares)  # line 10: result discarded
+    scheme.verify_share(statement, shares[0])  # line 11: result discarded

@@ -1,0 +1,13 @@
+"""RL002 clean fixture: every verification gates progress."""
+
+
+def deliver(key, statement, message):
+    if not key.verify(statement, message.signature):
+        return None
+    return message.payload
+
+
+def collect(scheme, statement, shares):
+    certificate = scheme.combine(statement, shares)
+    valid = [s for s in shares if scheme.verify_share(statement, s)]
+    return certificate, valid

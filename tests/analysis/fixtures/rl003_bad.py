@@ -1,0 +1,35 @@
+"""RL003 fixture: nondeterminism in protocol code (linted as if in core/)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def choose_leader(parties):
+    return random.choice(sorted(parties))  # line 9: module-level random
+
+
+def timestamp():
+    return time.time()  # line 13: wall clock
+
+
+def started_at():
+    return datetime.now()  # line 17: wall clock
+
+
+def evict(cache: dict):
+    return cache.popitem()  # line 21: arrival-order-dependent pop
+
+
+def first_vote(votes: dict):
+    for party, vote in votes.items():  # line 25: unsorted dict iteration
+        return party, vote
+    return None
+
+
+def vote_list(votes: dict):
+    return [v for v in votes.values()]  # line 31: order-sensitive comprehension
+
+
+def first_matching(votes: dict, value):
+    return next(v for v in votes.values() if v == value)  # line 35: generator to next()

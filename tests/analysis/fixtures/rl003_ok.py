@@ -1,0 +1,36 @@
+"""RL003 clean fixture: sanctioned determinism patterns."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    # Constructing a seeded generator is the sanctioned pattern.
+    return random.Random(seed)
+
+
+def choose_leader(ctx, parties):
+    return ctx.rng.choice(sorted(parties))
+
+
+def first_vote(votes: dict):
+    for party in sorted(votes):
+        return party, votes[party]
+    return None
+
+
+def vote_values(votes: dict):
+    # Set/dict comprehensions are order-insensitive: allowed.
+    return {v.value for v in votes.values()}
+
+
+def share_map(votes: dict):
+    return {p: v.share for p, v in votes.items()}
+
+
+def tally(votes: dict) -> int:
+    # Order-insensitive reducers over generators are allowed.
+    return sum(v.weight for v in votes.values())
+
+
+def all_bound(votes: dict, bound) -> bool:
+    return all(v in bound for v in votes.values())

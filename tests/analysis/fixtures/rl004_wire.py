@@ -1,0 +1,10 @@
+"""RL004 fixture: a miniature net/wire.py registry (relpath net/wire.py)."""
+
+
+def _ensure_registry(register, rl004_core):
+    classes = [
+        rl004_core.Registered,
+        rl004_core.RegisteredUnhandled,
+    ]
+    for cls in classes:
+        register(cls)

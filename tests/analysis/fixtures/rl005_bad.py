@@ -1,0 +1,11 @@
+"""RL005 fixture: async-hygiene violations (linted as if in core/)."""
+
+
+class Handler:
+    async def flush(self, ctx):
+        self.pending = ()
+
+    async def on_message(self, ctx, sender, message):
+        self.flush(ctx)  # line 9: coroutine never awaited
+        value = await ctx.receive()
+        self.decided_value = value  # line 11: post-await write, no guard re-check

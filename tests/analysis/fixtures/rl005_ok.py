@@ -1,0 +1,13 @@
+"""RL005 clean fixture: awaited coroutines and guarded post-await writes."""
+
+
+class Handler:
+    async def flush(self, ctx):
+        self.pending = ()
+
+    async def on_message(self, ctx, sender, message, r):
+        await self.flush(ctx)
+        value = await ctx.receive()
+        if r != self.round:  # guard re-checked after the await
+            return
+        self.decided_value = value

@@ -1,0 +1,23 @@
+"""Suppression fixture: inline ``# repro: noqa`` markers silence findings."""
+
+import random
+
+
+def suppressed_single(parties, n, t):
+    needed = n - t  # repro: noqa-RL001
+    return len(parties) >= needed
+
+
+def suppressed_list(votes: dict, t: int):
+    coin = random.random()  # repro: noqa-RL001,RL003
+    return coin, 2 * t + 1  # repro: noqa-RL001
+
+
+def suppressed_all(votes: dict):
+    for party, vote in votes.items():  # repro: noqa
+        return party, vote
+    return None
+
+
+def not_suppressed(n, t):
+    return n - t  # a plain comment does not suppress

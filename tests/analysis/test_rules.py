@@ -1,0 +1,148 @@
+"""Fixture-driven self-tests: each rule fires with exact id and location."""
+
+from pathlib import Path
+
+from repro.analysis import SourceFile, lint_sources, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load(name: str, relpath: str) -> SourceFile:
+    return SourceFile.from_path(FIXTURES / name, relpath=relpath)
+
+
+def findings(name: str, rule: str, relpath: str | None = None):
+    source = load(name, relpath or f"core/{name}")
+    report = lint_sources([source], rules=rules_by_id([rule]))
+    return report
+
+
+def locations(report):
+    return [(diag.rule, diag.line) for diag in report.diagnostics]
+
+
+# -- RL001: raw quorum arithmetic ------------------------------------------------
+
+
+def test_rl001_fires_on_each_pattern():
+    report = findings("rl001_bad.py", "RL001")
+    assert locations(report) == [
+        ("RL001", 5),  # n - t
+        ("RL001", 9),  # 2*t + 1
+        ("RL001", 13),  # n // 3
+        ("RL001", 17),  # 1 + t*2 (commuted)
+        ("RL001", 21),  # bare 3*t in a comparison
+    ]
+    assert all(d.severity == "error" for d in report.diagnostics)
+    assert all("QuorumSystem" in d.hint for d in report.diagnostics)
+
+
+def test_rl001_clean_fixture_is_clean():
+    assert findings("rl001_ok.py", "RL001").diagnostics == []
+
+
+def test_rl001_skips_adversary_package():
+    source = load("rl001_bad.py", "adversary/quorums.py")
+    report = lint_sources([source], rules=rules_by_id(["RL001"]))
+    assert report.diagnostics == []
+
+
+# -- RL002: discarded verify()/combine() ----------------------------------------
+
+
+def test_rl002_fires_on_discarded_results():
+    report = findings("rl002_bad.py", "RL002")
+    assert locations(report) == [("RL002", 5), ("RL002", 10), ("RL002", 11)]
+    assert "verify" in report.diagnostics[0].message
+
+
+def test_rl002_clean_fixture_is_clean():
+    assert findings("rl002_ok.py", "RL002").diagnostics == []
+
+
+def test_rl002_scope_is_core_crypto_smr():
+    source = load("rl002_bad.py", "apps/notary.py")
+    report = lint_sources([source], rules=rules_by_id(["RL002"]))
+    assert report.diagnostics == []
+    for scoped in ("core/x.py", "crypto/x.py", "smr/x.py"):
+        source = load("rl002_bad.py", scoped)
+        assert lint_sources([source], rules=rules_by_id(["RL002"])).diagnostics
+
+
+# -- RL003: nondeterminism ------------------------------------------------------
+
+
+def test_rl003_fires_on_each_pattern():
+    report = findings("rl003_bad.py", "RL003")
+    assert locations(report) == [
+        ("RL003", 9),  # random.choice
+        ("RL003", 13),  # time.time
+        ("RL003", 17),  # datetime.now
+        ("RL003", 21),  # dict.popitem
+        ("RL003", 25),  # unsorted for over .items()
+        ("RL003", 31),  # list comprehension over .values()
+        ("RL003", 35),  # generator over .values() fed to next()
+    ]
+
+
+def test_rl003_clean_fixture_is_clean():
+    assert findings("rl003_ok.py", "RL003").diagnostics == []
+
+
+# -- RL004: message registration / handling (project-wide) ----------------------
+
+
+def test_rl004_unregistered_and_unhandled():
+    wire = load("rl004_wire.py", "net/wire.py")
+    core = load("rl004_core.py", "core/rl004_core.py")
+    report = lint_sources([core, wire], rules=rules_by_id(["RL004"]))
+    text = core.text
+    sent_unregistered_line = text[: text.index("class SentUnregistered")].count("\n") + 1
+    unhandled_line = text[: text.index("class RegisteredUnhandled")].count("\n") + 1
+    assert locations(report) == [
+        ("RL004", sent_unregistered_line),
+        ("RL004", unhandled_line),
+    ]
+    assert "never registered" in report.diagnostics[0].message
+    assert "no handler" in report.diagnostics[1].message
+
+
+def test_rl004_silent_without_definitions_in_scope():
+    # The same definitions outside core/ or net/wire.py are not messages.
+    wire = load("rl004_wire.py", "net/wire.py")
+    elsewhere = load("rl004_core.py", "apps/rl004_core.py")
+    report = lint_sources([elsewhere, wire], rules=rules_by_id(["RL004"]))
+    assert report.diagnostics == []
+
+
+# -- RL005: async hygiene -------------------------------------------------------
+
+
+def test_rl005_fires_on_dropped_coroutine_and_unguarded_write():
+    report = findings("rl005_bad.py", "RL005")
+    assert locations(report) == [("RL005", 9), ("RL005", 11)]
+    assert "never awaited" in report.diagnostics[0].message
+    assert "after an await" in report.diagnostics[1].message
+
+
+def test_rl005_clean_fixture_is_clean():
+    assert findings("rl005_ok.py", "RL005").diagnostics == []
+
+
+# -- inline suppression ---------------------------------------------------------
+
+
+def test_noqa_suppresses_exact_rules_only():
+    source = load("rl_noqa.py", "core/rl_noqa.py")
+    report = lint_sources([source], rules=rules_by_id(["RL001", "RL003"]))
+    assert locations(report) == [("RL001", 23)]  # the unsuppressed finding
+    assert report.suppressed == 4
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    source = SourceFile.from_source(
+        "def f(n, t):\n    return n - t  # repro: noqa-RL003\n",
+        relpath="core/example.py",
+    )
+    report = lint_sources([source], rules=rules_by_id(["RL001"]))
+    assert locations(report) == [("RL001", 2)]

@@ -30,10 +30,12 @@ values = st.recursive(atoms, lambda c: st.tuples(c, c) | st.lists(c, max_size=3)
 @given(values, values)
 def test_encode_injective_on_distinct_values(a, b):
     # Lists and tuples encode identically by design; normalize first.
+    # The encoding is type-tagged (encode(True) != encode(1)), and plain
+    # == would conflate bool with int, so compare (type, value) pairs.
     def norm(v):
         if isinstance(v, (list, tuple)):
             return tuple(norm(x) for x in v)
-        return v
+        return (type(v).__name__, v)
 
     if norm(a) != norm(b):
         assert encode(a) != encode(b)

@@ -1,0 +1,36 @@
+"""Tier-1 guard: the repository itself stays lint-clean.
+
+Fails when a new RL001-RL005 violation lands outside the committed
+baseline, and also when a baseline entry goes stale (the violation was
+fixed but the entry kept) — that is the ratchet: the baseline can only
+shrink.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_repository_is_lint_clean():
+    report = run_lint([PACKAGE], baseline_path=BASELINE)
+    assert report.ok, "new lint findings (fix or baseline with a reason):\n" + (
+        report.format_text()
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    report = run_lint([PACKAGE], baseline_path=BASELINE)
+    stale = [entry.to_dict() for entry in report.stale_baseline]
+    assert not stale, f"stale baseline entries — delete them to ratchet: {stale}"
+
+
+def test_every_baseline_entry_is_justified():
+    from repro.analysis import Baseline
+
+    baseline = Baseline.load(BASELINE)
+    unjustified = [e.to_dict() for e in baseline.entries if not e.reason.strip()]
+    assert not unjustified, f"baseline entries need a justifying reason: {unjustified}"
