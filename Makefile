@@ -2,13 +2,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: lint test check baseline
+.PHONY: lint test check baseline bench
 
 lint:
 	$(PYTHON) -m repro lint src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Regenerate the tracked benchmark results (docs/PERFORMANCE.md).
+bench:
+	$(PYTHON) -m repro bench --out BENCH_crypto.json
 
 check:
 	./scripts/check.sh

@@ -64,6 +64,15 @@ if [ "${1:-}" != "--fast" ]; then
         echo "pytest: FAILED"
         failures=$((failures + 1))
     fi
+
+    step "bench smoke (wiring check, docs/PERFORMANCE.md)"
+    if ! python -m repro bench --smoke --out /tmp/repro-bench-smoke.json \
+            > /dev/null; then
+        echo "bench smoke: FAILED"
+        failures=$((failures + 1))
+    else
+        echo "bench smoke: ok"
+    fi
 fi
 
 echo

@@ -8,8 +8,13 @@ check and throws the answer away: the classic SecureSMART-style seam
 where a BFT implementation silently stops being Byzantine-tolerant.
 
 Flagged: expression statements whose value is a call to a function or
-method named ``verify``, ``verify_share``, ``verify_proof``,
-``combine`` or ``check`` inside ``core/``, ``crypto/`` and ``smr/``.
+method named ``verify``, ``verify_share``, ``verify_shares``,
+``verify_proof``, ``verify_batch``, ``verify_dleq``,
+``verify_dleq_batch``, ``combine`` or ``check`` inside ``core/``,
+``crypto/`` and ``smr/``.  The batch entry points return the set of
+valid shares (or the batch verdict) and are verified-gates exactly like
+their per-share counterparts: dropping their result silently un-gates a
+whole quorum at once.
 """
 
 from __future__ import annotations
@@ -22,7 +27,17 @@ from . import Rule
 
 __all__ = ["DiscardedResultRule"]
 
-_CHECKED_NAMES = {"verify", "verify_share", "verify_proof", "combine", "check"}
+_CHECKED_NAMES = {
+    "verify",
+    "verify_share",
+    "verify_shares",
+    "verify_proof",
+    "verify_batch",
+    "verify_dleq",
+    "verify_dleq_batch",
+    "combine",
+    "check",
+}
 
 
 def _called_name(call: ast.Call) -> str | None:

@@ -141,6 +141,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    return bench.main(seed=args.seed, out=args.out, smoke=args.smoke)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -231,6 +237,22 @@ def main(argv: list[str] | None = None) -> int:
     attack = sub.add_parser("attack", help="run a scheduling-attack demonstration")
     attack.add_argument("target", choices=["leader"])
     attack.set_defaults(func=_cmd_attack)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the tracked crypto/agreement benchmarks",
+        description=(
+            "Microbenchmarks for multi-exponentiation, fixed-base tables and "
+            "batched share verification, plus n in {4,7,16} binary-agreement "
+            "end-to-end timings. Writes JSON for tracking in review; see "
+            "docs/PERFORMANCE.md."
+        ),
+    )
+    bench.add_argument("--out", default="BENCH_crypto.json",
+                       help="output JSON path (default: BENCH_crypto.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="minimal repeats/sizes; wiring check for CI")
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint",

@@ -108,6 +108,8 @@ class _RoundState:
         "conf_from",
         "coin_released",
         "coin_shares",
+        "coin_pending",
+        "coin_bad",
         "coin_value",
         "finished",
     )
@@ -122,6 +124,8 @@ class _RoundState:
         self.conf_from: dict[int, frozenset] = {}
         self.coin_released = False
         self.coin_shares: dict[int, CoinShare] = {}
+        self.coin_pending: dict[int, CoinShare] = {}
+        self.coin_bad: set[int] = set()
         self.coin_value: int | None = None
         self.finished = False
 
@@ -266,20 +270,35 @@ class BinaryAgreement(Protocol):
         return ("aba-coin", ctx.session, r)
 
     def _on_coin_share(self, ctx: Context, sender: int, r: int, share: CoinShare) -> None:
+        """Stash a structurally sound share; verification is batched.
+
+        Proofs are only checked once the pending set could open the
+        coin — then the whole set is verified with one multi-exp
+        (``CoinPublic.verify_shares``), which pinpoints and bans any
+        culprits on failure.
+        """
         state = self._state(r)
-        if state.coin_value is not None or sender in state.coin_shares:
+        if state.coin_value is not None or sender in state.coin_bad:
+            return
+        if sender in state.coin_shares or sender in state.coin_pending:
             return
         if not isinstance(share, CoinShare) or share.party != sender:
             return
         if share.name != self._coin_name(ctx, r):
             return
-        if not ctx.public.coin.verify_share(share):
+        state.coin_pending[sender] = share
+        candidates = set(state.coin_shares) | set(state.coin_pending)
+        if not ctx.public.access_scheme.is_qualified(candidates):
             return
-        state.coin_shares[sender] = share
+        name = self._coin_name(ctx, r)
+        valid = ctx.public.coin.verify_shares(name, state.coin_pending.values())
+        for party in state.coin_pending:
+            if party not in valid:
+                state.coin_bad.add(party)
+        state.coin_shares.update(valid)
+        state.coin_pending.clear()
         if ctx.public.access_scheme.is_qualified(set(state.coin_shares)):
-            state.coin_value = ctx.public.coin.combine(
-                self._coin_name(ctx, r), state.coin_shares
-            )
+            state.coin_value = ctx.public.coin.combine(name, state.coin_shares)
             ctx.trace.bump("aba.coin_flips")
 
     def _rule_advance(self, ctx: Context, r: int, state: _RoundState) -> bool:

@@ -99,6 +99,8 @@ class _Round:
         "mainvote_sent",
         "coin_released",
         "coin_shares",
+        "coin_pending",
+        "coin_bad",
         "coin_value",
         "closed",
         "prevote_certs",
@@ -112,6 +114,8 @@ class _Round:
         self.mainvote_sent = False
         self.coin_released = False
         self.coin_shares: dict[int, CoinShare] = {}
+        self.coin_pending: dict[int, CoinShare] = {}
+        self.coin_bad: set[int] = set()
         self.coin_value: int | None = None
         self.closed = False
         self.prevote_certs: dict[int, QuorumCertificate] = {}
@@ -265,20 +269,29 @@ class CksBinaryAgreement(Protocol):
         state.mainvotes[sender] = message
 
     def _on_coin_share(self, ctx: Context, sender: int, r: int, share: CoinShare) -> None:
+        """Stash the share; batch-verify once the set could open the coin."""
         state = self._state(r)
-        if state.coin_value is not None or sender in state.coin_shares:
+        if state.coin_value is not None or sender in state.coin_bad:
+            return
+        if sender in state.coin_shares or sender in state.coin_pending:
             return
         if not isinstance(share, CoinShare) or share.party != sender:
             return
-        if share.name != ("cks-coin", ctx.session, r):
+        name = ("cks-coin", ctx.session, r)
+        if share.name != name:
             return
-        if not ctx.public.coin.verify_share(share):
+        state.coin_pending[sender] = share
+        candidates = set(state.coin_shares) | set(state.coin_pending)
+        if not ctx.public.access_scheme.is_qualified(candidates):
             return
-        state.coin_shares[sender] = share
+        valid = ctx.public.coin.verify_shares(name, state.coin_pending.values())
+        for party in state.coin_pending:
+            if party not in valid:
+                state.coin_bad.add(party)
+        state.coin_shares.update(valid)
+        state.coin_pending.clear()
         if ctx.public.access_scheme.is_qualified(set(state.coin_shares)):
-            state.coin_value = ctx.public.coin.combine(
-                ("cks-coin", ctx.session, r), state.coin_shares
-            )
+            state.coin_value = ctx.public.coin.combine(name, state.coin_shares)
             ctx.trace.bump("cks.coin_flips")
 
     # -- round machinery ----------------------------------------------------------

@@ -143,10 +143,17 @@ class OptimisticAtomicBroadcast(Protocol):
         # Leader bookkeeping.
         self._next_seq = 1
         self._ordered_payloads: set[Hashable] = set()
-        # Replica bookkeeping (fast path).
+        # Replica bookkeeping (fast path).  Signature shares are stashed
+        # unverified in acks/commits and batch-verified with one
+        # multi-exp when a strong quorum could form; culprits move to
+        # the *_bad sets, verified shares to *_valid.
         self.orders: dict[int, Hashable] = {}
         self.acks: dict[tuple[int, bytes], dict[int, Signature]] = {}
+        self.ack_valid: dict[tuple[int, bytes], dict[int, Signature]] = {}
+        self.ack_bad: dict[tuple[int, bytes], set[int]] = {}
         self.commits: dict[tuple[int, bytes], dict[int, Signature]] = {}
+        self.commit_valid: dict[tuple[int, bytes], dict[int, Signature]] = {}
+        self.commit_bad: dict[tuple[int, bytes], set[int]] = {}
         self.prepared: dict[int, tuple[Hashable, QuorumCertificate]] = {}
         self.committed: dict[int, Hashable] = {}
         self.commit_share_sent: set[int] = set()
@@ -241,21 +248,59 @@ class OptimisticAtomicBroadcast(Protocol):
         )
         ctx.broadcast(OptAck(seq, digest, share))
 
+    def _screen_shares(
+        self,
+        ctx: Context,
+        statement: tuple,
+        key: tuple[int, bytes],
+        unchecked: dict[tuple[int, bytes], dict[int, Signature]],
+        valid: dict[tuple[int, bytes], dict[int, Signature]],
+        bad: dict[tuple[int, bytes], set[int]],
+    ) -> dict[int, Signature] | None:
+        """Batch-verify a bucket once a strong quorum could form.
+
+        Returns the verified shares when they form a strong quorum,
+        ``None`` otherwise.  Invalid shares are pinpointed (per-share
+        fallback inside ``verify_shares``) and their senders banned for
+        this ``(seq, digest)``.
+        """
+        bucket = unchecked.get(key, {})
+        known = valid.setdefault(key, {})
+        if not ctx.quorum.is_strong_quorum(set(known) | set(bucket)):
+            return None
+        if bucket:
+            screened = ctx.public.cert_strong.verify_shares(statement, bucket)
+            culprits = bad.setdefault(key, set())
+            for party in bucket:
+                if party not in screened:
+                    culprits.add(party)
+            known.update(screened)
+            bucket.clear()
+        if ctx.quorum.is_strong_quorum(known):
+            return known
+        return None
+
     def _on_ack(self, ctx: Context, sender: int, message: OptAck) -> None:
         if self.mode != "fast":
             return
-        statement = _ack_statement(ctx.session, message.seq, message.digest)
-        if not ctx.public.cert_strong.verify_share(statement, (sender, message.share)):
+        if not isinstance(message.seq, int) or not isinstance(message.digest, bytes):
             return
-        bucket = self.acks.setdefault((message.seq, message.digest), {})
-        bucket.setdefault(sender, message.share)
+        key = (message.seq, message.digest)
+        if sender in self.ack_bad.get(key, ()):
+            return
+        if sender not in self.ack_valid.get(key, {}):
+            self.acks.setdefault(key, {}).setdefault(sender, message.share)
         if message.seq in self.prepared:
             return
         payload = self.orders.get(message.seq)
         if payload is None or _digest(payload) != message.digest:
             return
-        if ctx.quorum.is_strong_quorum(bucket):
-            certificate = ctx.public.cert_strong.combine(statement, bucket)
+        statement = _ack_statement(ctx.session, message.seq, message.digest)
+        shares = self._screen_shares(
+            ctx, statement, key, self.acks, self.ack_valid, self.ack_bad
+        )
+        if shares is not None:
+            certificate = ctx.public.cert_strong.combine(statement, shares)
             self.prepared[message.seq] = (payload, certificate)
             commit_share = ctx.keys.cert_strong.sign_share(
                 _commit_statement(ctx.session, message.seq, message.digest), ctx.rng
@@ -266,17 +311,23 @@ class OptimisticAtomicBroadcast(Protocol):
     def _on_commit(self, ctx: Context, sender: int, message: OptCommit) -> None:
         if self.mode != "fast":
             return
-        statement = _commit_statement(ctx.session, message.seq, message.digest)
-        if not ctx.public.cert_strong.verify_share(statement, (sender, message.share)):
+        if not isinstance(message.seq, int) or not isinstance(message.digest, bytes):
             return
-        bucket = self.commits.setdefault((message.seq, message.digest), {})
-        bucket.setdefault(sender, message.share)
+        key = (message.seq, message.digest)
+        if sender in self.commit_bad.get(key, ()):
+            return
+        if sender not in self.commit_valid.get(key, {}):
+            self.commits.setdefault(key, {}).setdefault(sender, message.share)
         payload = self.orders.get(message.seq)
         if payload is None or _digest(payload) != message.digest:
             return
         if message.seq in self.committed:
             return
-        if ctx.quorum.is_strong_quorum(bucket):
+        statement = _commit_statement(ctx.session, message.seq, message.digest)
+        shares = self._screen_shares(
+            ctx, statement, key, self.commits, self.commit_valid, self.commit_bad
+        )
+        if shares is not None:
             self.committed[message.seq] = payload
             self._drain_fast(ctx)
 

@@ -61,7 +61,12 @@ class SecureCausalBroadcast(Protocol):
         # Ciphertexts in a-delivery order, awaiting decryption.
         self.pending: list[tuple[bytes, Ciphertext, int]] = []
         self.plaintexts: dict[bytes, bytes] = {}
+        # Unverified shares per digest; verification is batched once the
+        # set could decrypt (one multi-exp per ciphertext, culprits
+        # pinpointed and banned on batch failure).
         self.shares: dict[bytes, dict[int, DecryptionShare]] = {}
+        self.verified: dict[bytes, dict[int, DecryptionShare]] = {}
+        self.bad: dict[bytes, set[int]] = {}
         self.shared: set[bytes] = set()
         self.s_delivered: list[tuple[bytes, int]] = []
 
@@ -112,19 +117,18 @@ class SecureCausalBroadcast(Protocol):
         if message.share.party != sender:
             return
         digest = message.digest
-        if digest in self.plaintexts:
+        if digest in self.plaintexts or sender in self.bad.get(digest, ()):
             return
+        # Keep the share unverified until a qualified set accumulates
+        # (and until the ciphertext itself has a-delivered); the whole
+        # set is then checked with one batched multi-exp.  Bounded per
+        # digest so junk for unknown digests cannot balloon state.
+        bucket = self.shares.setdefault(digest, {})
+        if sender not in self.verified.get(digest, ()) and len(bucket) < 4 * ctx.n:
+            bucket.setdefault(sender, message.share)
         ct = self._ciphertext_for(digest)
         if ct is None:
-            # Share for a ciphertext we have not a-delivered yet: keep it
-            # unverified until the ciphertext arrives (bounded per digest).
-            bucket = self.shares.setdefault(digest, {})
-            if len(bucket) < 4 * ctx.n:
-                bucket.setdefault(sender, message.share)
             return
-        if not ctx.public.encryption.verify_share(ct, message.share):
-            return
-        self.shares.setdefault(digest, {})[sender] = message.share
         self._try_decrypt(ctx, digest, ct)
         self._drain(ctx)
 
@@ -137,14 +141,23 @@ class SecureCausalBroadcast(Protocol):
     def _try_decrypt(self, ctx: Context, digest: bytes, ct: Ciphertext) -> None:
         if digest in self.plaintexts:
             return
-        valid = {
-            p: s
-            for p, s in self.shares.get(digest, {}).items()
-            if ctx.public.encryption.verify_share(ct, s)
-        }
-        if not ctx.public.access_scheme.is_qualified(set(valid)):
+        verified = self.verified.setdefault(digest, {})
+        unchecked = self.shares.get(digest, {})
+        if unchecked:
+            if not ctx.public.access_scheme.is_qualified(
+                set(verified) | set(unchecked)
+            ):
+                return
+            valid = ctx.public.encryption.verify_shares(ct, unchecked.values())
+            bad = self.bad.setdefault(digest, set())
+            for party in unchecked:
+                if party not in valid:
+                    bad.add(party)
+            verified.update(valid)
+            unchecked.clear()
+        if not ctx.public.access_scheme.is_qualified(set(verified)):
             return
-        self.plaintexts[digest] = ctx.public.encryption.combine(ct, valid)
+        self.plaintexts[digest] = ctx.public.encryption.combine(ct, verified)
 
     def _drain(self, ctx: Context) -> None:
         """s-deliver decrypted plaintexts strictly in a-delivery order."""

@@ -1,0 +1,287 @@
+"""Crypto hot-path acceleration: multi-exp, fixed-base tables, memoized checks.
+
+Modular exponentiation dominates the wall-clock of the whole stack —
+every ABBA round verifies a quorum of DLEQ-proved coin shares, every
+broadcast verifies signature shares (the SecureSMART cost profile).
+This module concentrates the arithmetic tricks that cut that cost:
+
+* **Simultaneous multi-exponentiation** (Straus/Shamir interleaved
+  windows): ``Π bᵢ^eᵢ`` in one shared-squaring pass, so a product of
+  ``k`` exponentiations costs one squaring chain plus a few
+  multiplications per base instead of ``k`` full ``pow`` calls.
+* **Fixed-base windowed tables**: bases that recur (the group
+  generator, verification keys, a round's coin base) get a radix-``2^w``
+  digit table; subsequent exponentiations are ~5x cheaper than ``pow``.
+  Tables are built automatically once a base has been seen often enough
+  to amortize the build.
+* **Memoized subgroup membership** via the Jacobi symbol (for a safe
+  prime the order-``q`` subgroup is exactly the quadratic residues),
+  with a bounded cache so fixed bases are checked once, ever.
+* **Batched equation checking** by small-exponent random linear
+  combination: ``k`` equations ``Π lhsᵢ == Π rhsᵢ`` collapse into one
+  multi-exp identity, with soundness error ``2^-λ`` (λ = 64 by
+  default).  Coefficients are derived by Fiat-Shamir hashing of the
+  full transcript, keeping verification deterministic and replayable —
+  a requirement of the simulator (lint rule RL003) that also yields the
+  standard random-oracle soundness argument: the prover must commit to
+  the batch before the coefficients are known.
+
+See docs/PERFORMANCE.md for the measured effect (``BENCH_crypto.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .numtheory import jacobi
+
+__all__ = [
+    "FixedBaseTable",
+    "GroupAccel",
+    "accel_for",
+    "multiexp",
+    "batch_coefficients",
+    "verify_product_equations",
+]
+
+# Build a fixed-base table once a base was exponentiated this often.
+_TABLE_THRESHOLD = 16
+# Bound every internal cache so adversarial traffic cannot balloon memory.
+_MAX_TABLES = 96
+_MAX_TRACKED = 8192
+_MAX_MEMBERS = 8192
+
+# Window width for the interleaved (Straus) multi-exponentiation.
+_STRAUS_WIDTH = 4
+_STRAUS_MASK = (1 << _STRAUS_WIDTH) - 1
+
+
+class FixedBaseTable:
+    """Radix-``2^w`` digit table for repeated powers of one base.
+
+    ``windows[i][j-1] = base^(j << (i*w)) mod p`` — an exponentiation is
+    then a product of one table entry per nonzero digit: no squarings.
+    """
+
+    __slots__ = ("modulus", "width", "mask", "windows", "capacity")
+
+    def __init__(self, base: int, modulus: int, bits: int, width: int = 6) -> None:
+        self.modulus = modulus
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.capacity = bits
+        windows: list[list[int]] = []
+        cur = base % modulus
+        for _ in range((bits + width - 1) // width):
+            row = [cur]
+            entry = cur
+            for _ in range(2, 1 << width):
+                entry = entry * cur % modulus
+                row.append(entry)
+            windows.append(row)
+            cur = entry * cur % modulus  # base^(2^w << shift)
+        self.windows = windows
+
+    def pow(self, exponent: int) -> int:
+        if exponent.bit_length() > self.capacity:  # caller failed to reduce
+            return pow(self.windows[0][0], exponent, self.modulus)
+        acc = 1
+        idx = 0
+        mod = self.modulus
+        mask = self.mask
+        width = self.width
+        windows = self.windows
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                entry = windows[idx][digit - 1]
+                acc = entry if acc == 1 else acc * entry % mod
+            exponent >>= width
+            idx += 1
+        return acc % mod
+
+
+def multiexp(modulus: int, pairs: Iterable[tuple[int, int]]) -> int:
+    """``Π base^exp mod modulus`` in one interleaved-window pass.
+
+    Exponents must be nonnegative; callers working in a known-order
+    group should reduce them first (smaller exponents mean fewer shared
+    squarings — the small-exponent batching trick relies on this).
+    """
+    live = [(b % modulus, e) for b, e in pairs if e > 0]
+    if not live:
+        return 1 % modulus
+    return _straus(modulus, live)
+
+
+def _straus(modulus: int, pairs: Sequence[tuple[int, int]]) -> int:
+    tables: list[tuple[list[int], int]] = []
+    max_bits = 0
+    for base, exponent in pairs:
+        row = [base]
+        entry = base
+        for _ in range(2, 1 << _STRAUS_WIDTH):
+            entry = entry * base % modulus
+            row.append(entry)
+        tables.append((row, exponent))
+        bits = exponent.bit_length()
+        if bits > max_bits:
+            max_bits = bits
+    acc = 1
+    for shift in range(
+        (max_bits + _STRAUS_WIDTH - 1) // _STRAUS_WIDTH * _STRAUS_WIDTH - _STRAUS_WIDTH,
+        -1,
+        -_STRAUS_WIDTH,
+    ):
+        if acc != 1:
+            for _ in range(_STRAUS_WIDTH):
+                acc = acc * acc % modulus
+        for row, exponent in tables:
+            digit = (exponent >> shift) & _STRAUS_MASK
+            if digit:
+                entry = row[digit - 1]
+                acc = entry if acc == 1 else acc * entry % modulus
+    return acc
+
+
+class GroupAccel:
+    """Per-group accelerator: tables, membership memo, multi-exp.
+
+    One instance exists per distinct ``(p, q, g)`` (see :func:`accel_for`);
+    all schemes over the same group share its caches, so verification
+    keys tabled by the coin also speed up e.g. TDH2 share checks.
+    """
+
+    __slots__ = ("p", "q", "g", "_tables", "_counts", "_members")
+
+    def __init__(self, p: int, q: int, g: int) -> None:
+        self.p = p
+        self.q = q
+        self.g = g
+        self._tables: dict[int, FixedBaseTable] = {}
+        self._counts: dict[int, int] = {}
+        self._members: dict[int, bool] = {}
+        # The generator is exponentiated constantly; table it up front.
+        self._tables[g] = FixedBaseTable(g, p, q.bit_length())
+
+    # -- exponentiation --------------------------------------------------
+
+    def exp(self, base: int, exponent: int) -> int:
+        """``base^exponent mod p``; auto-tables bases that recur."""
+        table = self._tables.get(base)
+        if table is not None:
+            return table.pow(exponent)
+        count = self._counts.get(base, 0) + 1
+        if count >= _TABLE_THRESHOLD and len(self._tables) < _MAX_TABLES:
+            table = FixedBaseTable(base, self.p, self.q.bit_length())
+            self._tables[base] = table
+            self._counts.pop(base, None)
+            return table.pow(exponent)
+        if len(self._counts) >= _MAX_TRACKED:
+            self._counts.clear()
+        self._counts[base] = count
+        return pow(base, exponent, self.p)
+
+    def multiexp(self, pairs: Iterable[tuple[int, int]]) -> int:
+        """Multi-exp that routes tabled bases through their tables."""
+        acc = 1
+        plain: list[tuple[int, int]] = []
+        for base, exponent in pairs:
+            if exponent <= 0:
+                continue
+            table = self._tables.get(base)
+            if table is not None:
+                acc = acc * table.pow(exponent) % self.p
+            else:
+                plain.append((base % self.p, exponent))
+        if plain:
+            acc = acc * _straus(self.p, plain) % self.p
+        return acc
+
+    # -- membership ------------------------------------------------------
+
+    def is_member(self, a: int) -> bool:
+        """Memoized subgroup membership (Jacobi symbol, see numtheory)."""
+        if not 0 < a < self.p:
+            return False
+        cached = self._members.get(a)
+        if cached is None:
+            cached = jacobi(a, self.p) == 1
+            if len(self._members) >= _MAX_MEMBERS:
+                self._members.clear()
+            self._members[a] = cached
+        return cached
+
+
+_ACCELS: dict[tuple[int, int, int], GroupAccel] = {}
+
+
+def accel_for(group) -> GroupAccel:  # group: SchnorrGroup (duck-typed, no cycle)
+    """The shared accelerator for a Schnorr group (keyed by parameters)."""
+    key = (group.p, group.q, group.g)
+    accel = _ACCELS.get(key)
+    if accel is None:
+        if len(_ACCELS) > 64:  # long test runs generate many tiny groups
+            _ACCELS.clear()
+        accel = GroupAccel(*key)
+        _ACCELS[key] = accel
+    return accel
+
+
+# -- batched equation checking ----------------------------------------------
+
+
+def batch_coefficients(domain: str, transcript: object, count: int, bits: int = 64) -> list[int]:
+    """Deterministic small batching exponents bound to the transcript.
+
+    Fiat-Shamir in the random-oracle model: the prover fixes every
+    element of the batch before the coefficients exist, so a batch
+    containing one bad equation survives with probability ``~2^-bits``.
+    """
+    from .hashing import hash_bytes, hash_to_int  # local: hashing imports groups
+
+    seed = hash_bytes(domain + "-seed", transcript)
+    return [
+        hash_to_int(domain + "-coeff", seed, i, bits=bits) or 1 for i in range(count)
+    ]
+
+
+def verify_product_equations(
+    modulus: int,
+    equations: Sequence[tuple[Sequence[tuple[int, int]], Sequence[tuple[int, int]]]],
+    coefficients: Sequence[int],
+    order: int | None = None,
+    square: bool = False,
+) -> bool:
+    """Check ``Π lhsᵢ == Π rhsᵢ`` for every equation via one multi-exp.
+
+    Each equation is ``(lhs_pairs, rhs_pairs)`` of ``(base, exponent)``
+    terms.  Equation ``i`` is raised to ``coefficients[i]`` and all
+    equations are multiplied together; exponents of repeated bases are
+    accumulated (mod ``order`` when the group order is known, over the
+    integers otherwise — e.g. mod an RSA modulus of hidden order).
+
+    ``square=True`` compares the squares of both sides, quotienting out
+    the order-2 subgroup ``{±1}`` — required mod an RSA modulus where
+    membership in the squares cannot be tested directly.
+    """
+    lhs_acc: dict[int, int] = {}
+    rhs_acc: dict[int, int] = {}
+    for (lhs, rhs), coeff in zip(equations, coefficients):
+        for acc, side in ((lhs_acc, lhs), (rhs_acc, rhs)):
+            for base, exponent in side:
+                weighted = exponent * coeff
+                if order is not None:
+                    weighted %= order
+                acc[base] = acc.get(base, 0) + weighted
+    if order is not None:
+        lhs_pairs = [(b, e % order) for b, e in lhs_acc.items()]
+        rhs_pairs = [(b, e % order) for b, e in rhs_acc.items()]
+    else:
+        lhs_pairs = list(lhs_acc.items())
+        rhs_pairs = list(rhs_acc.items())
+    left = multiexp(modulus, lhs_pairs)
+    right = multiexp(modulus, rhs_pairs)
+    if square:
+        return left * left % modulus == right * right % modulus
+    return left == right

@@ -11,17 +11,23 @@ against the public verification value ``g^{x_slot}`` (robustness).
 
 The scheme is written against the generalized LSSS of Section 4.2, so
 the classical ``t+1``-threshold coin is the single-gate special case.
+
+Verifying a quorum of shares is the dominant cost of every agreement
+round; :meth:`CoinPublic.verify_shares` batches the whole quorum's DLEQ
+proofs into one simultaneous multi-exponentiation and falls back to
+per-share checks only to pinpoint culprits (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from .groups import SchnorrGroup
 from .hashing import hash_to_group, hash_to_int
 from .lsss import LsssScheme, SlotId
-from .zkp import DleqProof, prove_dleq, verify_dleq
+from .zkp import DleqProof, prove_dleq, verify_dleq, verify_dleq_batch
 
 __all__ = ["CoinPublic", "CoinShareholder", "CoinShare", "deal_coin"]
 
@@ -49,25 +55,79 @@ class CoinPublic:
         """The group element ``H(C)`` for coin name ``C``."""
         return hash_to_group(self.group, "coin-name", name)
 
-    def verify_share(self, share: CoinShare) -> bool:
-        """Check that every slot value is correct w.r.t. its proof."""
-        base = self.coin_base(share.name)
+    def _share_items(
+        self, base: int, share: CoinShare
+    ) -> list[tuple[int, int, int, int, DleqProof, object]] | None:
+        """The DLEQ batch items for one structurally well-formed share."""
         expected_slots = set(self.scheme.slots_of_party(share.party))
         if set(share.values) != expected_slots or set(share.proofs) != expected_slots:
-            return False
-        for slot in expected_slots:
-            h1 = self.verification[slot]
-            if not verify_dleq(
-                self.group,
+            return None
+        return [
+            (
                 self.group.g,
-                h1,
+                self.verification[slot],
                 base,
                 share.values[slot],
                 share.proofs[slot],
-                context=("coin", share.name, slot),
-            ):
-                return False
-        return True
+                ("coin", share.name, slot),
+            )
+            for slot in sorted(expected_slots)
+        ]
+
+    def verify_share(self, share: CoinShare) -> bool:
+        """Check that every slot value is correct w.r.t. its proof."""
+        base = self.coin_base(share.name)
+        items = self._share_items(base, share)
+        if items is None:
+            return False
+        return all(
+            verify_dleq(self.group, g, h1, u, h2, proof, context=ctx)
+            for g, h1, u, h2, proof, ctx in items
+        )
+
+    def verify_shares(
+        self, name: object, shares: Iterable[CoinShare]
+    ) -> dict[int, CoinShare]:
+        """Batch-verify shares of the named coin; returns the valid ones.
+
+        All proofs of the whole set are checked with a single
+        multi-exponentiation.  If the batch fails (at least one forged
+        share, probability of a false pass 2^-64), each share is
+        re-verified individually so culprits are pinpointed exactly —
+        the returned mapping ``party -> share`` contains precisely the
+        shares that per-share verification accepts.  Shares naming a
+        different coin or duplicating a party are rejected outright.
+        """
+        base = self.coin_base(name)
+        candidates: dict[int, tuple[CoinShare, list]] = {}
+        for share in shares:
+            if share.name != name or share.party in candidates:
+                continue
+            items = self._share_items(base, share)
+            if items is None:
+                continue
+            candidates[share.party] = (share, items)
+        batch = [item for _, items in candidates.values() for item in items]
+        if verify_dleq_batch(self.group, batch):
+            return {party: share for party, (share, _) in candidates.items()}
+        return {
+            party: share
+            for party, (share, items) in candidates.items()
+            if all(
+                verify_dleq(self.group, g, h1, u, h2, proof, context=ctx)
+                for g, h1, u, h2, proof, ctx in items
+            )
+        }
+
+    def _combined_element(self, shares: Mapping[int, CoinShare]) -> int | None:
+        """``H(C)^x`` recombined from a qualified set, or None if unqualified."""
+        lam = self.scheme.recombination(set(shares))
+        if lam is None:
+            return None
+        return self.group.multiexp(
+            (shares[self.scheme.slot_owner(slot)].values[slot], coeff)
+            for slot, coeff in lam.items()
+        )
 
     def combine(self, name: object, shares: dict[int, CoinShare]) -> int:
         """Combine verified shares from a qualified set into the coin value.
@@ -75,28 +135,18 @@ class CoinPublic:
         Returns an unpredictable bit.  Raises if the share-holders do
         not form a qualified set of the access structure.
         """
-        lam = self.scheme.recombination(set(shares))
-        if lam is None:
+        value = self._combined_element(shares)
+        if value is None:
             raise ValueError(
                 f"parties {sorted(shares)} are not qualified to open the coin"
             )
-        grp = self.group
-        value = 1
-        for slot, coeff in lam.items():
-            owner = self.scheme.slot_owner(slot)
-            value = grp.mul(value, grp.exp(shares[owner].values[slot], coeff))
         return hash_to_int("coin-value", name, value, bits=64) & 1
 
     def combine_many_bits(self, name: object, shares: dict[int, CoinShare], bits: int) -> int:
         """Like :meth:`combine` but extracts up to 64 unpredictable bits."""
-        lam = self.scheme.recombination(set(shares))
-        if lam is None:
+        value = self._combined_element(shares)
+        if value is None:
             raise ValueError("not a qualified set")
-        grp = self.group
-        value = 1
-        for slot, coeff in lam.items():
-            owner = self.scheme.slot_owner(slot)
-            value = grp.mul(value, grp.exp(shares[owner].values[slot], coeff))
         return hash_to_int("coin-value", name, value, bits=64) & ((1 << bits) - 1)
 
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from .numtheory import is_probable_prime, modinv, random_safe_prime
+from .accel import accel_for
+from .numtheory import is_probable_prime, jacobi, random_safe_prime
 
 __all__ = ["SchnorrGroup", "generate_group", "default_group", "small_group"]
 
@@ -47,17 +48,26 @@ class SchnorrGroup:
         return (a * b) % self.p
 
     def exp(self, base: int, e: int) -> int:
-        return pow(base, e % self.q, self.p)
+        return accel_for(self).exp(base, e % self.q)
 
     def inv(self, a: int) -> int:
-        return modinv(a, self.p)
+        return pow(a, -1, self.p)
 
     def power_of_g(self, e: int) -> int:
-        return pow(self.g, e % self.q, self.p)
+        return accel_for(self).exp(self.g, e % self.q)
 
     def is_member(self, a: int) -> bool:
-        """True iff ``a`` lies in the order-q subgroup (i.e. is a QR mod p)."""
-        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+        """True iff ``a`` lies in the order-q subgroup (i.e. is a QR mod p).
+
+        Quadratic residuosity mod the safe prime is decided with the
+        Jacobi symbol — gcd-speed instead of a full exponentiation.
+        """
+        return 0 < a < self.p and jacobi(a, self.p) == 1
+
+    def multiexp(self, pairs) -> int:
+        """``Π base^exp`` in one interleaved pass (see crypto.accel)."""
+        grp_accel = accel_for(self)
+        return grp_accel.multiexp([(b, e % self.q) for b, e in pairs])
 
     # -- sampling --------------------------------------------------------
 

@@ -85,10 +85,30 @@ def hash_to_exponent(group: SchnorrGroup, domain: str, *parts: object) -> int:
     return value % (group.q - 1) + 1
 
 
+# hash_to_group is a deterministic oracle and its hottest inputs recur
+# heavily (every share of a named coin re-derives H(C)); memoize hashable
+# inputs with a bounded cache.
+_TO_GROUP_CACHE: dict = {}
+_TO_GROUP_CACHE_MAX = 4096
+
+
 def hash_to_group(group: SchnorrGroup, domain: str, *parts: object) -> int:
     """Hash into the order-q subgroup (used e.g. to name coins in [8])."""
+    try:
+        key = (group.p, group.g, domain, parts)
+        cached = _TO_GROUP_CACHE.get(key)
+    except TypeError:  # unhashable parts: compute without memoizing
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
     value = hash_to_int(domain, *parts, bits=group.p.bit_length() + 64)
-    return group.element_from_bytes(value)
+    element = group.element_from_bytes(value)
+    if key is not None:
+        if len(_TO_GROUP_CACHE) >= _TO_GROUP_CACHE_MAX:
+            _TO_GROUP_CACHE.clear()
+        _TO_GROUP_CACHE[key] = element
+    return element
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:

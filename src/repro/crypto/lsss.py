@@ -67,6 +67,17 @@ class LsssScheme:
     formula: Formula
     modulus: int
 
+    # Recombination coefficients and the slot->owner map are pure
+    # functions of the (frozen) scheme; they sit on the hot path of
+    # every combine, so both are memoized per instance.  The caches
+    # live in __dict__ via object.__setattr__, leaving dataclass
+    # equality/hash semantics untouched.
+    _RECOMB_CACHE_MAX = 1024
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_recomb_cache", {})
+        object.__setattr__(self, "_owner_map", None)
+
     # -- structure queries -------------------------------------------------
 
     def slots(self) -> list[tuple[SlotId, int]]:
@@ -77,10 +88,14 @@ class LsssScheme:
         return [slot for slot, p in self.formula.leaves() if p == party]
 
     def slot_owner(self, slot: SlotId) -> int:
-        for candidate, party in self.formula.leaves():
-            if candidate == slot:
-                return party
-        raise KeyError(f"unknown slot {slot}")
+        owners: dict[SlotId, int] | None = self.__dict__["_owner_map"]
+        if owners is None:
+            owners = dict(self.formula.leaves())
+            object.__setattr__(self, "_owner_map", owners)
+        try:
+            return owners[slot]
+        except KeyError:
+            raise KeyError(f"unknown slot {slot}") from None
 
     def is_qualified(self, present: set[int] | frozenset[int]) -> bool:
         return self.formula.evaluate(frozenset(present))
@@ -120,8 +135,17 @@ class LsssScheme:
         slots owned by parties in ``present``; ``None`` if the set is
         not qualified.  The choice among multiple qualified subsets is
         deterministic (first ``k`` satisfied children at every gate).
+
+        Results are memoized per qualified set (the same quorum recurs
+        on every coin flip of a session); callers receive a copy.
         """
         avail = frozenset(present)
+        cache: dict[frozenset[int], dict[SlotId, int] | None] = self.__dict__[
+            "_recomb_cache"
+        ]
+        if avail in cache:
+            cached = cache[avail]
+            return dict(cached) if cached is not None else None
 
         def solve(node: Formula, path: SlotId) -> dict[SlotId, int] | None:
             if isinstance(node, Leaf):
@@ -148,7 +172,11 @@ class LsssScheme:
                     ) % self.modulus
             return combined
 
-        return solve(self.formula, ())
+        result = solve(self.formula, ())
+        if len(cache) >= self._RECOMB_CACHE_MAX:
+            cache.clear()
+        cache[avail] = dict(result) if result is not None else None
+        return result
 
     def reconstruct(
         self, sharing: LsssSharing, present: set[int] | frozenset[int]

@@ -21,6 +21,7 @@ __all__ = [
     "random_safe_prime",
     "egcd",
     "modinv",
+    "jacobi",
     "crt",
     "SafePrime",
 ]
@@ -132,6 +133,30 @@ def modinv(a: int, m: int) -> int:
     if g != 1:
         raise ValueError(f"{a} is not invertible modulo {m}")
     return x % m
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol ``(a/n)`` for odd ``n > 0`` (law of quadratic reciprocity).
+
+    For an odd prime ``p`` this is the Legendre symbol, so membership in
+    the order-``(p-1)/2`` subgroup of squares can be decided with a
+    gcd-speed computation instead of a full modular exponentiation —
+    the single cheapest win on the proof-verification hot path.
+    """
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("jacobi symbol requires odd n > 0")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
 
 
 def crt(residues: list[int], moduli: list[int]) -> int:

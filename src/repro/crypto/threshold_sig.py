@@ -19,7 +19,17 @@ substitution table in DESIGN.md):
   scheme exists.
 
 Both schemes expose: ``sign_share``, ``verify_share``, ``combine``,
-``verify`` — the exact operations the broadcast/agreement layer uses.
+``verify`` — the exact operations the broadcast/agreement layer uses —
+plus ``verify_shares`` batching a whole quorum's share proofs into one
+simultaneous multi-exponentiation (docs/PERFORMANCE.md).
+
+Shoup share proofs are carried in commitment form ``(v', x', z)`` with
+the challenge recomputed by hashing, which is what makes them
+batchable.  All correctness equations are compared *squared*: the RSA
+group has hidden order and no efficient membership test for the
+squares, so verification works in the quotient ``Z_N^* / {±1}`` — sound
+for this scheme because combination only ever uses even powers of the
+share values (``x_i^{2λ}``), making a sign flip information-free.
 """
 
 from __future__ import annotations
@@ -27,13 +37,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from functools import cached_property
+from typing import Callable, Iterable, Mapping, Protocol
 
+from .accel import batch_coefficients, verify_product_equations
 from .hashing import hash_to_int
 from .numtheory import egcd, modinv
 from .rsa import RsaModulus, choose_public_exponent, generate_rsa_modulus
 from .schnorr import Signature as SchnorrSignature
-from .schnorr import SigningKey, VerifyKey
+from .schnorr import SigningKey, VerifyKey, verify_batch
 
 __all__ = [
     "ThresholdScheme",
@@ -66,11 +78,17 @@ class ThresholdScheme(Protocol):
 
 @dataclass(frozen=True)
 class RsaSignatureShare:
-    """``x_i = H(M)^{2Δ s_i}`` with a Fiat-Shamir proof of correctness."""
+    """``x_i = H(M)^{2Δ s_i}`` with a Fiat-Shamir proof of correctness.
+
+    The proof is the commitment pair ``(v' = v^r, x' = x̃^r)`` plus the
+    response ``z = s_i·c + r``; the challenge ``c`` is recomputed by the
+    verifier from the hashed transcript.
+    """
 
     party: int
     value: int
-    challenge: int
+    commit_v: int
+    commit_x: int
     response: int
 
 
@@ -101,10 +119,20 @@ class ShoupRsaScheme:
     v: int
     v_keys: dict[int, int]
 
-    @property
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_lagrange_cache", {})
+
+    @cached_property
     def delta(self) -> int:
         """Δ = n! — clears all Lagrange denominators over the integers."""
         return math.factorial(self.n_parties)
+
+    # Adversarial responses larger than any honest one are rejected
+    # outright (and keep batch exponents bounded): z = s·c + r with
+    # s < N, c < 2^128, r < 2^(|N| + 256).
+    @cached_property
+    def _max_response_bits(self) -> int:
+        return self.n_modulus.bit_length() + 2 * 128 + 2
 
     def message_digest(self, message: object) -> int:
         """Hash the message into Z_N (the full-domain hash H of [35])."""
@@ -112,30 +140,100 @@ class ShoupRsaScheme:
         x %= self.n_modulus
         return x if x > 1 else x + 2
 
-    def verify_share(self, message: object, share: RsaSignatureShare) -> bool:
-        if share.party not in self.v_keys:
-            return False
-        N = self.n_modulus
-        if not 0 < share.value < N:
-            return False
-        x = self.message_digest(message)
-        x_tilde = pow(x, 4 * self.delta, N)
-        xi_sq = pow(share.value, 2, N)
-        vi = self.v_keys[share.party]
-        # Recompute the commitments from (challenge, response):
-        #   v' = v^z · v_i^{-c},  x' = x̃^z · x_i^{-2c}
-        c, z = share.challenge, share.response
-        v_prime = (pow(self.v, z, N) * modinv(pow(vi, c, N), N)) % N
-        x_prime = (pow(x_tilde, z, N) * modinv(pow(share.value, 2 * c, N), N)) % N
-        expected = hash_to_int(
+    def _share_challenge(
+        self, x_tilde: int, vi: int, xi_sq: int, v_prime: int, x_prime: int
+    ) -> int:
+        return hash_to_int(
             "shoup-share-proof",
             self.v, x_tilde, vi, xi_sq, v_prime, x_prime,
             bits=128,
         )
-        return expected == c
+
+    def _share_well_formed(self, share: RsaSignatureShare) -> bool:
+        if share.party not in self.v_keys:
+            return False
+        N = self.n_modulus
+        return (
+            0 < share.value < N
+            and 0 < share.commit_v < N
+            and 0 < share.commit_x < N
+            and 0 <= share.response
+            and share.response.bit_length() <= self._max_response_bits
+        )
+
+    def verify_share(self, message: object, share: RsaSignatureShare) -> bool:
+        if not self._share_well_formed(share):
+            return False
+        N = self.n_modulus
+        x = self.message_digest(message)
+        x_tilde = pow(x, 4 * self.delta, N)
+        xi_sq = pow(share.value, 2, N)
+        vi = self.v_keys[share.party]
+        c = self._share_challenge(x_tilde, vi, xi_sq, share.commit_v, share.commit_x)
+        z = share.response
+        # v^z = v'·v_i^c and x̃^z = x'·x_i^{2c}, compared squared (the
+        # quotient by {±1}; see the module docstring).
+        lhs_v = pow(self.v, z, N)
+        rhs_v = share.commit_v * pow(vi, c, N) % N
+        if pow(lhs_v, 2, N) != pow(rhs_v, 2, N):
+            return False
+        lhs_x = pow(x_tilde, z, N)
+        rhs_x = share.commit_x * pow(xi_sq, c, N) % N
+        return pow(lhs_x, 2, N) == pow(rhs_x, 2, N)
+
+    def verify_shares(
+        self, message: object, shares: Iterable[RsaSignatureShare]
+    ) -> dict[int, RsaSignatureShare]:
+        """Batch-verify signature shares; returns the valid ones by party.
+
+        All share proofs collapse into one product equation over ``Z_N``
+        via a small-exponent random linear combination (the exponents
+        cannot be reduced — the group order is hidden — but the common
+        bases ``v`` and ``x̃`` are merged, so the batch costs two big
+        exponentiations plus short ones per share instead of four big
+        ones per share).  On batch failure every share is re-checked
+        individually to pinpoint culprits; the verdict equals per-share
+        :meth:`verify_share` up to soundness error 2^-64.
+        """
+        N = self.n_modulus
+        x = self.message_digest(message)
+        x_tilde = pow(x, 4 * self.delta, N)
+        candidates: dict[int, RsaSignatureShare] = {}
+        equations = []
+        transcript: list[object] = [N, self.v, x_tilde]
+        for share in shares:
+            if share.party in candidates or not self._share_well_formed(share):
+                continue
+            candidates[share.party] = share
+            vi = self.v_keys[share.party]
+            xi_sq = pow(share.value, 2, N)
+            c = self._share_challenge(
+                x_tilde, vi, xi_sq, share.commit_v, share.commit_x
+            )
+            z = share.response
+            equations.append((((self.v, z),), ((share.commit_v, 1), (vi, c))))
+            equations.append((((x_tilde, z),), ((share.commit_x, 1), (xi_sq, c))))
+            transcript.extend((share.party, share.value, share.commit_v,
+                               share.commit_x, z, c))
+        coefficients = batch_coefficients("shoup-batch", transcript, len(equations))
+        if verify_product_equations(N, equations, coefficients, square=True):
+            return candidates
+        return {
+            party: share
+            for party, share in candidates.items()
+            if self.verify_share(message, share)
+        }
 
     def _integer_lagrange(self, indices: list[int], i: int) -> int:
-        """``λ^S_{0,i} = Δ · Π_{j≠i} j / (j - i)`` — an integer by design."""
+        """``λ^S_{0,i} = Δ · Π_{j≠i} j / (j - i)`` — an integer by design.
+
+        Memoized: the same quorum recombines on every certificate.
+        """
+        cache: dict = self.__dict__["_lagrange_cache"]
+        key = (tuple(indices), i)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         num = self.delta
         den = 1
         for j in indices:
@@ -144,7 +242,10 @@ class ShoupRsaScheme:
             num *= j
             den *= j - i
         assert num % den == 0
-        return num // den
+        if len(cache) >= 4096:
+            cache.clear()
+        cache[key] = num // den
+        return cache[key]
 
     def combine(self, message: object, shares: dict[int, RsaSignatureShare]) -> RsaSignature:
         """Combine ``k`` valid shares into a standard RSA signature."""
@@ -202,11 +303,15 @@ class ShoupRsaShareholder:
         x_prime = pow(x_tilde, r, N)
         vi = pub.v_keys[self.party]
         xi_sq = pow(value, 2, N)
-        c = hash_to_int(
-            "shoup-share-proof", pub.v, x_tilde, vi, xi_sq, v_prime, x_prime, bits=128
-        )
+        c = pub._share_challenge(x_tilde, vi, xi_sq, v_prime, x_prime)
         z = self.s * c + r
-        return RsaSignatureShare(party=self.party, value=value, challenge=c, response=z)
+        return RsaSignatureShare(
+            party=self.party,
+            value=value,
+            commit_v=v_prime,
+            commit_x=x_prime,
+            response=z,
+        )
 
 
 def deal_shoup_rsa(
@@ -282,20 +387,55 @@ class QuorumCertScheme:
             return False
         return key.verify((self.tag, message), signature)
 
+    def _batch_ok(
+        self, message: object, signatures: Mapping[int, SchnorrSignature]
+    ) -> bool:
+        """One multi-exp over all signatures (soundness error 2^-64)."""
+        items = []
+        for party, signature in sorted(signatures.items()):
+            key = self.verify_keys.get(party)
+            if key is None:
+                return False
+            items.append((key, (self.tag, message), signature))
+        if not items:
+            return True
+        return verify_batch(items[0][0].group, items)
+
+    def verify_shares(
+        self, message: object, shares: Mapping[int, SchnorrSignature]
+    ) -> dict[int, SchnorrSignature]:
+        """Batch-verify signature shares; returns the valid ones by party.
+
+        Falls back to per-share verification when the batch fails so
+        culprits are pinpointed exactly (docs/PERFORMANCE.md).
+        """
+        if self._batch_ok(message, shares):
+            return dict(shares)
+        return {
+            party: signature
+            for party, signature in shares.items()
+            if self.verify_share(message, (party, signature))
+        }
+
     def combine(
         self, message: object, shares: dict[int, SchnorrSignature]
     ) -> QuorumCertificate:
         signers = frozenset(shares)
         if not self.qualifier(signers):
             raise ValueError(f"signers {sorted(signers)} do not form a qualified set")
-        for party, signature in shares.items():
-            if not self.verify_share(message, (party, signature)):
-                raise ValueError(f"invalid signature share from party {party}")
+        if not self._batch_ok(message, shares):
+            for party, signature in sorted(shares.items()):
+                if not self.verify_share(message, (party, signature)):
+                    raise ValueError(f"invalid signature share from party {party}")
+            # The batch rejected but every share verifies individually: a
+            # 2^-64 soundness fluke; per-share verdicts are authoritative.
         return QuorumCertificate(signatures=dict(shares))
 
     def verify(self, message: object, certificate: QuorumCertificate) -> bool:
         if not self.qualifier(certificate.signers):
             return False
+        if self._batch_ok(message, certificate.signatures):
+            return True
         return all(
             self.verify_share(message, (party, signature))
             for party, signature in certificate.signatures.items()

@@ -9,3 +9,9 @@ def deliver(key, statement, message):
 def collect(scheme, statement, shares):
     scheme.combine(statement, shares)  # line 10: result discarded
     scheme.verify_share(statement, shares[0])  # line 11: result discarded
+
+
+def screen(scheme, ct, name, group, items, shares):
+    scheme.verify_shares(ct, shares)  # line 15: batch result discarded
+    verify_dleq_batch(group, items)  # line 16: batch verdict discarded
+    scheme.verify_batch(group, items)  # line 17: batch verdict discarded

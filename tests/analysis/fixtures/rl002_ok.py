@@ -11,3 +11,10 @@ def collect(scheme, statement, shares):
     certificate = scheme.combine(statement, shares)
     valid = [s for s in shares if scheme.verify_share(statement, s)]
     return certificate, valid
+
+
+def screen(scheme, ct, group, items, shares):
+    valid = scheme.verify_shares(ct, shares)
+    if not verify_dleq_batch(group, items):
+        return None
+    return valid

@@ -52,7 +52,14 @@ def test_rl001_skips_adversary_package():
 
 def test_rl002_fires_on_discarded_results():
     report = findings("rl002_bad.py", "RL002")
-    assert locations(report) == [("RL002", 5), ("RL002", 10), ("RL002", 11)]
+    assert locations(report) == [
+        ("RL002", 5),
+        ("RL002", 10),
+        ("RL002", 11),
+        ("RL002", 15),  # batch verify_shares
+        ("RL002", 16),  # verify_dleq_batch
+        ("RL002", 17),  # verify_batch
+    ]
     assert "verify" in report.diagnostics[0].message
 
 

@@ -115,7 +115,7 @@ def test_unsigned_proposals_rejected(keys_4_1):
     net.start()
     from repro.crypto.schnorr import Signature
 
-    fake = AbcProposal(1, (("req", "evil"),), Signature(challenge=1, response=1))
+    fake = AbcProposal(1, (("req", "evil"),), Signature(commit=1, response=1))
     net.send(0, 1, (session, fake))
     net.run(max_steps=1000)
     inst = rts[1].instances[session]

@@ -80,7 +80,7 @@ class TestJustifications:
         net, rts = make_network(keys_4_1, seed=20, parties=[1])
         session = cks_session("unjust")
         inst = rts[1].spawn(session, CksBinaryAgreement(1))
-        bogus = CksPreVote(2, 0, None, Signature(challenge=1, response=1))
+        bogus = CksPreVote(2, 0, None, Signature(commit=1, response=1))
         net.send(0, 1, (session, bogus))
         net.run(max_steps=100)
         assert 0 not in inst._state(2).prevotes
@@ -89,7 +89,7 @@ class TestJustifications:
         net, rts = make_network(keys_4_1, seed=21, parties=[1])
         session = cks_session("forged")
         inst = rts[1].spawn(session, CksBinaryAgreement(1))
-        bogus = CksPreVote(1, 0, None, Signature(challenge=1, response=1))
+        bogus = CksPreVote(1, 0, None, Signature(commit=1, response=1))
         net.send(0, 1, (session, bogus))
         net.run(max_steps=100)
         assert 0 not in inst._state(1).prevotes
@@ -99,10 +99,10 @@ class TestJustifications:
         session = cks_session("nocert")
         inst = rts[1].spawn(session, CksBinaryAgreement(1))
         bogus = CksMainVote(1, 0, ("cert", "not-a-cert"),
-                            Signature(challenge=1, response=1))
+                            Signature(commit=1, response=1))
         net.send(2, 1, (session, bogus))
         bogus2 = CksMainVote(1, ABSTAIN, ("conflict", "x", "y"),
-                             Signature(challenge=1, response=1))
+                             Signature(commit=1, response=1))
         net.send(3, 1, (session, bogus2))
         net.run(max_steps=100)
         assert inst._state(1).mainvotes == {}
@@ -122,7 +122,7 @@ class TestJustifications:
         prevotes = list(inst._state(1).prevotes.values())
         same = CksMainVote(
             1, ABSTAIN, ("conflict", prevotes[0], prevotes[1]),
-            Signature(challenge=1, response=1),
+            Signature(commit=1, response=1),
         )
         fresh_net, fresh_rts = make_network(keys_4_1, seed=24, parties=[2])
         fresh = fresh_rts[2].spawn(session, CksBinaryAgreement(1))

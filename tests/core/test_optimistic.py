@@ -96,7 +96,7 @@ class TestFastPath:
         session = opt_abc_session("forge")
         logs, insts = _spawn(rts, session)
         net.start()
-        fake = OptOrder(1, ("evil",), Signature(challenge=1, response=1))
+        fake = OptOrder(1, ("evil",), Signature(commit=1, response=1))
         net.send(0, 1, (session, fake))
         net.run(max_steps=1000)
         assert insts[1].orders == {}

@@ -58,9 +58,9 @@ def test_encode_distinguishes_types():
 
 
 def test_encode_handles_dataclasses_and_dicts():
-    sig = Signature(challenge=5, response=9)
-    assert encode(sig) == encode(Signature(challenge=5, response=9))
-    assert encode(sig) != encode(Signature(challenge=5, response=10))
+    sig = Signature(commit=5, response=9)
+    assert encode(sig) == encode(Signature(commit=5, response=9))
+    assert encode(sig) != encode(Signature(commit=5, response=10))
     assert encode({1: "a", 2: "b"}) == encode({2: "b", 1: "a"})
 
 

@@ -39,15 +39,15 @@ def test_tampered_signature_rejected(key):
         "msg", replace(sig, response=(sig.response + 1) % grp.q)
     )
     assert not key.verify_key.verify(
-        "msg", replace(sig, challenge=(sig.challenge + 1) % grp.q)
+        "msg", replace(sig, commit=grp.mul(sig.commit, grp.g))
     )
 
 
 def test_malformed_values_rejected(key):
     grp = key.group
-    assert not key.verify_key.verify("msg", Signature(challenge=0, response=5))
-    assert not key.verify_key.verify("msg", Signature(challenge=grp.q, response=5))
-    assert not key.verify_key.verify("msg", Signature(challenge=5, response=grp.q))
+    assert not key.verify_key.verify("msg", Signature(commit=0, response=5))
+    assert not key.verify_key.verify("msg", Signature(commit=grp.p, response=5))
+    assert not key.verify_key.verify("msg", Signature(commit=5, response=grp.q))
 
 
 def test_signatures_are_randomized(key):

@@ -60,7 +60,12 @@ def test_dleq_rejects_tampered_proof():
         GROUP, GROUP.g, h1, u, h2, replace(proof, response=(proof.response + 1) % GROUP.q)
     )
     assert not verify_dleq(
-        GROUP, GROUP.g, h1, u, h2, replace(proof, challenge=(proof.challenge + 1) % GROUP.q)
+        GROUP, GROUP.g, h1, u, h2,
+        replace(proof, commit1=GROUP.mul(proof.commit1, GROUP.g)),
+    )
+    assert not verify_dleq(
+        GROUP, GROUP.g, h1, u, h2,
+        replace(proof, commit2=GROUP.mul(proof.commit2, GROUP.g)),
     )
 
 

@@ -40,7 +40,7 @@ def test_primitive_roundtrip(value):
 
 
 def test_dataclass_roundtrip():
-    sig = Signature(challenge=5, response=9)
+    sig = Signature(commit=5, response=9)
     assert wire.loads(wire.dumps(sig)) == sig
 
 
@@ -77,7 +77,7 @@ def test_malformed_inputs_rejected():
 
 
 def test_field_count_mismatch_rejected():
-    good = wire.dumps(Signature(challenge=1, response=2))
+    good = wire.dumps(Signature(commit=1, response=2))
     # Corrupt the field count (bytes after the class name).
     name_len = int.from_bytes(good[1:5], "big")
     offset = 5 + name_len

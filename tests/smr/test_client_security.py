@@ -26,7 +26,7 @@ def test_forged_result_from_single_replica_ignored():
         client=client.client_id,
         nonce=nonce,
         result=("value", "EVIL"),
-        signature_share=Signature(challenge=1, response=1),
+        signature_share=Signature(commit=1, response=1),
     )
     dep.network.send(3, client.client_id, (service_session("service"), forged))
     results = dep.run_until_complete(client, [nonce])
@@ -44,7 +44,7 @@ def test_matching_lies_without_valid_shares_never_complete():
             client=client.client_id,
             nonce=nonce,
             result=("value", "EVIL"),
-            signature_share=Signature(challenge=1, response=1),
+            signature_share=Signature(commit=1, response=1),
         )
         dep.network.send(replica, client.client_id,
                          (service_session("service"), forged))
@@ -87,7 +87,7 @@ def test_replies_for_foreign_nonces_ignored():
         client=client.client_id,
         nonce=999,  # never submitted
         result=("ok", 1),
-        signature_share=Signature(challenge=1, response=1),
+        signature_share=Signature(commit=1, response=1),
     )
     dep.network.send(1, client.client_id, (service_session("service"), stray))
     dep.network.run(max_steps=10_000)
