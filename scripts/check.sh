@@ -23,6 +23,19 @@ step() {
 step "repro lint (protocol-invariant rules RL001-RL005)"
 if ! python -m repro lint src/repro --format json > /tmp/repro-lint.json; then
     cat /tmp/repro-lint.json
+    if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+        # Surface each finding as a GitHub Actions annotation so it is
+        # pinned to the offending line in the PR diff view.
+        python - <<'EOF'
+import json
+report = json.load(open("/tmp/repro-lint.json"))
+for diag in report.get("diagnostics", []):
+    message = diag["message"].replace("%", "%25").replace("\n", "%0A")
+    print(f"::error file=src/repro/{diag['path']},"
+          f"line={diag['line']},col={diag['col']},"
+          f"title=repro lint {diag['rule']}::{message}")
+EOF
+    fi
     echo "repro lint: FAILED"
     failures=$((failures + 1))
 else

@@ -1,6 +1,7 @@
-"""RL005 — async hygiene in protocol handlers.
+"""RL005 — async hygiene in protocol handlers and the TCP transport.
 
-Two failure modes (``core/`` and ``smr/``):
+Four failure modes (``core/``, ``smr/``, and the asyncio transport
+modules ``net/transport.py`` / ``net/runtime.py``):
 
 1. **Un-awaited coroutines.**  A bare statement ``self.flush(ctx)``
    where ``flush`` is an ``async def`` creates a coroutine object and
@@ -19,9 +20,20 @@ Two failure modes (``core/`` and ``smr/``):
    ``decided``).  Re-checking the guard (e.g. ``if r != self.round:
    return``) clears the taint.
 
-The current simulator core is callback-driven (no ``async`` at all),
-so this rule protects the planned asyncio transport: violations cannot
-creep in unnoticed once real network backends land.
+3. **Orphaned tasks.**  ``loop.create_task(...)`` whose result is
+   dropped (a bare expression statement) or assigned but never given an
+   ``add_done_callback`` in the same function: when such a task dies,
+   its exception is swallowed and the transport silently stops
+   delivering.  Every spawned task must be retained *and* observed.
+
+4. **Un-awaited sends.**  In an async function, a bare statement
+   calling a known-awaitable I/O method (``drain``, ``sendall``,
+   ``wait``, ``sleep``, ...) drops the awaitable: the bytes may never
+   be flushed and backpressure is lost.
+
+The protocol core is callback-driven (no ``async`` at all), so modes 1
+and 2 keep it that way; modes 3 and 4 police the one place real
+concurrency is allowed — the socket transport.
 """
 
 from __future__ import annotations
@@ -37,6 +49,21 @@ __all__ = ["AsyncHygieneRule"]
 _GUARD_FRAGMENTS = ("round", "epoch", "view", "halted", "closed", "decided")
 _STATE_BASES = {"self", "state"}
 
+# Methods/functions that return awaitables; calling one as a bare
+# statement inside ``async def`` silently drops the awaitable.
+_AWAITABLE_CALLS = {
+    "drain",
+    "sendall",
+    "sleep",
+    "wait",
+    "wait_for",
+    "wait_closed",
+    "gather",
+    "serve_forever",
+    "start_serving",
+    "open_connection",
+}
+
 
 def _async_def_names(tree: ast.Module) -> set[str]:
     return {node.name for node in ast.walk(tree) if isinstance(node, ast.AsyncFunctionDef)}
@@ -46,6 +73,22 @@ def _called_name(call: ast.Call) -> str | None:
     if isinstance(call.func, ast.Name):
         return call.func.id
     if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _local_called_name(call: ast.Call) -> str | None:
+    """The called name, only when it can resolve to a same-module
+    ``async def``: a bare name or a ``self.``/``state.`` method.  An
+    arbitrary receiver (``writer.close()``) may be a foreign sync method
+    that merely shares its name with a local coroutine."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if (
+        isinstance(call.func, ast.Attribute)
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id in _STATE_BASES
+    ):
         return call.func.attr
     return None
 
@@ -83,10 +126,29 @@ def _shared_state_target(node: ast.AST) -> ast.Attribute | None:
     return None
 
 
+def _own_nodes(func: ast.AST):
+    """Every node belonging to ``func`` itself, not to nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _task_target_key(target: ast.expr) -> tuple | None:
+    """A comparable identity for a task-holding variable or attribute."""
+    if isinstance(target, ast.Name):
+        return ("name", target.id)
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        return ("attr", target.value.id, target.attr)
+    return None
+
+
 class AsyncHygieneRule(Rule):
     rule_id = "RL005"
-    summary = "async hygiene: dropped coroutines, unguarded post-await writes"
-    scope = ("core/", "smr/")
+    summary = "async hygiene: dropped coroutines/tasks, unguarded post-await writes"
+    scope = ("core/", "smr/", "net/transport.py", "net/runtime.py")
 
     def check(self, source: SourceFile) -> list[Diagnostic]:
         diagnostics: list[Diagnostic] = []
@@ -97,24 +159,101 @@ class AsyncHygieneRule(Rule):
                 if (
                     isinstance(node, ast.Expr)
                     and isinstance(node.value, ast.Call)
-                    and _called_name(node.value) in async_names
+                    and _local_called_name(node.value) in async_names
                 ):
                     diagnostics.append(
                         self.diagnostic(
                             source,
                             node.lineno,
                             node.col_offset,
-                            f"coroutine {_called_name(node.value)}(...) is never "
-                            "awaited; its body will not run",
+                            f"coroutine {_local_called_name(node.value)}(...) is "
+                            "never awaited; its body will not run",
                             hint="await the call (or schedule it explicitly as a task)",
                         )
                     )
 
         for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_tasks(source, node, diagnostics)
             if isinstance(node, ast.AsyncFunctionDef):
+                self._scan_bare_awaitables(source, node, diagnostics)
                 self._scan_async_body(source, node.body, awaited=False, out=diagnostics)
         diagnostics.sort(key=Diagnostic.sort_key)
         return diagnostics
+
+    def _scan_tasks(
+        self, source: SourceFile, func: ast.AST, out: list[Diagnostic]
+    ) -> None:
+        """Mode 3: every created task is retained and observed."""
+        created: list[tuple[ast.stmt, tuple]] = []
+        observed: set[tuple] = set()
+        for node in _own_nodes(func):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _called_name(node.value) == "create_task"
+            ):
+                out.append(
+                    self.diagnostic(
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        "create_task(...) result is dropped; a failure of this "
+                        "task would be silently swallowed",
+                        hint="assign the task and attach an add_done_callback",
+                    )
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _called_name(node.value) == "create_task"
+            ):
+                for target in node.targets:
+                    key = _task_target_key(target)
+                    if key is not None:
+                        created.append((node, key))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_done_callback"
+            ):
+                key = _task_target_key(node.func.value)
+                if key is not None:
+                    observed.add(key)
+        for node, key in created:
+            if key not in observed:
+                out.append(
+                    self.diagnostic(
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        f"task '{key[-1]}' has no add_done_callback in this "
+                        "function; its exception would never be observed",
+                        hint="attach an add_done_callback that retrieves the result",
+                    )
+                )
+
+    def _scan_bare_awaitables(
+        self, source: SourceFile, func: ast.AsyncFunctionDef, out: list[Diagnostic]
+    ) -> None:
+        """Mode 4: no un-awaited sends inside async functions."""
+        for node in _own_nodes(func):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _called_name(node.value) in _AWAITABLE_CALLS
+            ):
+                name = _called_name(node.value)
+                out.append(
+                    self.diagnostic(
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}(...) returns an awaitable that is dropped; the "
+                        "send may never complete and backpressure is lost",
+                        hint=f"write `await ...{name}(...)`",
+                    )
+                )
 
     def _scan_async_body(
         self,

@@ -8,8 +8,14 @@ Gives the library a direct operational surface::
     python -m repro structure example2
     python -m repro attack leader
     python -m repro lint src/repro --format json
+    python -m repro demo-cluster --n 4 --t 1
+    python -m repro run-replica --dir ./deployment --party 2
+    python -m repro run-client --dir ./deployment --op "set k v" --op "get k"
 
-Every command is deterministic given ``--seed``.
+Every simulator command is deterministic given ``--seed``; the
+``run-replica`` / ``run-client`` / ``demo-cluster`` family runs over
+real TCP sockets (see docs/DEPLOYMENT.md) and is as deterministic as
+the operating system's scheduler.
 """
 
 from __future__ import annotations
@@ -41,9 +47,11 @@ def _cmd_deal(args: argparse.Namespace) -> int:
         )
     elif args.hybrid:
         b, c = (int(x) for x in args.hybrid.split(","))
-        keys = deal_system(args.n, rng, hybrid=(b, c), group=group)
+        keys = deal_system(args.n, rng, hybrid=(b, c), group=group,
+                           clients=args.clients)
     else:
-        keys = deal_system(args.n, rng, t=args.t, group=group)
+        keys = deal_system(args.n, rng, t=args.t, group=group,
+                           clients=args.clients)
     paths = write_deployment(keys, args.out)
     print(f"dealt {keys.public.quorum.describe()}")
     for path in paths:
@@ -101,6 +109,66 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     snapshots = {r.state_machine.snapshot() for r in deployment.honest_replicas()}
     print(f"honest replicas consistent: {len(snapshots) == 1}")
     return 0
+
+
+def _parse_operation(text: str) -> tuple:
+    """``"set key value"`` / ``"get key"`` -> a KeyValueStore operation."""
+    parts = text.split()
+    if len(parts) == 3 and parts[0] == "set":
+        value: object = parts[2]
+        try:
+            value = int(parts[2])
+        except ValueError:
+            pass
+        return ("set", parts[1], value)
+    if len(parts) == 2 and parts[0] == "get":
+        return ("get", parts[1])
+    raise SystemExit(f"cannot parse operation {text!r} (use 'set K V' or 'get K')")
+
+
+def _cmd_run_replica(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net.runtime import serve_replica
+
+    return asyncio.run(
+        serve_replica(args.dir, args.party, recover=args.recover)
+    )
+
+
+def _cmd_run_client(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .crypto.dealer import CLIENT_BASE
+    from .net.runtime import run_client_ops
+
+    if args.op:
+        operations = [_parse_operation(op) for op in args.op]
+    else:
+        operations = [("set", "demo", 1), ("get", "demo")]
+    results = asyncio.run(
+        run_client_ops(
+            args.dir, operations,
+            client_id=args.client if args.client is not None else CLIENT_BASE,
+            timeout=args.timeout,
+        )
+    )
+    for operation, result in zip(operations, results):
+        print(f"{operation!r} -> {result!r}")
+    return 0
+
+
+def _cmd_demo_cluster(args: argparse.Namespace) -> int:
+    from .net.runtime import demo_cluster
+
+    return demo_cluster(
+        n=args.n,
+        t=args.t,
+        seed=args.seed,
+        directory=args.dir,
+        keep=args.keep,
+        timeout=args.timeout,
+    )
 
 
 def _cmd_structure(args: argparse.Namespace) -> int:
@@ -218,6 +286,10 @@ def main(argv: list[str] | None = None) -> int:
         "--full-strength", action="store_true",
         help="256-bit group instead of the fast test group",
     )
+    deal.add_argument(
+        "--clients", type=int, default=0,
+        help="provision channel keys for this many client identities",
+    )
     deal.set_defaults(func=_cmd_deal)
 
     demo = sub.add_parser("demo", help="run a replicated service end to end")
@@ -227,6 +299,53 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--corrupt", type=int, default=1,
                       help="how many servers to silence")
     demo.set_defaults(func=_cmd_demo)
+
+    run_replica = sub.add_parser(
+        "run-replica",
+        help="serve one replica over TCP from a dealt deployment",
+        description=(
+            "Load public.json, server-<party>.json and cluster.json from --dir, "
+            "then serve the replica until SIGTERM/SIGINT. With --recover, run "
+            "Section-6 crash recovery (state transfer from peers) on startup."
+        ),
+    )
+    run_replica.add_argument("--dir", required=True, help="deployment directory")
+    run_replica.add_argument("--party", type=int, required=True)
+    run_replica.add_argument("--recover", action="store_true",
+                             help="rebuild state from peers before serving")
+    run_replica.set_defaults(func=_cmd_run_replica)
+
+    run_client = sub.add_parser(
+        "run-client",
+        help="submit requests to a TCP cluster and await signed answers",
+    )
+    run_client.add_argument("--dir", required=True, help="deployment directory")
+    run_client.add_argument("--client", type=int, default=None,
+                            help="client identity (default: first dealt client)")
+    run_client.add_argument("--op", action="append",
+                            help="operation, e.g. 'set key value' or 'get key'")
+    run_client.add_argument("--timeout", type=float, default=60.0)
+    run_client.set_defaults(func=_cmd_run_client)
+
+    demo_cluster = sub.add_parser(
+        "demo-cluster",
+        help="spawn an n-server TCP cluster and run a fault-injecting workload",
+        description=(
+            "Deal keys, spawn n replica subprocesses over localhost TCP, run a "
+            "client workload end to end — killing one replica mid-run and "
+            "restarting it with crash recovery — and verify the restarted "
+            "replica rebuilt the full history. Exits 0 on success."
+        ),
+    )
+    demo_cluster.add_argument("--n", type=int, default=4)
+    demo_cluster.add_argument("--t", type=int, default=1)
+    demo_cluster.add_argument("--dir", default=None,
+                              help="deployment directory (default: a temp dir)")
+    demo_cluster.add_argument("--keep", action="store_true",
+                              help="keep the deployment directory afterwards")
+    demo_cluster.add_argument("--timeout", type=float, default=60.0,
+                              help="per-request completion timeout")
+    demo_cluster.set_defaults(func=_cmd_demo_cluster)
 
     structure = sub.add_parser("structure", help="inspect an adversary structure")
     structure.add_argument("which", choices=["threshold", "example1", "example2"])

@@ -99,6 +99,22 @@ class AtomicBroadcast(Protocol):
         ctx.broadcast(AbcProposal(next_round, batch, signature))
         self._maybe_start_agreement(ctx)
 
+    def resume_at(self, ctx: Context, round_number: int) -> None:
+        """Rejoin the round structure after recovery (Section 6).
+
+        A restarting party may have opened a low-numbered round before
+        state transfer told it how far the others have progressed; that
+        round can never complete (nobody else will propose in it), so
+        abandon it, fast-forward to the recovered round, and re-enter at
+        the first undecided slot — for which proposals have usually
+        already been collected while recovery was in flight.
+        """
+        self.round = max(self.round, round_number)
+        self.active_round = None
+        for stale in [r for r in self.proposals if r <= self.round]:
+            del self.proposals[stale]
+        self._maybe_start_round(ctx)
+
     def on_message(self, ctx: Context, sender: int, message: object) -> None:
         if not isinstance(message, AbcProposal):
             return

@@ -16,7 +16,8 @@ import random
 from typing import Callable
 
 from ..crypto.dealer import PartyKeys, PublicKeys
-from ..net.simulator import Network, Node
+from ..net.base import NetworkBackend
+from ..net.simulator import Node
 from .protocol import Context, Protocol, SessionId
 
 __all__ = ["ProtocolRuntime"]
@@ -32,7 +33,7 @@ class ProtocolRuntime(Node):
     def __init__(
         self,
         party: int,
-        network: Network,
+        network: NetworkBackend,
         public: PublicKeys,
         keys: PartyKeys,
         seed: int = 0,

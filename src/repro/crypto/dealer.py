@@ -22,7 +22,7 @@ keys of the service" property.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..adversary.formulas import Formula, majority
 from ..adversary.hybrid import HybridQuorumSystem
@@ -48,7 +48,19 @@ from .threshold_sig import (
     deal_shoup_rsa,
 )
 
-__all__ = ["PublicKeys", "PartyKeys", "SystemKeys", "deal_system"]
+__all__ = [
+    "CLIENT_BASE",
+    "PublicKeys",
+    "PartyKeys",
+    "SystemKeys",
+    "deal_channel_keys",
+    "deal_system",
+]
+
+# Client party ids start here by convention (servers are 0..n-1); the
+# dealer provisions channel keys for client ids at deal time so a real
+# transport can authenticate client connections too.
+CLIENT_BASE = 1000
 
 
 @dataclass(frozen=True)
@@ -86,6 +98,11 @@ class PartyKeys:
     cert_honest: QuorumCertShareholder
     cert_strong: QuorumCertShareholder
     service_signer: ShoupRsaShareholder | QuorumCertShareholder
+    # Pairwise symmetric channel keys (peer id -> 32-byte key), the
+    # deployment-time mechanism behind the model's authenticated links:
+    # a TCP transport HMACs every frame under the key it shares with the
+    # peer.  The simulator never reads these.
+    channel_keys: dict[int, bytes] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -94,6 +111,29 @@ class SystemKeys:
 
     public: PublicKeys
     private: dict[int, PartyKeys]
+    # Channel-key bundles for dealt clients (client id -> peer id -> key);
+    # each bundle goes to its client over a secure channel, like the
+    # server bundles.
+    client_channels: dict[int, dict[int, bytes]] = field(default_factory=dict)
+
+
+def deal_channel_keys(
+    parties: list[int], rng: random.Random
+) -> dict[int, dict[int, bytes]]:
+    """One fresh 32-byte symmetric key per unordered pair of parties.
+
+    Returns, for every party, the map ``peer id -> shared key``; the
+    two endpoints of a pair hold the identical key and nobody else
+    holds it, so an HMAC under it authenticates the channel in both
+    directions (frames carry direction explicitly to stop reflection).
+    """
+    keyring: dict[int, dict[int, bytes]] = {party: {} for party in parties}
+    for index, a in enumerate(parties):
+        for b in parties[index + 1 :]:
+            key = rng.randbytes(32)
+            keyring[a][b] = key
+            keyring[b][a] = key
+    return keyring
 
 
 def deal_system(
@@ -107,6 +147,7 @@ def deal_system(
     signature_backend: str = "certs",
     rsa_bits: int = 512,
     require_q3: bool = True,
+    clients: int = 0,
 ) -> SystemKeys:
     """Run the trusted dealer.
 
@@ -128,6 +169,9 @@ def deal_system(
             certificates (any structure; also much faster to set up).
         rsa_bits: RSA modulus size when ``signature_backend == "rsa"``.
         require_q3: refuse structures violating the Q^3 condition.
+        clients: how many client identities (ids ``CLIENT_BASE`` and up)
+            to provision with pairwise channel keys for a deployed
+            (socket) transport.
     """
     grp = group or default_group()
     if hybrid is not None:
@@ -224,6 +268,9 @@ def deal_system(
             i, DecryptionShareholder(party=i, public=enc_public, subshares={})
         )
 
+    client_ids = [CLIENT_BASE + c for c in range(clients)]
+    channel_keyring = deal_channel_keys(list(range(n)) + client_ids, rng)
+
     private = {
         i: PartyKeys(
             party=i,
@@ -234,7 +281,12 @@ def deal_system(
             cert_honest=cert_honest_holders[i],
             cert_strong=cert_strong_holders[i],
             service_signer=service_holders[i],
+            channel_keys=channel_keyring[i],
         )
         for i in range(n)
     }
-    return SystemKeys(public=public, private=private)
+    return SystemKeys(
+        public=public,
+        private=private,
+        client_channels={c: channel_keyring[c] for c in client_ids},
+    )

@@ -51,9 +51,12 @@ __all__ = [
     "public_from_dict",
     "party_to_dict",
     "party_from_dict",
+    "client_to_dict",
+    "client_from_dict",
     "write_deployment",
     "load_public",
     "load_party",
+    "load_client",
 ]
 
 _VERSION = 1
@@ -286,7 +289,23 @@ def party_to_dict(party: PartyKeys) -> dict:
             for slot, value in party.decryption.subshares.items()
         },
         "service_signer": service_json,
+        "channel_keys": _channel_keys_to_json(party.channel_keys),
     }
+
+
+def _channel_keys_to_json(channel_keys: dict[int, bytes]) -> dict:
+    return {str(peer): key.hex() for peer, key in channel_keys.items()}
+
+
+def _channel_keys_from_json(data: object) -> dict[int, bytes]:
+    if data is None:
+        return {}  # pre-transport bundles carried no channel keys
+    if not isinstance(data, dict):
+        raise KeystoreError("malformed channel keys")
+    try:
+        return {int(peer): bytes.fromhex(key) for peer, key in data.items()}
+    except (TypeError, ValueError) as exc:
+        raise KeystoreError("malformed channel keys") from exc
 
 
 def party_from_dict(data: dict, public: PublicKeys) -> PartyKeys:
@@ -346,7 +365,28 @@ def party_from_dict(data: dict, public: PublicKeys) -> PartyKeys:
         cert_honest=cert_honest,
         cert_strong=cert_strong,
         service_signer=signer,
+        channel_keys=_channel_keys_from_json(data.get("channel_keys")),
     )
+
+
+# -- client channel bundles --------------------------------------------------------
+
+
+def client_to_dict(client: int, channel_keys: dict[int, bytes]) -> dict:
+    """Serialize one client's channel-key bundle (secret: it IS the
+    client's transport identity)."""
+    return {
+        "version": _VERSION,
+        "client": client,
+        "channel_keys": _channel_keys_to_json(channel_keys),
+    }
+
+
+def client_from_dict(data: dict) -> tuple[int, dict[int, bytes]]:
+    """Rebuild ``(client id, peer -> key)`` from a client bundle."""
+    if data.get("version") != _VERSION:
+        raise KeystoreError(f"unsupported keystore version {data.get('version')!r}")
+    return int(data["client"]), _channel_keys_from_json(data.get("channel_keys"))
 
 
 # -- file helpers ------------------------------------------------------------------
@@ -363,6 +403,10 @@ def write_deployment(keys: SystemKeys, directory: str | pathlib.Path) -> list[pa
     for party, bundle in sorted(keys.private.items()):
         path = directory / f"server-{party}.json"
         path.write_text(json.dumps(party_to_dict(bundle), indent=1))
+        written.append(path)
+    for client, channel_keys in sorted(keys.client_channels.items()):
+        path = directory / f"client-{client}.json"
+        path.write_text(json.dumps(client_to_dict(client, channel_keys), indent=1))
         written.append(path)
     return written
 
@@ -383,3 +427,12 @@ def load_party(path: str | pathlib.Path, public: PublicKeys) -> PartyKeys:
     except (OSError, json.JSONDecodeError) as exc:
         raise KeystoreError(f"cannot read party bundle: {exc}") from exc
     return party_from_dict(data, public)
+
+
+def load_client(path: str | pathlib.Path) -> tuple[int, dict[int, bytes]]:
+    """Load a client's channel-key bundle from ``client-<id>.json``."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise KeystoreError(f"cannot read client bundle: {exc}") from exc
+    return client_from_dict(data)

@@ -1,5 +1,8 @@
 """Asynchronous network substrate: the simulator, adversarial
-schedulers, corruption harness, tracing, and authenticated channels."""
+schedulers, corruption harness, tracing, authenticated channels, and
+the asyncio TCP transport (``repro.net.transport`` /
+``repro.net.runtime``) that runs the same protocol stack over real
+sockets."""
 
 from .adversary import (
     CorruptionController,
@@ -15,6 +18,7 @@ from .attacks import (
     EquivocatingRbcSender,
     TwoFacedVoter,
 )
+from .base import NetworkBackend
 from .channels import ChannelAuthenticator, SignedPayload
 from .scheduler import (
     DelayScheduler,
@@ -27,6 +31,7 @@ from .scheduler import (
 )
 from .simulator import Envelope, LivenessError, Network, Node
 from .tracing import Trace
+from .transport import TransportError, TransportNetwork
 
 __all__ = [
     "CorruptionController",
@@ -40,6 +45,7 @@ __all__ = [
     "EquivocatingRbcSender",
     "TwoFacedVoter",
     "ChannelAuthenticator",
+    "NetworkBackend",
     "SignedPayload",
     "DelayScheduler",
     "FifoScheduler",
@@ -53,4 +59,6 @@ __all__ = [
     "Network",
     "Node",
     "Trace",
+    "TransportError",
+    "TransportNetwork",
 ]

@@ -1,0 +1,32 @@
+"""The send/deliver contract every network backend satisfies.
+
+The protocol stack (``core/``, ``smr/``) talks to the network through
+exactly three things: ``send``, ``broadcast`` and the ``trace``
+statistics object.  Both the deterministic simulator
+(:class:`repro.net.simulator.Network`) and the asyncio TCP transport
+(:class:`repro.net.transport.TransportNetwork`) satisfy this structural
+interface, which is what lets replicas and clients run unmodified on
+either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .tracing import Trace
+
+__all__ = ["NetworkBackend"]
+
+
+class NetworkBackend(Protocol):
+    """Structural interface of a network backend (simulator or TCP)."""
+
+    trace: Trace
+
+    def send(self, sender: int, recipient: int, payload: object) -> None:
+        """Queue an authenticated point-to-point message."""
+        ...
+
+    def broadcast(self, sender: int, payload: object) -> None:
+        """Send to every known party, including the sender itself."""
+        ...

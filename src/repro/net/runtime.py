@@ -1,0 +1,417 @@
+"""Process hosts for the TCP transport: replicas, clients, clusters.
+
+Where :mod:`repro.net.transport` provides the authenticated links, this
+module provides the *deployment shape* around them:
+
+* :class:`ReplicaHost` — one server process: keystore bundles from
+  disk, a :class:`~repro.net.transport.TransportNetwork`, the
+  :class:`~repro.core.runtime.ProtocolRuntime` and the service
+  :class:`~repro.smr.replica.Replica`, with graceful SIGTERM shutdown
+  and optional Section-6 crash recovery on startup.
+* :func:`run_client_ops` — a client process: submits operations over
+  TCP and awaits the threshold-signed answers.
+* :func:`demo_cluster` — spawns an ``n``-server cluster in
+  subprocesses, drives a client workload end-to-end, kills and restarts
+  one replica mid-run, and verifies the restarted replica recovered the
+  full history.
+
+Everything here is the operational counterpart of
+:func:`repro.smr.service.build_service`, which wires the same objects
+to the deterministic simulator instead.  See ``docs/DEPLOYMENT.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+from dataclasses import dataclass
+
+from ..core.protocol import Context
+from ..core.runtime import ProtocolRuntime
+from ..crypto import keystore
+from ..crypto.dealer import CLIENT_BASE, deal_system
+from ..crypto.groups import small_group
+from ..smr.client import ServiceClient
+from ..smr.replica import Replica, service_session
+from ..smr.state_machine import KeyValueStore, StateMachine
+from .transport import TransportError, TransportNetwork
+
+__all__ = [
+    "CLUSTER_FILE",
+    "ClusterConfig",
+    "ReplicaHost",
+    "allocate_addresses",
+    "demo_cluster",
+    "run_client_ops",
+    "serve_replica",
+]
+
+CLUSTER_FILE = "cluster.json"
+
+
+# -- cluster topology on disk -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The address map of a deployed cluster (party id -> host, port)."""
+
+    addresses: dict[int, tuple[str, int]]
+
+    def save(self, path: str | pathlib.Path) -> None:
+        data = {
+            "addresses": {
+                str(party): [host, port]
+                for party, (host, port) in sorted(self.addresses.items())
+            }
+        }
+        pathlib.Path(path).write_text(json.dumps(data, indent=1))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "ClusterConfig":
+        data = json.loads(pathlib.Path(path).read_text())
+        return cls(
+            addresses={
+                int(party): (str(entry[0]), int(entry[1]))
+                for party, entry in data["addresses"].items()
+            }
+        )
+
+
+def allocate_addresses(
+    parties: list[int], host: str = "127.0.0.1"
+) -> dict[int, tuple[str, int]]:
+    """Pick a free localhost port per party (all sockets held open until
+    every port is chosen, to avoid handing out the same one twice)."""
+    sockets: list[socket.socket] = []
+    addresses: dict[int, tuple[str, int]] = {}
+    try:
+        for party in parties:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            addresses[party] = (host, sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return addresses
+
+
+# -- one server process -------------------------------------------------------------
+
+
+class ReplicaHost:
+    """One server: keystore + transport + protocol runtime + replica."""
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        party: int,
+        state_machine: StateMachine | None = None,
+        causal: bool = False,
+        seed: int | None = None,
+    ) -> None:
+        directory = pathlib.Path(directory)
+        self.party = party
+        self.public = keystore.load_public(directory / "public.json")
+        self.keys = keystore.load_party(directory / f"server-{party}.json", self.public)
+        cluster = ClusterConfig.load(directory / CLUSTER_FILE)
+        self.network = TransportNetwork(
+            party, cluster.addresses, self.keys.channel_keys
+        )
+        self.runtime = ProtocolRuntime(
+            party, self.network, self.public, self.keys,
+            seed=seed if seed is not None else party,
+        )
+        self.network.attach(party, self.runtime)
+        self.replica = Replica(state_machine or KeyValueStore(), causal=causal)
+        self.runtime.spawn(service_session(), self.replica)
+
+    async def start(self, recover: bool = False) -> None:
+        await self.network.start()
+        if recover:
+            self.replica.begin_recovery(
+                Context(self.runtime, service_session())
+            )
+
+    async def close(self) -> None:
+        await self.network.close()
+
+
+async def serve_replica(
+    directory: str | pathlib.Path,
+    party: int,
+    recover: bool = False,
+    causal: bool = False,
+) -> int:
+    """Run one replica until SIGTERM/SIGINT; prints a parseable final
+    state line (the demo cluster checks it to verify recovery)."""
+    host = ReplicaHost(directory, party, causal=causal)
+    await host.start(recover=recover)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    address = host.network.listen_address
+    print(
+        f"replica {party} listening on {address[0]}:{address[1]}"
+        + (" (recovering)" if recover else ""),
+        flush=True,
+    )
+    if recover:
+        task = loop.create_task(_announce_recovery(host))
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+    await stop.wait()
+    snapshot = host.replica.state_machine.snapshot()
+    print(
+        f"replica-final party={party} executed={len(host.replica.executed)} "
+        f"snapshot={snapshot!r}",
+        flush=True,
+    )
+    await host.close()
+    return 0
+
+
+async def _announce_recovery(host: ReplicaHost) -> None:
+    """Print a parseable line once Section-6 state transfer finishes
+    (the demo cluster waits for it before declaring success)."""
+    while host.replica.recovering:
+        await asyncio.sleep(0.05)
+    print(
+        f"replica-recovered party={host.party} "
+        f"executed={len(host.replica.executed)}",
+        flush=True,
+    )
+
+
+# -- a client process ---------------------------------------------------------------
+
+
+async def run_client_ops(
+    directory: str | pathlib.Path,
+    operations: list[tuple],
+    client_id: int = CLIENT_BASE,
+    timeout: float = 60.0,
+) -> list[object]:
+    """Submit operations over TCP, one at a time; returns their results."""
+    directory = pathlib.Path(directory)
+    public = keystore.load_public(directory / "public.json")
+    cid, channel_keys = keystore.load_client(directory / f"client-{client_id}.json")
+    cluster = ClusterConfig.load(directory / CLUSTER_FILE)
+    network = TransportNetwork(cid, cluster.addresses, channel_keys)
+    client = ServiceClient(cid, network, public, random.Random())
+    network.attach(cid, client)
+    await network.start()
+    try:
+        results: list[object] = []
+        for operation in operations:
+            nonce = client.submit(operation)
+            await network.wait_until(
+                lambda: nonce in client.completed, timeout=timeout
+            )
+            results.append(client.completed[nonce].result)
+        return results
+    finally:
+        await network.close()
+
+
+# -- the demo cluster ---------------------------------------------------------------
+
+
+def _replica_env() -> dict[str, str]:
+    """Child processes must be able to ``import repro`` exactly like us."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+class _ReplicaProcess:
+    """A spawned ``repro run-replica`` subprocess with captured output."""
+
+    def __init__(self, proc: asyncio.subprocess.Process, party: int) -> None:
+        self.proc = proc
+        self.party = party
+        self.lines: list[str] = []
+        task = asyncio.get_running_loop().create_task(self._drain())
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+        self._task = task
+
+    async def _drain(self) -> None:
+        assert self.proc.stdout is not None
+        while True:
+            raw = await self.proc.stdout.readline()
+            if not raw:
+                return
+            line = raw.decode(errors="replace").rstrip()
+            self.lines.append(line)
+            print(f"  [replica {self.party}] {line}", flush=True)
+
+    async def wait_for_line(self, needle: str, timeout: float = 30.0) -> str:
+        """Block until a captured stdout line contains ``needle``."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            for line in self.lines:
+                if needle in line:
+                    return line
+            if self.proc.returncode is not None:
+                raise TransportError(
+                    f"replica {self.party} exited before printing {needle!r}"
+                )
+            if asyncio.get_running_loop().time() > deadline:
+                raise TransportError(
+                    f"replica {self.party} never printed {needle!r}"
+                )
+            await asyncio.sleep(0.05)
+
+    async def stop(self, grace: float = 15.0) -> None:
+        if self.proc.returncode is None:
+            self.proc.terminate()
+            try:
+                await asyncio.wait_for(self.proc.wait(), grace)
+            except asyncio.TimeoutError:
+                self.proc.kill()
+                await self.proc.wait()
+        await self._task
+
+    async def kill(self) -> None:
+        """Crash the replica (no grace, no cleanup) — the fault model."""
+        if self.proc.returncode is None:
+            self.proc.kill()
+            await self.proc.wait()
+        await self._task
+
+
+async def _spawn_replica(
+    directory: pathlib.Path, party: int, recover: bool = False
+) -> _ReplicaProcess:
+    command = [
+        sys.executable, "-m", "repro", "run-replica",
+        "--dir", str(directory), "--party", str(party),
+    ]
+    if recover:
+        command.append("--recover")
+    proc = await asyncio.create_subprocess_exec(
+        *command,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.STDOUT,
+        env=_replica_env(),
+    )
+    return _ReplicaProcess(proc, party)
+
+
+async def _submit_and_await(
+    network: TransportNetwork,
+    client: ServiceClient,
+    operations: list[tuple],
+    timeout: float,
+) -> list[object]:
+    results: list[object] = []
+    for operation in operations:
+        nonce = client.submit(operation)
+        await network.wait_until(lambda: nonce in client.completed, timeout=timeout)
+        result = client.completed[nonce].result
+        print(f"  client: {operation!r} -> {result!r}", flush=True)
+        results.append(result)
+    return results
+
+
+async def _demo_cluster(
+    n: int, t: int, seed: int, directory: pathlib.Path, timeout: float
+) -> int:
+    rng = random.Random(seed)
+    print(f"dealing keys for n={n}, t={t} (plus one client identity)", flush=True)
+    keys = deal_system(n, rng, t=t, clients=1, group=small_group())
+    keystore.write_deployment(keys, directory)
+    addresses = allocate_addresses(list(range(n)) + [CLIENT_BASE])
+    ClusterConfig(addresses).save(directory / CLUSTER_FILE)
+
+    print(f"spawning {n} replica processes", flush=True)
+    replicas = {party: await _spawn_replica(directory, party) for party in range(n)}
+    public = keystore.load_public(directory / "public.json")
+    cid, channel_keys = keystore.load_client(
+        directory / f"client-{CLIENT_BASE}.json"
+    )
+    network = TransportNetwork(cid, addresses, channel_keys)
+    client = ServiceClient(cid, network, public, random.Random(seed + 99))
+    network.attach(cid, client)
+    await network.start()
+    victim = n - 1
+    try:
+        print("phase A: 3 writes with the full cluster", flush=True)
+        phase_a = [("set", f"key-{i}", i) for i in range(3)]
+        await _submit_and_await(network, client, phase_a, timeout)
+
+        print(f"killing replica {victim} (SIGKILL, no warning)", flush=True)
+        await replicas[victim].kill()
+
+        print(f"phase B: 2 writes with {n - 1} replicas", flush=True)
+        phase_b = [("set", f"key-{i}", i) for i in range(3, 5)]
+        await _submit_and_await(network, client, phase_b, timeout)
+
+        print(f"restarting replica {victim} with --recover", flush=True)
+        replicas[victim] = await _spawn_replica(directory, victim, recover=True)
+        await replicas[victim].wait_for_line("listening", timeout)
+
+        print("phase C: 1 write + 1 read with the recovered cluster", flush=True)
+        phase_c = [("set", "key-5", 5), ("get", "key-0")]
+        results = await _submit_and_await(network, client, phase_c, timeout)
+        if results[-1] != ("value", 0):
+            print("demo-cluster: FAILED (read returned the wrong value)")
+            return 1
+
+        # State transfer (Section 6) runs concurrently with phase C;
+        # wait for the restarted replica to announce it has caught up
+        # before asking everyone for their final snapshot.
+        await replicas[victim].wait_for_line("replica-recovered", timeout)
+
+        print("stopping the cluster (SIGTERM)", flush=True)
+        for party in sorted(replicas):
+            await replicas[party].stop()
+
+        # The restarted replica must have replayed the history it
+        # missed: every key from every phase in its final snapshot.
+        final = next(
+            (line for line in replicas[victim].lines if "replica-final" in line), ""
+        )
+        missing = [f"key-{i}" for i in range(6) if f"key-{i}" not in final]
+        if not final or missing:
+            print(f"demo-cluster: FAILED (replica {victim} did not recover "
+                  f"{missing or 'at all'})")
+            return 1
+        print(f"demo-cluster: ok (replica {victim} recovered the full history)")
+        return 0
+    finally:
+        for process in replicas.values():
+            await process.kill()
+        await network.close()
+
+
+def demo_cluster(
+    n: int = 4,
+    t: int = 1,
+    seed: int = 0,
+    directory: str | pathlib.Path | None = None,
+    keep: bool = False,
+    timeout: float = 60.0,
+) -> int:
+    """Run the end-to-end TCP cluster demo; returns a process exit code."""
+    created = directory is None
+    workdir = pathlib.Path(directory or tempfile.mkdtemp(prefix="repro-cluster-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        return asyncio.run(_demo_cluster(n, t, seed, workdir, timeout))
+    finally:
+        if created and not keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+        elif keep:
+            print(f"cluster state kept in {workdir}")

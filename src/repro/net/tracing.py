@@ -39,20 +39,36 @@ class Trace:
         serialization per send; off by default)."""
         self.measure_bytes = True
 
-    def record_send(self, sender: int, recipient: int, payload: object) -> None:
+    def record_send(
+        self,
+        sender: int,
+        recipient: int,
+        payload: object,
+        encoded: bytes | None = None,
+    ) -> None:
+        """Account one send.
+
+        Byte accounting has a single source of truth — ``wire.dumps`` —
+        on every backend: the simulator lets this method serialize the
+        payload, while the TCP transport passes the exact ``wire.dumps``
+        output it is about to frame as ``encoded`` (framing overhead is
+        deliberately excluded, so both backends report identical
+        ``bytes_sent`` for identical runs).
+        """
         self.sent += 1
         kind = _kind_of(payload)
         self.sent_by_kind[kind] += 1
         self.sent_by_party[sender] += 1
         if self.measure_bytes:
-            from . import wire
+            if encoded is None:
+                from . import wire
 
-            try:
-                size = len(wire.dumps(payload))
-            except wire.WireError:
-                return  # non-wire payloads (test fixtures) are skipped
-            self.bytes_sent += size
-            self.bytes_by_kind[kind] += size
+                try:
+                    encoded = wire.dumps(payload)
+                except wire.WireError:
+                    return  # non-wire payloads (test fixtures) are skipped
+            self.bytes_sent += len(encoded)
+            self.bytes_by_kind[kind] += len(encoded)
 
     def record_delivery(self, envelope: object) -> None:
         self.delivered += 1

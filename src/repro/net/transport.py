@@ -1,0 +1,594 @@
+"""Asyncio TCP transport: the deployment realization of the model's links.
+
+Section 2 assumes *authenticated asynchronous point-to-point channels*.
+The simulator realizes them as an in-memory pool ruled by an adversarial
+scheduler; this module realizes them as real sockets:
+
+* **Frames.**  Every message is one length-prefixed frame whose payload
+  is the canonical :mod:`repro.net.wire` encoding — the transport never
+  invents a second serialization, and the codec's ``_MAX_LENGTH`` bound
+  is enforced per frame before any allocation.
+* **Authentication.**  Channels are keyed from the dealer setup
+  (:func:`repro.crypto.dealer.deal_channel_keys`): each unordered pair
+  of parties shares a 32-byte key and every frame carries an
+  HMAC-SHA256 tag over (direction, incarnation, sequence, payload).  A
+  bad tag, a malformed frame or an oversized length drops the
+  connection — the model's "authenticated links" assumption, made
+  mechanical.
+* **Eventual delivery.**  Each peer has its own outbound queue drained
+  by a connection task with reconnect, capped exponential backoff and
+  jitter.  A successful TCP write confirms nothing (the kernel buffers
+  bytes for dead peers), so the receiver returns authenticated
+  *cumulative acknowledgements* on the same connection; frames stay
+  queued and are retransmitted on every reconnect until acknowledged,
+  and the receiver deduplicates by (incarnation, sequence).  Together
+  this gives the asynchronous model's eventual-delivery guarantee
+  between honest, live parties without ever duplicating a delivery.
+
+:class:`TransportNetwork` exposes the same ``attach``/``send``/
+``broadcast``/``trace`` surface as the simulator's ``Network``
+(:mod:`repro.net.base`), so :class:`~repro.core.runtime.ProtocolRuntime`
+and :class:`~repro.smr.client.ServiceClient` run on sockets unmodified.
+One :class:`TransportNetwork` hosts exactly one party — one process (or
+one in-process test node) per participant.
+
+See ``docs/DEPLOYMENT.md`` for the trust assumptions compared with the
+simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import hmac
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from . import wire
+from .simulator import Node
+from .tracing import Trace
+
+__all__ = [
+    "TransportError",
+    "MAX_FRAME_BODY",
+    "encode_hello",
+    "decode_hello",
+    "encode_data",
+    "decode_data",
+    "encode_ack",
+    "decode_ack",
+    "TransportNetwork",
+]
+
+
+class TransportError(Exception):
+    """Malformed, oversized, or unauthenticated transport frame."""
+
+
+# -- frame codec -------------------------------------------------------------------
+#
+# frame     = length(4, big-endian) || body
+# hello body = 0x01 || sender(8) || incarnation(8) || mac(32)
+# data body  = 0x02 || incarnation(8) || seq(8) || mac(32) || payload
+# ack body   = 0x03 || incarnation(8) || seq(8) || mac(32)
+#
+# The mac covers (kind, sender, recipient, incarnation, seq, payload)
+# under the pairwise channel key, so direction is authenticated (no
+# reflection) and replays across restarts land in a different
+# incarnation namespace.  Acks are cumulative ("I have delivered every
+# frame of your incarnation up to seq") and flow back on the same
+# connection the data arrived on.
+
+_KIND_HELLO = 0x01
+_KIND_DATA = 0x02
+_KIND_ACK = 0x03
+_MAC_BYTES = 32
+_ID_BYTES = 8
+_HELLO_BODY = 1 + 2 * _ID_BYTES + _MAC_BYTES
+_ACK_BODY = 1 + 2 * _ID_BYTES + _MAC_BYTES
+_DATA_OVERHEAD = 1 + 2 * _ID_BYTES + _MAC_BYTES
+
+# The wire codec's own length bound, enforced per frame *before* the
+# body is read: no peer can make us allocate more than this.
+MAX_FRAME_BODY = _DATA_OVERHEAD + wire._MAX_LENGTH
+
+_BACKOFF_MIN = 0.05
+_BACKOFF_MAX = 2.0
+_PENDING_LIMIT = 65536
+
+
+def _tag(
+    key: bytes, kind: int, sender: int, recipient: int,
+    incarnation: int, seq: int, payload: bytes,
+) -> bytes:
+    material = b"".join(
+        (
+            b"repro-channel-v1",
+            bytes([kind]),
+            sender.to_bytes(_ID_BYTES, "big"),
+            recipient.to_bytes(_ID_BYTES, "big"),
+            incarnation.to_bytes(_ID_BYTES, "big"),
+            seq.to_bytes(_ID_BYTES, "big"),
+            payload,
+        )
+    )
+    return hmac.new(key, material, hashlib.sha256).digest()
+
+
+def encode_hello(key: bytes, sender: int, recipient: int, incarnation: int) -> bytes:
+    """The first frame of every connection: who is dialing, and which
+    process incarnation its sequence numbers belong to."""
+    mac = _tag(key, _KIND_HELLO, sender, recipient, incarnation, 0, b"")
+    body = (
+        bytes([_KIND_HELLO])
+        + sender.to_bytes(_ID_BYTES, "big")
+        + incarnation.to_bytes(_ID_BYTES, "big")
+        + mac
+    )
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_hello(
+    body: bytes, recipient: int, key_for: Callable[[int], bytes | None]
+) -> tuple[int, int]:
+    """Validate a hello body; returns ``(sender, incarnation)``."""
+    if len(body) != _HELLO_BODY or body[0] != _KIND_HELLO:
+        raise TransportError("malformed hello frame")
+    sender = int.from_bytes(body[1 : 1 + _ID_BYTES], "big")
+    incarnation = int.from_bytes(body[1 + _ID_BYTES : 1 + 2 * _ID_BYTES], "big")
+    mac = body[1 + 2 * _ID_BYTES :]
+    key = key_for(sender)
+    if key is None:
+        raise TransportError(f"no channel key for party {sender}")
+    expected = _tag(key, _KIND_HELLO, sender, recipient, incarnation, 0, b"")
+    if not hmac.compare_digest(mac, expected):
+        raise TransportError("hello authentication failed")
+    return sender, incarnation
+
+
+def encode_data(
+    key: bytes, sender: int, recipient: int,
+    incarnation: int, seq: int, payload: bytes,
+) -> bytes:
+    """Frame one wire-encoded payload for the (sender -> recipient) channel."""
+    if len(payload) > wire._MAX_LENGTH:
+        raise TransportError("payload exceeds the wire length bound")
+    mac = _tag(key, _KIND_DATA, sender, recipient, incarnation, seq, payload)
+    body = (
+        bytes([_KIND_DATA])
+        + incarnation.to_bytes(_ID_BYTES, "big")
+        + seq.to_bytes(_ID_BYTES, "big")
+        + mac
+        + payload
+    )
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_data(
+    body: bytes, key: bytes, sender: int, recipient: int
+) -> tuple[int, int, bytes]:
+    """Validate a data body; returns ``(incarnation, seq, payload bytes)``."""
+    if len(body) < _DATA_OVERHEAD or body[0] != _KIND_DATA:
+        raise TransportError("malformed data frame")
+    incarnation = int.from_bytes(body[1 : 1 + _ID_BYTES], "big")
+    seq = int.from_bytes(body[1 + _ID_BYTES : 1 + 2 * _ID_BYTES], "big")
+    mac = body[1 + 2 * _ID_BYTES : _DATA_OVERHEAD]
+    payload = body[_DATA_OVERHEAD:]
+    expected = _tag(key, _KIND_DATA, sender, recipient, incarnation, seq, payload)
+    if not hmac.compare_digest(mac, expected):
+        raise TransportError("frame authentication failed")
+    return incarnation, seq, payload
+
+
+def encode_ack(key: bytes, sender: int, recipient: int,
+               incarnation: int, seq: int) -> bytes:
+    """Acknowledge delivery of every frame up to ``seq`` (cumulative) of
+    the recipient's ``incarnation``; sent by the receiving party."""
+    mac = _tag(key, _KIND_ACK, sender, recipient, incarnation, seq, b"")
+    body = (
+        bytes([_KIND_ACK])
+        + incarnation.to_bytes(_ID_BYTES, "big")
+        + seq.to_bytes(_ID_BYTES, "big")
+        + mac
+    )
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_ack(body: bytes, key: bytes, sender: int, recipient: int) -> tuple[int, int]:
+    """Validate an ack body; returns ``(incarnation, seq)``."""
+    if len(body) != _ACK_BODY or body[0] != _KIND_ACK:
+        raise TransportError("malformed ack frame")
+    incarnation = int.from_bytes(body[1 : 1 + _ID_BYTES], "big")
+    seq = int.from_bytes(body[1 + _ID_BYTES : 1 + 2 * _ID_BYTES], "big")
+    mac = body[1 + 2 * _ID_BYTES :]
+    expected = _tag(key, _KIND_ACK, sender, recipient, incarnation, seq, b"")
+    if not hmac.compare_digest(mac, expected):
+        raise TransportError("ack authentication failed")
+    return incarnation, seq
+
+
+# -- per-peer outbound channel ------------------------------------------------------
+
+
+@dataclass
+class _InboundChannel:
+    """Receive-side replay state for one peer."""
+
+    incarnation: int
+    last_seq: int = 0
+
+
+class _PeerChannel:
+    """Outbound queue + connection task for one remote peer.
+
+    A successful TCP write proves nothing about delivery (the kernel
+    happily buffers bytes for a peer that just died), so frames stay in
+    ``pending`` until the receiver's cumulative ack covers their
+    sequence number.  A broken connection triggers reconnection with
+    capped exponential backoff plus jitter, and every still-unacked
+    frame is retransmitted in order; the receiver's sequence check
+    discards any frame that did survive the broken connection.
+    """
+
+    def __init__(self, net: "TransportNetwork", peer: int) -> None:
+        self.net = net
+        self.peer = peer
+        self.pending: deque[tuple[int, bytes]] = deque()
+        self.next_seq = 0
+        self._wake = asyncio.Event()
+        task = asyncio.get_running_loop().create_task(self._run())
+        task.add_done_callback(net._on_task_done)
+        self._task = task
+
+    def enqueue(self, seq: int, frame: bytes) -> None:
+        if len(self.pending) >= _PENDING_LIMIT:
+            self.net.trace.bump("transport.dropped")
+            return
+        self.pending.append((seq, frame))
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    async def _run(self) -> None:
+        delay = _BACKOFF_MIN
+        while True:
+            if self.net._closed:
+                return
+            writer = None
+            ack_task = None
+            try:
+                host, port = self.net.addresses[self.peer]
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(self.net._hello_frame(self.peer))
+                await writer.drain()
+                delay = _BACKOFF_MIN  # connected: reset the backoff window
+                self.net.trace.bump("transport.connects")
+                loop = asyncio.get_running_loop()
+                ack_task = loop.create_task(self._read_acks(reader))
+                ack_task.add_done_callback(self._on_ack_done)
+                await self._pump(writer, ack_task)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.net.trace.bump("transport.reconnects")
+            except TransportError:
+                self.net.trace.bump("transport.rejected")
+            finally:
+                if ack_task is not None:
+                    ack_task.cancel()
+                if writer is not None:
+                    writer.close()
+            if self.net._closed:
+                return
+            # Capped exponential backoff with jitter before redialing.
+            await asyncio.sleep(delay + self.net.rng.uniform(0, delay / 2))
+            delay = min(delay * 2, _BACKOFF_MAX)
+
+    async def _pump(
+        self, writer: asyncio.StreamWriter, ack_task: asyncio.Task
+    ) -> None:
+        """Write every unacked frame, oldest first, then follow the queue.
+
+        ``written`` tracks the highest sequence sent on *this*
+        connection; a fresh connection starts at 0 and therefore
+        retransmits the whole unacked backlog.
+        """
+        written = 0
+        while True:
+            if self.net._closed:
+                return
+            if ack_task.done():
+                # The read side died (connection lost or a bad ack);
+                # surface its verdict and let _run reconnect.
+                exc = ack_task.exception()
+                raise exc if exc is not None else ConnectionResetError()
+            frame = self._next_after(written)
+            if frame is None:
+                self._wake.clear()
+                if self._next_after(written) is not None:
+                    continue  # raced with an enqueue before clear()
+                await self._wake.wait()
+                continue
+            seq, data = frame
+            writer.write(data)
+            await writer.drain()
+            written = seq
+
+    def _next_after(self, written: int) -> tuple[int, bytes] | None:
+        """The oldest unacked frame not yet written on this connection.
+
+        Acked frames are popped from the front, so the deque is sorted
+        by sequence number and the scan skips only the written-but-
+        unacked prefix.
+        """
+        for entry in self.pending:
+            if entry[0] > written:
+                return entry
+        return None
+
+    def _on_ack_done(self, task: asyncio.Task) -> None:
+        if not task.cancelled():
+            task.exception()  # retrieved here; the pump re-raises it
+        self._wake.set()  # unblock a pump waiting with an empty queue
+
+    async def _read_acks(self, reader: asyncio.StreamReader) -> None:
+        """Prune the unacked queue as the receiver's cumulative acks
+        arrive; the ack also wakes the pump so it can notice progress."""
+        key = self.net.channel_keys[self.peer]
+        while True:
+            body = await self.net._read_frame(reader)
+            incarnation, seq = decode_ack(body, key, self.peer, self.net.party)
+            if incarnation != self.net.incarnation:
+                continue  # ack for a previous life of this process
+            while self.pending and self.pending[0][0] <= seq:
+                self.pending.popleft()
+            self._wake.set()
+
+
+# -- the network -------------------------------------------------------------------
+
+
+class TransportNetwork:
+    """One party's view of the network, over real TCP sockets.
+
+    Mirrors the simulator's ``Network`` surface (``attach`` / ``send`` /
+    ``broadcast`` / ``trace``) for a single local party; remote parties
+    are reached through ``addresses`` (party id -> ``(host, port)``)
+    using the pairwise ``channel_keys`` dealt by the trusted dealer.
+
+    Must be used from within a running asyncio event loop::
+
+        net = TransportNetwork(party, addresses, channel_keys)
+        net.attach(party, node)
+        await net.start()
+        ...
+        await net.close()
+    """
+
+    def __init__(
+        self,
+        party: int,
+        addresses: dict[int, tuple[str, int]],
+        channel_keys: dict[int, bytes],
+        rng: random.Random | None = None,
+    ) -> None:
+        self.party = party
+        self.addresses = dict(addresses)
+        self.channel_keys = dict(channel_keys)
+        self.rng = rng or random.Random()
+        self.trace = Trace()
+        self.node: Node | None = None
+        self.errors: list[BaseException] = []
+        self.incarnation = self.rng.getrandbits(63)
+        self._channels: dict[int, _PeerChannel] = {}
+        self._inbound: dict[int, _InboundChannel] = {}
+        self._server: asyncio.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self._delivery_event = asyncio.Event()
+
+    # -- topology ----------------------------------------------------------
+
+    def attach(self, party: int, node: Node) -> None:
+        """Attach the local node (one party per transport instance)."""
+        if party != self.party:
+            raise ValueError(
+                f"transport for party {self.party} cannot host party {party}"
+            )
+        self.node = node
+
+    @property
+    def parties(self) -> list[int]:
+        return sorted(set(self.addresses) | {self.party})
+
+    @property
+    def listen_address(self) -> tuple[str, int]:
+        return self.addresses[self.party]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (port 0 allocates a free port) and start
+        accepting authenticated peer connections."""
+        host, port = self.addresses.get(self.party, ("127.0.0.1", 0))
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        if self._closed:
+            self._server.close()
+            return
+        bound = self._server.sockets[0].getsockname()
+        self.addresses[self.party] = (host, bound[1])
+
+    async def close(self) -> None:
+        """Graceful shutdown: stop accepting, cancel every connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._delivery_event.set()  # release any wait_until() waiters
+        for channel in self._channels.values():
+            channel.stop()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+        pending = [c._task for c in self._channels.values()] + list(self._tasks)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, sender: int, recipient: int, payload: object) -> None:
+        """Queue a point-to-point message (authenticated by the channel
+        key; the wire codec is the single serialization and the single
+        source of truth for byte accounting)."""
+        if self._closed:
+            return
+        if recipient != self.party and recipient not in self.addresses:
+            raise ValueError(f"unknown recipient {recipient}")
+        try:
+            encoded = wire.dumps(payload)
+        except wire.WireError as exc:
+            raise TransportError(f"unencodable payload: {exc}") from exc
+        self.trace.record_send(sender, recipient, payload, encoded=encoded)
+        if recipient == self.party:
+            # Self-delivery is still asynchronous (never inline), exactly
+            # like the simulator's self-messages through the pool.
+            asyncio.get_running_loop().call_soon(self._deliver_local, encoded)
+            return
+        key = self.channel_keys.get(recipient)
+        if key is None:
+            raise TransportError(f"no channel key for party {recipient}")
+        channel = self._channels.get(recipient)
+        if channel is None:
+            channel = _PeerChannel(self, recipient)
+            self._channels[recipient] = channel
+        channel.next_seq += 1
+        frame = encode_data(
+            key, self.party, recipient, self.incarnation, channel.next_seq, encoded
+        )
+        channel.enqueue(channel.next_seq, frame)
+
+    def broadcast(self, sender: int, payload: object) -> None:
+        """Send to every known party, including the local one."""
+        for recipient in self.parties:
+            self.send(sender, recipient, payload)
+
+    def _hello_frame(self, peer: int) -> bytes:
+        return encode_hello(
+            self.channel_keys[peer], self.party, peer, self.incarnation
+        )
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        task.add_done_callback(self._on_task_done)
+        self._tasks.add(task)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one inbound connection until it misbehaves or closes.
+
+        Any violation — oversized length, garbage framing, a bad HMAC,
+        an undecodable payload — drops the connection on the spot; the
+        honest peer's sender task will redial and retransmit.
+        """
+        peer = None
+        try:
+            body = await self._read_frame(reader)
+            peer, incarnation = decode_hello(
+                body, self.party, self.channel_keys.get
+            )
+            inbound = self._inbound.get(peer)
+            if inbound is None or inbound.incarnation != incarnation:
+                # A restarted peer gets a fresh replay namespace.
+                inbound = _InboundChannel(incarnation=incarnation)
+                self._inbound[peer] = inbound
+            while True:
+                body = await self._read_frame(reader)
+                if self._closed:
+                    return
+                incarnation, seq, payload_bytes = decode_data(
+                    body, self.channel_keys[peer], peer, self.party
+                )
+                if incarnation != inbound.incarnation:
+                    raise TransportError("stale incarnation")
+                if seq > inbound.last_seq:
+                    inbound.last_seq = seq
+                    payload = wire.loads(payload_bytes)
+                    self._dispatch(peer, payload)
+                else:
+                    self.trace.bump("transport.duplicates")
+                # Cumulative ack (sent even for duplicates: the sender
+                # only retransmitted because an earlier ack was lost).
+                writer.write(encode_ack(
+                    self.channel_keys[peer], self.party, peer,
+                    inbound.incarnation, inbound.last_seq,
+                ))
+                await writer.drain()
+        except (TransportError, wire.WireError):
+            self.trace.bump("transport.rejected")
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self.trace.bump("transport.disconnects")
+        finally:
+            writer.close()
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> bytes:
+        header = await reader.readexactly(4)
+        length = int.from_bytes(header, "big")
+        if length == 0 or length > MAX_FRAME_BODY:
+            raise TransportError("frame length out of bounds")
+        return await reader.readexactly(length)
+
+    def _deliver_local(self, encoded: bytes) -> None:
+        try:
+            payload = wire.loads(encoded)
+        except wire.WireError:
+            self.trace.bump("transport.rejected")
+            return
+        self._dispatch(self.party, payload)
+
+    def _dispatch(self, sender: int, payload: object) -> None:
+        if self._closed or self.node is None:
+            return
+        self.trace.record_delivery(None)
+        try:
+            self.node.on_message(sender, payload)
+        except Exception as exc:  # a handler bug must not kill the link
+            self.errors.append(exc)
+            self.trace.bump("transport.handler_errors")
+        self._delivery_event.set()
+
+    # -- waiting -----------------------------------------------------------
+
+    async def wait_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> None:
+        """Block until ``predicate()`` holds, re-checking after every
+        local delivery; raises ``asyncio.TimeoutError`` on timeout."""
+        async def _poll() -> None:
+            while not predicate():
+                if self._closed:
+                    raise TransportError("transport closed while waiting")
+                self._delivery_event.clear()
+                await self._delivery_event.wait()
+
+        await asyncio.wait_for(_poll(), timeout)
+
+    # -- task bookkeeping --------------------------------------------------
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.errors.append(exc)
+            self.trace.bump("transport.task_errors")

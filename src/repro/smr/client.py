@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 from ..crypto.dealer import PublicKeys
 from ..crypto.threshold_sig import QuorumCertScheme, ShoupRsaScheme
-from ..net.simulator import Network, Node
+from ..net.base import NetworkBackend
+from ..net.simulator import Node
 from . import codec
 from .replica import SubmitEncrypted, SubmitRequest, reply_statement, service_session
 from .state_machine import Reply, Request
@@ -48,7 +49,7 @@ class ServiceClient(Node):
     def __init__(
         self,
         client_id: int,
-        network: Network,
+        network: NetworkBackend,
         public: PublicKeys,
         rng: random.Random,
         session_tag: object = "service",

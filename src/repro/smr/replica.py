@@ -214,17 +214,28 @@ class Replica(Protocol):
         if not self.recovering or not isinstance(message.entries, tuple):
             return
         self._recovery_logs.setdefault(sender, message)
-        # Adopt a log once an honest-containing set reported it verbatim.
+        # Adopt a log once an honest-containing set reported identical
+        # *entries*.  Round numbers are deliberately left out of the
+        # match: honest peers with the same log can sit in different
+        # rounds (agreement for the next slot advances asynchronously),
+        # and requiring equal rounds would let recovery stall forever.
         by_log: dict[tuple, set[int]] = {}
         for peer in sorted(self._recovery_logs):
             log = self._recovery_logs[peer]
-            by_log.setdefault((log.entries, log.round), set()).add(peer)
+            by_log.setdefault(log.entries, set()).add(peer)
         # Log tuples are not orderable across shapes; adopt the candidate
         # backed by the lowest-numbered peer so the choice is a function
         # of the received set, not of arrival order.
         candidates = sorted(by_log.items(), key=lambda kv: min(kv[1]))
-        for (entries, round_number), supporters in candidates:
+        for entries, supporters in candidates:
             if ctx.quorum.contains_honest(supporters):
+                # The adopted round is the smallest in the supporting
+                # set: it is bounded by some honest member's round, and
+                # starting low merely revisits rounds the agreement
+                # layer already treats as settled.
+                round_number = min(
+                    self._recovery_logs[peer].round for peer in supporters
+                )
                 self._adopt_log(ctx, entries, round_number)
                 return
 
@@ -246,7 +257,7 @@ class Replica(Protocol):
                     self._execute(ctx, request)
         finally:
             self._replaying = False
-        self.abc.round = max(self.abc.round, round_number)
+        self.abc.resume_at(ctx, round_number)
         ctx.trace.bump("replica.recoveries")
 
     def _execute(self, ctx: Context, request: Request) -> None:

@@ -1,0 +1,13 @@
+"""RL005 transport fixture: orphaned tasks and un-awaited sends."""
+
+
+class Channel:
+    async def run(self, loop, writer):
+        loop.create_task(self.pump(writer))  # line 6: task dropped
+        task = loop.create_task(self.pump(writer))  # line 7: never observed
+        writer.drain()  # line 8: awaitable dropped
+        return task
+
+    async def pump(self, writer):
+        writer.write(b"x")
+        await writer.drain()

@@ -1,0 +1,20 @@
+"""RL005 transport fixture: every task retained + observed, sends awaited."""
+
+
+class Channel:
+    def start(self, loop, writer):
+        self._task = loop.create_task(self.pump(writer))
+        self._task.add_done_callback(lambda t: t.cancelled() or t.exception())
+
+    async def run(self, loop, writer):
+        task = loop.create_task(self.pump(writer))
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+        await writer.drain()
+        return task
+
+    async def pump(self, writer):
+        writer.write(b"x")
+        await writer.drain()
+
+    def stop(self):
+        self._task.cancel()

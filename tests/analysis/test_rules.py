@@ -136,6 +136,25 @@ def test_rl005_clean_fixture_is_clean():
     assert findings("rl005_ok.py", "RL005").diagnostics == []
 
 
+def test_rl005_transport_orphaned_tasks_and_unawaited_sends():
+    report = findings("rl005_transport_bad.py", "RL005", relpath="net/transport.py")
+    assert locations(report) == [("RL005", 6), ("RL005", 7), ("RL005", 8)]
+    assert "dropped" in report.diagnostics[0].message
+    assert "add_done_callback" in report.diagnostics[1].message
+    assert "awaitable" in report.diagnostics[2].message
+
+
+def test_rl005_transport_clean_fixture_is_clean():
+    for relpath in ("net/transport.py", "net/runtime.py"):
+        report = findings("rl005_transport_ok.py", "RL005", relpath=relpath)
+        assert report.diagnostics == []
+
+
+def test_rl005_scope_excludes_the_simulator():
+    report = findings("rl005_transport_bad.py", "RL005", relpath="net/simulator.py")
+    assert report.diagnostics == []
+
+
 # -- inline suppression ---------------------------------------------------------
 
 

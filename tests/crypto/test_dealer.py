@@ -13,6 +13,7 @@ from repro.adversary import (
     threshold_structure,
 )
 from repro.crypto import deal_system, small_group
+from repro.crypto.dealer import CLIENT_BASE, deal_channel_keys
 from repro.crypto.threshold_sig import QuorumCertScheme, ShoupRsaScheme
 
 
@@ -139,3 +140,35 @@ def test_dealing_is_deterministic_given_seed():
     b = deal_system(4, random.Random(99), t=1, group=small_group())
     assert a.public.encryption.h == b.public.encryption.h
     assert a.private[2].signing_key.x == b.private[2].signing_key.x
+
+
+def test_channel_keyring_pairwise_and_unique():
+    keyring = deal_channel_keys([0, 1, 2, CLIENT_BASE], random.Random(17))
+    parties = [0, 1, 2, CLIENT_BASE]
+    for a in parties:
+        assert set(keyring[a]) == set(parties) - {a}  # no self-channel
+        for b in keyring[a]:
+            assert keyring[a][b] == keyring[b][a]
+            assert len(keyring[a][b]) == 32
+    # Every unordered pair gets a distinct key.
+    all_keys = {keyring[a][b] for a in parties for b in keyring[a]}
+    assert len(all_keys) == len(parties) * (len(parties) - 1) // 2
+
+
+def test_deal_system_provisions_client_channels():
+    keys = deal_system(
+        4, random.Random(21), t=1, group=small_group(), clients=2
+    )
+    assert set(keys.client_channels) == {CLIENT_BASE, CLIENT_BASE + 1}
+    for client, channels in keys.client_channels.items():
+        # A client talks to servers (and other dealt clients), and each
+        # server's bundle holds the matching half of the pair key.
+        for i in range(4):
+            assert channels[i] == keys.private[i].channel_keys[client]
+
+
+def test_no_clients_means_no_client_channels(keys_4_1):
+    assert keys_4_1.client_channels == {}
+    # Servers still get pairwise keys among themselves.
+    for i in range(4):
+        assert set(keys_4_1.private[i].channel_keys) == set(range(4)) - {i}

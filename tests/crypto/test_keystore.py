@@ -7,8 +7,10 @@ import pytest
 
 from repro.adversary import example1_access_formula, example1_structure
 from repro.crypto import deal_system, small_group
+from repro.crypto.dealer import CLIENT_BASE
 from repro.crypto.keystore import (
     KeystoreError,
+    load_client,
     load_party,
     load_public,
     party_from_dict,
@@ -161,3 +163,62 @@ class TestValidation:
         write_deployment(keys, tmp_path)
         data = json.loads((tmp_path / "public.json").read_text())
         assert data["version"] == 1  # plain JSON, no binary blobs
+
+
+class TestChannelKeys:
+    def test_server_channel_keys_roundtrip(self, tmp_path):
+        keys = deal_system(
+            4, random.Random(11), t=1, group=small_group(), clients=1
+        )
+        write_deployment(keys, tmp_path)
+        public = load_public(tmp_path / "public.json")
+        bundles = {
+            i: load_party(tmp_path / f"server-{i}.json", public)
+            for i in range(4)
+        }
+        for i in range(4):
+            assert bundles[i].channel_keys == keys.private[i].channel_keys
+        # Pairwise agreement across the reload boundary.
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    key = bundles[a].channel_keys[b]
+                    assert bundles[b].channel_keys[a] == key
+                    assert len(key) == 32
+
+    def test_client_file_roundtrip(self, tmp_path):
+        keys = deal_system(
+            4, random.Random(12), t=1, group=small_group(), clients=2
+        )
+        write_deployment(keys, tmp_path)
+        public = load_public(tmp_path / "public.json")
+        for client_id in (CLIENT_BASE, CLIENT_BASE + 1):
+            loaded, channel_keys = load_client(
+                tmp_path / f"client-{client_id}.json"
+            )
+            assert loaded == client_id
+            assert channel_keys == keys.client_channels[client_id]
+            # The client shares each server's key for this client id.
+            for i in range(4):
+                server = load_party(tmp_path / f"server-{i}.json", public)
+                assert server.channel_keys[client_id] == channel_keys[i]
+
+    def test_party_file_without_channel_keys_still_loads(self):
+        # Key files written before channel keys existed omit the field;
+        # loading must not break, just yield an empty keyring.
+        keys = deal_system(4, random.Random(13), t=1, group=small_group())
+        data = party_to_dict(keys.private[0])
+        del data["channel_keys"]
+        bundle = party_from_dict(data, keys.public)
+        assert bundle.channel_keys == {}
+
+    def test_channel_keys_are_hex_text_in_json(self, tmp_path):
+        keys = deal_system(
+            4, random.Random(14), t=1, group=small_group(), clients=1
+        )
+        write_deployment(keys, tmp_path)
+        data = json.loads((tmp_path / "server-0.json").read_text())
+        assert set(data["channel_keys"]) == {"1", "2", "3", str(CLIENT_BASE)}
+        for value in data["channel_keys"].values():
+            assert bytes.fromhex(value)  # plain hex strings, 32 bytes
+            assert len(value) == 64

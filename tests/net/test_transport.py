@@ -1,0 +1,454 @@
+"""The asyncio TCP transport: frame codec, delivery, and fault handling.
+
+Every asynchronous test runs under ``asyncio.run`` inside a plain
+pytest function (no asyncio plugin), and every network built here is
+closed before the loop ends, so the suite leaks no tasks or sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.crypto import deal_system, small_group
+from repro.crypto import keystore
+from repro.crypto.dealer import CLIENT_BASE, deal_channel_keys
+from repro.net import wire
+from repro.net.runtime import (
+    CLUSTER_FILE,
+    ClusterConfig,
+    ReplicaHost,
+    allocate_addresses,
+)
+from repro.net.simulator import Network
+from repro.net.scheduler import FifoScheduler
+from repro.net.transport import (
+    MAX_FRAME_BODY,
+    TransportError,
+    TransportNetwork,
+    decode_data,
+    decode_hello,
+    encode_data,
+    encode_hello,
+)
+from repro.smr.client import ServiceClient
+
+KEY_A = bytes(range(32))
+KEY_B = bytes(range(32, 64))
+
+
+# -- frame codec --------------------------------------------------------------------
+
+
+def test_hello_roundtrip():
+    frame = encode_hello(KEY_A, sender=3, recipient=7, incarnation=123)
+    body = frame[4:]
+    assert int.from_bytes(frame[:4], "big") == len(body)
+    sender, incarnation = decode_hello(body, 7, {3: KEY_A}.get)
+    assert (sender, incarnation) == (3, 123)
+
+
+def test_hello_rejects_wrong_key():
+    body = encode_hello(KEY_A, 3, 7, 123)[4:]
+    with pytest.raises(TransportError):
+        decode_hello(body, 7, {3: KEY_B}.get)
+
+
+def test_hello_rejects_unknown_sender():
+    body = encode_hello(KEY_A, 3, 7, 123)[4:]
+    with pytest.raises(TransportError):
+        decode_hello(body, 7, {5: KEY_A}.get)
+
+
+def test_hello_rejects_wrong_recipient():
+    # A frame for party 7 replayed at party 8 must not authenticate.
+    body = encode_hello(KEY_A, 3, 7, 123)[4:]
+    with pytest.raises(TransportError):
+        decode_hello(body, 8, {3: KEY_A}.get)
+
+
+def test_data_roundtrip():
+    payload = wire.dumps(("session", 42))
+    frame = encode_data(KEY_A, 1, 2, incarnation=9, seq=5, payload=payload)
+    incarnation, seq, decoded = decode_data(frame[4:], KEY_A, 1, 2)
+    assert (incarnation, seq) == (9, 5)
+    assert wire.loads(decoded) == ("session", 42)
+
+
+def test_data_rejects_tampered_payload():
+    payload = wire.dumps("hello")
+    frame = bytearray(encode_data(KEY_A, 1, 2, 9, 5, payload))
+    frame[-1] ^= 0x01
+    with pytest.raises(TransportError):
+        decode_data(bytes(frame[4:]), KEY_A, 1, 2)
+
+
+def test_data_rejects_reflected_direction():
+    # The MAC binds direction: a (1 -> 2) frame replayed as (2 -> 1) fails.
+    payload = wire.dumps("hello")
+    body = encode_data(KEY_A, 1, 2, 9, 5, payload)[4:]
+    with pytest.raises(TransportError):
+        decode_data(body, KEY_A, 2, 1)
+
+
+def test_encode_rejects_oversized_payload():
+    with pytest.raises(TransportError):
+        encode_data(KEY_A, 1, 2, 9, 5, b"x" * (wire._MAX_LENGTH + 1))
+
+
+# -- in-process transport helpers --------------------------------------------------
+
+
+class Collector:
+    """A node that just records what the transport delivers."""
+
+    def __init__(self) -> None:
+        self.received: list[tuple[int, object]] = []
+
+    def on_message(self, sender: int, payload: object) -> None:
+        self.received.append((sender, payload))
+
+
+async def _start_nets(parties, seed=0):
+    """One TransportNetwork + Collector per party, all ports dynamic."""
+    keys = deal_channel_keys(list(parties), random.Random(seed))
+    nets: dict[int, TransportNetwork] = {}
+    nodes: dict[int, Collector] = {}
+    for party in parties:
+        net = TransportNetwork(
+            party, {party: ("127.0.0.1", 0)}, keys[party],
+            rng=random.Random(1000 + party),
+        )
+        node = Collector()
+        net.attach(party, node)
+        await net.start()
+        nets[party], nodes[party] = net, node
+    for party in parties:
+        for peer in parties:
+            nets[party].addresses[peer] = nets[peer].listen_address
+    return nets, nodes
+
+
+async def _close_all(nets):
+    for net in nets.values():
+        await net.close()
+
+
+async def _until(condition, timeout=15.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not condition():
+        assert asyncio.get_running_loop().time() < deadline, "condition timed out"
+        await asyncio.sleep(0.02)
+
+
+# -- delivery ----------------------------------------------------------------------
+
+
+def test_point_to_point_delivery_in_order():
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            for i in range(25):
+                nets[0].send(0, 1, ("msg", i))
+            await nets[1].wait_until(
+                lambda: len(nodes[1].received) == 25, timeout=15
+            )
+            assert nodes[1].received == [(0, ("msg", i)) for i in range(25)]
+            assert not nets[0].errors and not nets[1].errors
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_broadcast_reaches_every_party_including_self():
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1, 2])
+        try:
+            nets[0].broadcast(0, "ping")
+            for party in (0, 1, 2):
+                await nets[party].wait_until(
+                    lambda p=party: nodes[p].received == [(0, "ping")], timeout=15
+                )
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_delivery_survives_connection_churn():
+    """Messages sent while the receiver is down arrive after it restarts
+    on the same address (reconnect + retransmission of the queue)."""
+
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            for i in range(5):
+                nets[0].send(0, 1, ("before", i))
+            await nets[1].wait_until(
+                lambda: len(nodes[1].received) == 5, timeout=15
+            )
+            address = nets[1].listen_address
+            await nets[1].close()  # crash the receiver
+
+            for i in range(5):  # queued while the peer is down
+                nets[0].send(0, 1, ("after", i))
+            await asyncio.sleep(0.2)  # let at least one dial fail
+
+            restarted = TransportNetwork(
+                1,
+                {1: address, 0: nets[0].listen_address},
+                nets[1].channel_keys,
+                rng=random.Random(2001),
+            )
+            node = Collector()
+            restarted.attach(1, node)
+            await restarted.start()
+            nets[1] = restarted
+            await restarted.wait_until(
+                lambda: len(node.received) == 5, timeout=20
+            )
+            assert node.received == [(0, ("after", i)) for i in range(5)]
+            assert nets[0].trace.counters.get("transport.reconnects", 0) >= 1
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+# -- misbehaving peers -------------------------------------------------------------
+
+
+async def _raw_connect(net):
+    host, port = net.listen_address
+    return await asyncio.open_connection(host, port)
+
+
+def test_oversized_frame_drops_connection():
+    async def scenario():
+        nets, nodes = await _start_nets([0])
+        try:
+            reader, writer = await _raw_connect(nets[0])
+            writer.write((MAX_FRAME_BODY + 1).to_bytes(4, "big") + b"x" * 64)
+            await writer.drain()
+            assert await reader.read() == b""  # server hung up
+            writer.close()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.rejected", 0) >= 1
+            )
+            assert nodes[0].received == []
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_garbage_frame_drops_connection():
+    async def scenario():
+        nets, nodes = await _start_nets([0])
+        try:
+            reader, writer = await _raw_connect(nets[0])
+            writer.write((5).to_bytes(4, "big") + b"\xff\xff\xff\xff\xff")
+            await writer.drain()
+            assert await reader.read() == b""
+            writer.close()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.rejected", 0) >= 1
+            )
+            assert nodes[0].received == []
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_hmac_failure_drops_peer():
+    """A dialer without the dealer's channel key authenticates nothing:
+    its hello is rejected and nothing it sends is ever delivered."""
+
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            reader, writer = await _raw_connect(nets[0])
+            wrong_key = b"\x42" * 32
+            writer.write(encode_hello(wrong_key, 1, 0, incarnation=7))
+            payload = wire.dumps("forged")
+            writer.write(encode_data(wrong_key, 1, 0, 7, 1, payload))
+            await writer.drain()
+            assert await reader.read() == b""
+            writer.close()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.rejected", 0) >= 1
+            )
+            assert nodes[0].received == []
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_bad_data_mac_after_valid_hello_drops_connection():
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            key = nets[1].channel_keys[0]  # the real 1 -> 0 channel key
+            reader, writer = await _raw_connect(nets[0])
+            writer.write(encode_hello(key, 1, 0, incarnation=7))
+            good = bytearray(encode_data(key, 1, 0, 7, 1, wire.dumps("x")))
+            good[-1] ^= 0x01  # corrupt the payload; the MAC no longer matches
+            writer.write(bytes(good))
+            await writer.drain()
+            assert await reader.read() == b""
+            writer.close()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.rejected", 0) >= 1
+            )
+            assert nodes[0].received == []
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_replayed_frames_are_deduplicated():
+    """A frame replayed on a second connection (same incarnation and
+    sequence number) is counted and discarded, not delivered twice."""
+
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            key = nets[1].channel_keys[0]
+            hello = encode_hello(key, 1, 0, incarnation=7)
+            frame = encode_data(key, 1, 0, 7, 1, wire.dumps("once"))
+            for _ in range(2):
+                _, writer = await _raw_connect(nets[0])
+                writer.write(hello + frame)
+                await writer.drain()
+                writer.close()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.duplicates", 0) >= 1
+            )
+            assert nodes[0].received == [(1, "once")]
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+# -- parity with the simulator ------------------------------------------------------
+
+
+def test_send_to_unknown_recipient_raises():
+    async def scenario():
+        nets, _ = await _start_nets([0])
+        try:
+            with pytest.raises(ValueError):
+                nets[0].send(0, 99, "hello")
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_wait_until_times_out():
+    async def scenario():
+        nets, _ = await _start_nets([0])
+        try:
+            with pytest.raises(asyncio.TimeoutError):
+                await nets[0].wait_until(lambda: False, timeout=0.1)
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+def test_bytes_sent_identical_to_simulator():
+    """Both backends charge exactly ``len(wire.dumps(payload))`` per
+    send, so identical runs report identical ``bytes_sent``."""
+    payloads = [("round", 1), "hello", {"k": (1, 2, 3)}, b"\x00" * 50]
+
+    sim = Network(FifoScheduler(), random.Random(0))
+    sim.trace.enable_byte_accounting()
+    for party in (0, 1):
+        sim.attach(party, Collector())
+    for payload in payloads:
+        sim.send(0, 1, payload)
+    sim.broadcast(0, payloads[0])
+
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        nets[0].trace.enable_byte_accounting()
+        try:
+            for payload in payloads:
+                nets[0].send(0, 1, payload)
+            nets[0].broadcast(0, payloads[0])
+            await nets[1].wait_until(
+                lambda: len(nodes[1].received) == len(payloads) + 1, timeout=15
+            )
+            return nets[0].trace.bytes_sent
+        finally:
+            await _close_all(nets)
+
+    tcp_bytes = asyncio.run(scenario())
+    expected = sum(len(wire.dumps(p)) for p in payloads)
+    expected += 2 * len(wire.dumps(payloads[0]))  # broadcast: parties 0 and 1
+    assert sim.trace.bytes_sent == tcp_bytes == expected
+
+
+# -- the full replica stack over sockets -------------------------------------------
+
+
+async def _submit(net, client, operation, timeout=30.0):
+    nonce = client.submit(operation)
+    await net.wait_until(lambda: nonce in client.completed, timeout=timeout)
+    return client.completed[nonce].result
+
+
+def test_smr_crash_and_reconnect_mid_protocol(tmp_path):
+    """Run the real replica stack over TCP, crash a replica between two
+    client writes, restart it with Section-6 recovery, and check it
+    rebuilds the exact history it missed."""
+
+    async def scenario():
+        keys = deal_system(4, random.Random(5), t=1, clients=1, group=small_group())
+        keystore.write_deployment(keys, tmp_path)
+        addresses = allocate_addresses(list(range(4)) + [CLIENT_BASE])
+        ClusterConfig(addresses).save(tmp_path / CLUSTER_FILE)
+
+        hosts = {party: ReplicaHost(tmp_path, party) for party in range(4)}
+        for host in hosts.values():
+            await host.start()
+        public = keystore.load_public(tmp_path / "public.json")
+        cid, channel_keys = keystore.load_client(
+            tmp_path / f"client-{CLIENT_BASE}.json"
+        )
+        net = TransportNetwork(cid, addresses, channel_keys)
+        client = ServiceClient(cid, net, public, random.Random(9))
+        net.attach(cid, client)
+        await net.start()
+        try:
+            assert await _submit(net, client, ("set", "a", 1)) == ("ok", 1)
+            await hosts[3].close()  # crash mid-protocol
+
+            assert await _submit(net, client, ("set", "b", 2)) == ("ok", 2)
+
+            hosts[3] = ReplicaHost(tmp_path, 3)  # fresh state, same address
+            await hosts[3].start(recover=True)
+            assert await _submit(net, client, ("set", "c", 3)) == ("ok", 3)
+
+            await _until(lambda: not hosts[3].replica.recovering, timeout=30)
+            await _until(
+                lambda: len(hosts[3].replica.executed) == 3, timeout=30
+            )
+            snapshot = hosts[3].replica.state_machine.snapshot()
+            assert dict(snapshot[1]) == {"a": 1, "b": 2, "c": 3}
+            for host in hosts.values():
+                assert not host.network.errors
+        finally:
+            await net.close()
+            for host in hosts.values():
+                await host.close()
+
+    asyncio.run(scenario())

@@ -1,0 +1,125 @@
+"""Fuzz / property tests: ``wire.loads`` never crashes on attacker bytes.
+
+The transport feeds every frame body it receives straight into the
+codec, so the codec's contract under malice is load-bearing: any byte
+string must either decode cleanly or raise :class:`wire.WireError` —
+never an ``IndexError``, ``MemoryError``, ``RecursionError``, or any
+other exception an adversary could turn into a crash.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.schnorr import Signature
+from repro.net import wire
+
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**40), 10**40),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+values = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.integers(0, 9), children, max_size=3),
+        st.frozensets(st.integers(0, 50), max_size=4),
+    ),
+    max_leaves=12,
+)
+
+# A fixed corpus of valid frames covering every tag the codec emits.
+_CORPUS_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**70,
+    -(2**70),
+    "",
+    "hello wörld",
+    b"",
+    b"\x00\xff" * 10,
+    (),
+    (1, ("two", (b"three", None))),
+    {1: "a", 2: (3, 4)},
+    frozenset({1, 2, 3}),
+    Signature(commit=123456789, response=987654321),
+    (("service", "tag"), (1, 2, {3: b"x"})),
+]
+
+
+def _corpus() -> list[bytes]:
+    return [wire.dumps(value) for value in _CORPUS_VALUES]
+
+
+def _assert_loads_is_total(data: bytes) -> None:
+    """The only acceptable failure mode is WireError."""
+    try:
+        wire.loads(data)
+    except wire.WireError:
+        pass
+
+
+@given(values)
+@settings(max_examples=100)
+def test_random_values_roundtrip(value):
+    assert wire.loads(wire.dumps(value)) == value
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=200)
+def test_arbitrary_bytes_never_crash(data):
+    _assert_loads_is_total(data)
+
+
+def test_mutated_valid_frames_never_crash():
+    """Randomly flip, insert, and delete bytes in valid encodings."""
+    rng = random.Random(0xC0DEC)
+    corpus = _corpus()
+    for _ in range(3000):
+        data = bytearray(rng.choice(corpus))
+        for _ in range(rng.randint(1, 4)):
+            mutation = rng.randrange(3)
+            if mutation == 0 and data:
+                data[rng.randrange(len(data))] = rng.randrange(256)
+            elif mutation == 1 and data:
+                del data[rng.randrange(len(data))]
+            else:
+                data.insert(rng.randrange(len(data) + 1), rng.randrange(256))
+        _assert_loads_is_total(bytes(data))
+
+
+def test_every_truncation_of_valid_frames_never_crashes():
+    for encoded in _corpus():
+        for cut in range(len(encoded)):
+            _assert_loads_is_total(encoded[:cut])
+
+
+def test_spliced_frames_never_crash():
+    """Concatenations and cross-splices of valid frames."""
+    rng = random.Random(0x5EED)
+    corpus = _corpus()
+    for _ in range(1000):
+        a, b = rng.choice(corpus), rng.choice(corpus)
+        cut_a, cut_b = rng.randrange(len(a) + 1), rng.randrange(len(b) + 1)
+        _assert_loads_is_total(a[:cut_a] + b[cut_b:])
+
+
+def test_length_field_lies_never_crash():
+    """Inflate or deflate internal length fields (any 4-byte window)."""
+    rng = random.Random(0xF1E1D)
+    corpus = [c for c in _corpus() if len(c) >= 5]
+    for _ in range(1500):
+        data = bytearray(rng.choice(corpus))
+        offset = rng.randrange(len(data) - 3)
+        lie = rng.choice([0, 1, 2**16, 2**31 - 1, 2**32 - 1])
+        data[offset : offset + 4] = lie.to_bytes(4, "big")
+        _assert_loads_is_total(bytes(data))
