@@ -86,6 +86,19 @@ if [ "${1:-}" != "--fast" ]; then
     else
         echo "bench smoke: ok"
     fi
+
+    step "chaos smoke (seeded fault injection, docs/CHAOS.md)"
+    if ! python -m repro chaos run --scenario partition-heal \
+            --journal /tmp/repro-chaos-journal.json > /dev/null; then
+        echo "chaos smoke: FAILED (safety/liveness checker)"
+        failures=$((failures + 1))
+    elif ! python -m repro chaos replay \
+            --journal /tmp/repro-chaos-journal.json > /dev/null; then
+        echo "chaos smoke: FAILED (journal replay mismatch)"
+        failures=$((failures + 1))
+    else
+        echo "chaos smoke: ok"
+    fi
 fi
 
 echo

@@ -1,7 +1,8 @@
 """RL005 — async hygiene in protocol handlers and the TCP transport.
 
-Four failure modes (``core/``, ``smr/``, and the asyncio transport
-modules ``net/transport.py`` / ``net/runtime.py``):
+Five failure modes (``core/``, ``smr/``, and the asyncio transport
+modules ``net/transport.py`` / ``net/runtime.py`` / ``net/chaos.py`` /
+``net/checkers.py``):
 
 1. **Un-awaited coroutines.**  A bare statement ``self.flush(ctx)``
    where ``flush`` is an ``async def`` creates a coroutine object and
@@ -31,9 +32,20 @@ modules ``net/transport.py`` / ``net/runtime.py``):
    ``wait``, ``sleep``, ...) drops the awaitable: the bytes may never
    be flushed and backpressure is lost.
 
+5. **Unbounded waits in the chaos orchestration layer**
+   (``net/runtime.py`` / ``net/chaos.py`` only).  The chaos engine's
+   whole purpose is to create the conditions — partitions, SIGSTOPped
+   peers, crashed processes — under which a bare
+   ``await reader.readline()`` / ``await event.wait()`` /
+   ``await queue.get()`` blocks forever, turning a fault-injection run
+   into a hung CI job.  Every such await must be bounded
+   (``asyncio.wait_for``, or a method with its own internal deadline)
+   or carry a ``# repro: noqa-RL005`` comment justifying why
+   termination is otherwise guaranteed.
+
 The protocol core is callback-driven (no ``async`` at all), so modes 1
-and 2 keep it that way; modes 3 and 4 police the one place real
-concurrency is allowed — the socket transport.
+and 2 keep it that way; modes 3-5 police the one place real
+concurrency is allowed — the socket transport and its chaos harness.
 """
 
 from __future__ import annotations
@@ -63,6 +75,24 @@ _AWAITABLE_CALLS = {
     "start_serving",
     "open_connection",
 }
+
+# Mode 5: awaitables that block until *the network or another process*
+# produces something, and therefore block forever under an injected
+# fault unless bounded.  ``asyncio.wait_for``-wrapped calls are awaits
+# on ``wait_for`` itself, so they are naturally exempt.
+_UNBOUNDED_READ_CALLS = {
+    "read",
+    "readline",
+    "readexactly",
+    "readuntil",
+    "wait",
+    "get",
+}
+
+# Where mode 5 applies: the chaos orchestration layer.  The transport
+# itself (net/transport.py) is deliberately excluded — its reader loops
+# are bounded by connection lifetime, which the chaos plan controls.
+_UNBOUNDED_READ_SCOPE = ("net/runtime.py", "net/chaos.py")
 
 
 def _async_def_names(tree: ast.Module) -> set[str]:
@@ -148,7 +178,14 @@ def _task_target_key(target: ast.expr) -> tuple | None:
 class AsyncHygieneRule(Rule):
     rule_id = "RL005"
     summary = "async hygiene: dropped coroutines/tasks, unguarded post-await writes"
-    scope = ("core/", "smr/", "net/transport.py", "net/runtime.py")
+    scope = (
+        "core/",
+        "smr/",
+        "net/transport.py",
+        "net/runtime.py",
+        "net/chaos.py",
+        "net/checkers.py",
+    )
 
     def check(self, source: SourceFile) -> list[Diagnostic]:
         diagnostics: list[Diagnostic] = []
@@ -178,8 +215,39 @@ class AsyncHygieneRule(Rule):
             if isinstance(node, ast.AsyncFunctionDef):
                 self._scan_bare_awaitables(source, node, diagnostics)
                 self._scan_async_body(source, node.body, awaited=False, out=diagnostics)
+        if any(
+            source.relpath == prefix or source.relpath.startswith(prefix)
+            for prefix in _UNBOUNDED_READ_SCOPE
+        ):
+            self._scan_unbounded_reads(source, diagnostics)
         diagnostics.sort(key=Diagnostic.sort_key)
         return diagnostics
+
+    def _scan_unbounded_reads(
+        self, source: SourceFile, out: list[Diagnostic]
+    ) -> None:
+        """Mode 5: every await on a network/process read is bounded."""
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Await)
+                and isinstance(node.value, ast.Call)
+                and _called_name(node.value) in _UNBOUNDED_READ_CALLS
+            ):
+                name = _called_name(node.value)
+                out.append(
+                    self.diagnostic(
+                        source,
+                        node.value.lineno,
+                        node.value.col_offset,
+                        f"`await ...{name}(...)` has no timeout; under an "
+                        "injected fault (partition, SIGSTOP, crash) this wait "
+                        "never returns and the chaos run hangs",
+                        hint=(
+                            "wrap in asyncio.wait_for(..., timeout) or justify "
+                            "with `# repro: noqa-RL005 <reason>`"
+                        ),
+                    )
+                )
 
     def _scan_tasks(
         self, source: SourceFile, func: ast.AST, out: list[Diagnostic]

@@ -132,7 +132,11 @@ def _cmd_run_replica(args: argparse.Namespace) -> int:
     from .net.runtime import serve_replica
 
     return asyncio.run(
-        serve_replica(args.dir, args.party, recover=args.recover)
+        serve_replica(
+            args.dir, args.party, recover=args.recover,
+            byzantine=args.byzantine, journal=args.journal,
+            checkpoint_every=args.checkpoint_every,
+        )
     )
 
 
@@ -168,6 +172,29 @@ def _cmd_demo_cluster(args: argparse.Namespace) -> int:
         directory=args.dir,
         keep=args.keep,
         timeout=args.timeout,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .net import chaos
+
+    if args.chaos_command == "list":
+        for name, scenario in sorted(chaos.builtin_scenarios().items()):
+            print(
+                f"{name}: n={scenario.n} t={scenario.t} seed={scenario.seed} "
+                f"ops={scenario.ops} events={len(scenario.events)} "
+                f"byzantine={dict(scenario.byzantine) or '{}'}"
+            )
+        return 0
+    if args.chaos_command == "run":
+        scenario = chaos.resolve_scenario(args.scenario, seed=args.chaos_seed)
+        return chaos.run_scenario(
+            scenario, directory=args.dir, keep=args.keep,
+            journal_out=args.journal,
+        )
+    return chaos.replay_journal(
+        args.journal, seed=args.chaos_seed, execute=args.execute,
+        directory=args.dir, keep=args.keep,
     )
 
 
@@ -313,6 +340,19 @@ def main(argv: list[str] | None = None) -> int:
     run_replica.add_argument("--party", type=int, required=True)
     run_replica.add_argument("--recover", action="store_true",
                              help="rebuild state from peers before serving")
+    run_replica.add_argument(
+        "--byzantine", default=None,
+        choices=["silent", "spam", "equivocate"],
+        help="start this party corrupted (chaos testing)",
+    )
+    run_replica.add_argument(
+        "--journal", action="store_true",
+        help="append executed operations to journal/exec-<party>.jsonl",
+    )
+    run_replica.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="persist an authenticated checkpoint every N executions",
+    )
     run_replica.set_defaults(func=_cmd_run_replica)
 
     run_client = sub.add_parser(
@@ -346,6 +386,55 @@ def main(argv: list[str] | None = None) -> int:
     demo_cluster.add_argument("--timeout", type=float, default=60.0,
                               help="per-request completion timeout")
     demo_cluster.set_defaults(func=_cmd_demo_cluster)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection against a live TCP cluster",
+        description=(
+            "Run declarative chaos scenarios — network partitions with "
+            "scheduled heal, frame loss/corruption/duplication/reordering, "
+            "SIGKILL and recovery, SIGSTOP/SIGCONT, corrupted-checkpoint "
+            "restarts and Byzantine replicas — against a real TCP cluster, "
+            "with continuous safety (prefix-consistent honest logs, no "
+            "committed op lost) and liveness (quiescent-window completion "
+            "bound) checking. The fault schedule is a deterministic "
+            "function of the seed; 'replay' verifies it. See docs/CHAOS.md."
+        ),
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run", help="execute a scenario and write its run journal"
+    )
+    chaos_run.add_argument(
+        "--scenario", default="torture",
+        help="builtin scenario name or path to a JSON spec "
+             "(see 'chaos list'; default: torture)",
+    )
+    chaos_run.add_argument("--seed", type=int, default=None, dest="chaos_seed",
+                           help="override the scenario's seed")
+    chaos_run.add_argument("--dir", default=None,
+                           help="working directory (default: a temp dir)")
+    chaos_run.add_argument("--keep", action="store_true",
+                           help="keep the working directory afterwards")
+    chaos_run.add_argument("--journal", default="chaos-journal.json",
+                           help="where to write the run journal")
+    chaos_run.set_defaults(func=_cmd_chaos)
+    chaos_replay = chaos_sub.add_parser(
+        "replay",
+        help="re-derive a recorded run's fault schedule and verify it",
+    )
+    chaos_replay.add_argument("--journal", default="chaos-journal.json",
+                              help="run journal written by 'chaos run'")
+    chaos_replay.add_argument("--seed", type=int, default=None,
+                              dest="chaos_seed",
+                              help="re-run under a different seed")
+    chaos_replay.add_argument("--execute", action="store_true",
+                              help="also re-run the scenario for real")
+    chaos_replay.add_argument("--dir", default=None)
+    chaos_replay.add_argument("--keep", action="store_true")
+    chaos_replay.set_defaults(func=_cmd_chaos)
+    chaos_list = chaos_sub.add_parser("list", help="list builtin scenarios")
+    chaos_list.set_defaults(func=_cmd_chaos)
 
     structure = sub.add_parser("structure", help="inspect an adversary structure")
     structure.add_argument("which", choices=["threshold", "example1", "example2"])

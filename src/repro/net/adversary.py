@@ -18,7 +18,8 @@ import random
 from typing import Callable
 
 from ..adversary.quorums import QuorumSystem
-from .simulator import Network, Node
+from .base import NetworkBackend
+from .simulator import Node
 
 __all__ = [
     "CorruptionController",
@@ -41,8 +42,15 @@ class CorruptionController:
         self.quorum = quorum
         self.corrupted: set[int] = set()
 
-    def corrupt(self, network: Network, party: int, node: Node, unchecked: bool = False) -> None:
-        """Replace a party's node with an adversarial one."""
+    def corrupt(self, network, party: int, node: Node, unchecked: bool = False) -> None:
+        """Replace a party's node with an adversarial one.
+
+        Requires the simulator backend (live node swap via ``nodes``);
+        on the TCP backend a corrupted party is *started* byzantine
+        instead (``repro.net.chaos.byzantine_node`` /
+        ``run-replica --byzantine``) — the behavior classes themselves
+        run on either backend.
+        """
         proposed = self.corrupted | {party}
         if not unchecked and not self.quorum.can_be_corrupted(proposed):
             raise ValueError(
@@ -97,7 +105,7 @@ class SpamNode(Node):
     unparseable or unauthenticated junk without state corruption.
     """
 
-    def __init__(self, network: Network, party: int, payload_factory: Callable[[random.Random], object],
+    def __init__(self, network: NetworkBackend, party: int, payload_factory: Callable[[random.Random], object],
                  rng: random.Random, fanout: int = 3) -> None:
         self.network = network
         self.party = party
@@ -122,7 +130,7 @@ class MutatingNode(Node):
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkBackend,
         party: int,
         inner_factory: Callable[["_InterceptNetwork"], Node],
         mutate: Callable[[int, object], object | None | list[object]],

@@ -18,7 +18,11 @@ experiments can compose them declaratively:
 
 Each behavior is a :class:`~repro.net.simulator.Node` that can be
 attached in place of an honest server (typically registered through the
-:class:`~repro.net.adversary.CorruptionController`).
+:class:`~repro.net.adversary.CorruptionController`).  They are written
+against the :class:`~repro.net.base.NetworkBackend` surface, so the
+same attack classes run over the deterministic simulator *and* over
+the TCP transport (``repro.net.chaos`` attaches them to live
+clusters).
 """
 
 from __future__ import annotations
@@ -31,7 +35,8 @@ from ..core.binary_agreement import AbaBval, AbaConf, AbaCoinShare, AbaDone
 from ..core.consistent_broadcast import CbcSend
 from ..core.reliable_broadcast import RbcSend
 from ..crypto.dealer import PartyKeys
-from .simulator import Network, Node
+from .base import NetworkBackend
+from .simulator import Node
 
 __all__ = [
     "EquivocatingRbcSender",
@@ -45,7 +50,7 @@ __all__ = [
 class _OneShot(Node):
     """Fires its attack on the first delivery, then goes silent."""
 
-    def __init__(self, network: Network, party: int) -> None:
+    def __init__(self, network: NetworkBackend, party: int) -> None:
         self.network = network
         self.party = party
         self.fired = False
@@ -69,7 +74,7 @@ class EquivocatingRbcSender(_OneShot):
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkBackend,
         party: int,
         session: tuple,
         value_a: Hashable,
@@ -99,7 +104,7 @@ class EquivocatingCbcSender(_OneShot):
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkBackend,
         party: int,
         session: tuple,
         value_a: Hashable,
@@ -127,7 +132,7 @@ class TwoFacedVoter(_OneShot):
     """Binary-agreement chaos: support both values in several rounds,
     confirm `{0,1}`, and claim both decisions via DONE."""
 
-    def __init__(self, network: Network, party: int, session: tuple,
+    def __init__(self, network: NetworkBackend, party: int, session: tuple,
                  rounds: int = 2) -> None:
         super().__init__(network, party)
         self.session = session
@@ -152,7 +157,7 @@ class CoinShareReplayer(Node):
     rejected and the coin stays unbiased.
     """
 
-    def __init__(self, network: Network, party: int, session: tuple,
+    def __init__(self, network: NetworkBackend, party: int, session: tuple,
                  budget: int = 5) -> None:
         self.network = network
         self.party = party
@@ -178,7 +183,7 @@ class DivergentAbcProposer(_OneShot):
 
     def __init__(
         self,
-        network: Network,
+        network: NetworkBackend,
         party: int,
         session: tuple,
         keys: PartyKeys,

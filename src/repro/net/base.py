@@ -23,6 +23,12 @@ class NetworkBackend(Protocol):
 
     trace: Trace
 
+    @property
+    def parties(self) -> list[int]:
+        """Every known party id, sorted (used by broadcast-style
+        behaviors, including the Byzantine attack chassis)."""
+        ...
+
     def send(self, sender: int, recipient: int, payload: object) -> None:
         """Queue an authenticated point-to-point message."""
         ...

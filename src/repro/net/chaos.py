@@ -1,0 +1,874 @@
+"""Seeded chaos engine for the TCP replica stack.
+
+The simulator already subjects the protocol stack to an adversarial
+scheduler; this module does the same to the *deployed* stack — real
+processes, real sockets — while keeping the one property that makes
+chaos testing usable: **the fault schedule is a deterministic function
+of a seed**.  A scenario is a declarative spec (``Scenario``): cluster
+shape, seed, a fault plan for the transport, a process-lifecycle event
+schedule, which parties run Byzantine, and a client workload.  Running
+it produces a *journal* (the planned timeline plus observed results)
+and a verdict from the continuously applicable checkers in
+:mod:`repro.net.checkers`:
+
+* safety — honest replicas' executed-op logs stay prefix-consistent
+  and no client-committed operation is lost, even across SIGKILL,
+  restart-with-recovery and corrupted-checkpoint restarts;
+* liveness — operations submitted in quiescent windows (all partitions
+  healed, no pending lifecycle fault) complete within a bound.
+
+Three fault layers compose:
+
+1. **Network** — :class:`SeededFaultPlan` plugs into the transport's
+   :class:`~repro.net.transport.FaultPlan` hook surface: partitions
+   with scheduled heal, per-link loss/corruption (realized as
+   connection resets so the retransmit machinery is exercised),
+   duplication, and reordering via pre-sequencing holds.  Per-link
+   decision streams are seeded from ``(seed, salt, sender, recipient)``
+   so every process derives the same plan from ``faults.json``.
+2. **Process lifecycle** — SIGKILL, SIGSTOP/SIGCONT, restart with
+   ``--recover``, and corrupted-snapshot restarts (the authenticated
+   checkpoint must be *rejected* and recovery must fall back to peer
+   state transfer).
+3. **Byzantine parties** — :func:`byzantine_node` ports the
+   simulator's adversary chassis (:class:`~repro.net.adversary
+   .MutatingNode` and friends) onto the :class:`~repro.net.base
+   .NetworkBackend` surface, so a replica process can be *started*
+   corrupted (``run-replica --byzantine equivocate``).
+
+Entry points: ``python -m repro chaos run --scenario <name|file>`` and
+``python -m repro chaos replay --journal <file>`` (which re-derives the
+timeline from the recorded spec and checks it is identical — seed
+reproducibility is itself an invariant under test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import random
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, replace
+
+from ..core.atomic_broadcast import AbcProposal
+from ..core.runtime import ProtocolRuntime
+from ..crypto import keystore
+from ..crypto.dealer import CLIENT_BASE, PartyKeys, PublicKeys, deal_system
+from ..crypto.groups import small_group
+from ..smr.client import ServiceClient
+from ..smr.replica import Replica, service_session
+from ..smr.state_machine import KeyValueStore, StateMachine
+from .adversary import MutatingNode, SilentNode, SpamNode
+from .base import NetworkBackend
+from .checkers import (
+    JournalEntry,
+    check_liveness,
+    check_safety,
+    read_journals,
+)
+from .runtime import (
+    CLUSTER_FILE,
+    ClusterConfig,
+    _spawn_replica,
+    allocate_addresses,
+    checkpoint_path,
+)
+from .simulator import Node
+from .transport import FaultPlan, FrameFault, TransportNetwork
+
+__all__ = [
+    "FAULTS_FILE",
+    "PartitionSpec",
+    "FaultSpec",
+    "SeededFaultPlan",
+    "save_fault_plan",
+    "load_fault_plan",
+    "byzantine_node",
+    "LifecycleEvent",
+    "Scenario",
+    "builtin_scenarios",
+    "plan_timeline",
+    "corrupt_checkpoint",
+    "run_scenario",
+    "replay_journal",
+]
+
+FAULTS_FILE = "faults.json"
+DEFAULT_JOURNAL = "chaos-journal.json"
+
+
+# -- declarative fault plans --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A bidirectional cut between ``group`` and everyone else, active
+    on ``[start, stop)`` seconds after the run epoch, healing itself."""
+
+    start: float
+    stop: float
+    group: tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {"start": self.start, "stop": self.stop, "group": list(self.group)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PartitionSpec":
+        return cls(
+            start=float(data["start"]),
+            stop=float(data["stop"]),
+            group=tuple(int(p) for p in data["group"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probabilistic per-frame faults plus scheduled partitions.
+
+    Rates are per data-frame write and cascade in the order reset →
+    corrupt → duplicate → delay; ``hold_rate`` applies per payload
+    *before* sequencing (the reorder mechanism).
+    """
+
+    reset_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: float = 0.05
+    hold_rate: float = 0.0
+    max_hold: float = 0.2
+    partitions: tuple[PartitionSpec, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "reset_rate": self.reset_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "max_delay": self.max_delay,
+            "hold_rate": self.hold_rate,
+            "max_hold": self.max_hold,
+            "partitions": [cut.to_json() for cut in self.partitions],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        return cls(
+            reset_rate=float(data.get("reset_rate", 0.0)),
+            corrupt_rate=float(data.get("corrupt_rate", 0.0)),
+            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+            delay_rate=float(data.get("delay_rate", 0.0)),
+            max_delay=float(data.get("max_delay", 0.05)),
+            hold_rate=float(data.get("hold_rate", 0.0)),
+            max_hold=float(data.get("max_hold", 0.2)),
+            partitions=tuple(
+                PartitionSpec.from_json(cut) for cut in data.get("partitions", ())
+            ),
+        )
+
+
+class SeededFaultPlan(FaultPlan):
+    """A :class:`FaultSpec` realized as deterministic per-link streams.
+
+    Every (sender, recipient) link draws its frame/hold decisions from
+    ``random.Random(hash((seed, salt, sender, recipient)))`` — tuple-of-
+    int hashing is stable across processes (``PYTHONHASHSEED`` only
+    randomizes str/bytes), so each replica process independently derives
+    the *same* stream for its side of each link.  Partition windows are
+    anchored to a shared wall-clock ``epoch`` (recorded in
+    ``faults.json``) so separately started processes agree, coarsely,
+    on when a cut is active; when no epoch is given, :meth:`start`
+    anchors to the local clock (in-process tests).
+    """
+
+    _FRAME_SALT = 1
+    _HOLD_SALT = 2
+
+    def __init__(
+        self, spec: FaultSpec, seed: int, epoch: float | None = None
+    ) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.epoch = epoch
+        self._frame_rngs: dict[tuple[int, int], random.Random] = {}
+        self._hold_rngs: dict[tuple[int, int], random.Random] = {}
+
+    def start(self) -> None:
+        if self.epoch is None:
+            self.epoch = time.time()
+
+    def _elapsed(self) -> float:
+        if self.epoch is None:
+            return 0.0
+        return time.time() - self.epoch
+
+    def _stream(
+        self,
+        table: dict[tuple[int, int], random.Random],
+        salt: int,
+        sender: int,
+        recipient: int,
+    ) -> random.Random:
+        rng = table.get((sender, recipient))
+        if rng is None:
+            rng = random.Random(hash((self.seed, salt, sender, recipient)))
+            table[(sender, recipient)] = rng
+        return rng
+
+    def link_up(self, sender: int, recipient: int) -> bool:
+        now = self._elapsed()
+        for cut in self.spec.partitions:
+            if cut.start <= now < cut.stop and (
+                (sender in cut.group) != (recipient in cut.group)
+            ):
+                return False
+        return True
+
+    def frame_fault(self, sender: int, recipient: int) -> FrameFault:
+        spec = self.spec
+        if not (
+            spec.reset_rate or spec.corrupt_rate
+            or spec.duplicate_rate or spec.delay_rate
+        ):
+            return FrameFault()
+        rng = self._stream(self._frame_rngs, self._FRAME_SALT, sender, recipient)
+        draw = rng.random()
+        if draw < spec.reset_rate:
+            return FrameFault("reset")
+        draw -= spec.reset_rate
+        if draw < spec.corrupt_rate:
+            return FrameFault("corrupt")
+        draw -= spec.corrupt_rate
+        if draw < spec.duplicate_rate:
+            return FrameFault("duplicate")
+        draw -= spec.duplicate_rate
+        if draw < spec.delay_rate:
+            return FrameFault("pass", delay=rng.random() * spec.max_delay)
+        return FrameFault()
+
+    def send_hold(self, sender: int, recipient: int) -> float:
+        spec = self.spec
+        if not spec.hold_rate:
+            return 0.0
+        rng = self._stream(self._hold_rngs, self._HOLD_SALT, sender, recipient)
+        if rng.random() < spec.hold_rate:
+            return rng.random() * spec.max_hold
+        return 0.0
+
+
+def save_fault_plan(
+    directory: str | pathlib.Path, spec: FaultSpec, seed: int
+) -> float:
+    """Serialize the plan for subprocess replicas; returns the epoch
+    every process (and the orchestrator's own timeline) anchors to."""
+    epoch = time.time()
+    path = pathlib.Path(directory) / FAULTS_FILE
+    path.write_text(
+        json.dumps({"seed": seed, "epoch": epoch, "spec": spec.to_json()})
+    )
+    return epoch
+
+
+def load_fault_plan(directory: str | pathlib.Path) -> SeededFaultPlan | None:
+    """Load ``faults.json`` if the deployment has one (``None`` = no
+    chaos; the transport then uses its no-op default plan)."""
+    path = pathlib.Path(directory) / FAULTS_FILE
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text())
+    return SeededFaultPlan(
+        FaultSpec.from_json(data["spec"]),
+        seed=int(data["seed"]),
+        epoch=float(data["epoch"]),
+    )
+
+
+# -- Byzantine parties over TCP -----------------------------------------------------
+
+BYZANTINE_KINDS = ("silent", "spam", "equivocate")
+
+
+def byzantine_node(
+    kind: str,
+    network: NetworkBackend,
+    party: int,
+    public: PublicKeys,
+    keys: PartyKeys,
+    seed: int = 0,
+    state_machine: StateMachine | None = None,
+    causal: bool = False,
+) -> tuple[Node, ProtocolRuntime | None, Replica | None]:
+    """Build a corrupted party for a live transport.
+
+    Returns ``(node, runtime, replica)`` — the node to attach in place
+    of the honest runtime, plus the inner runtime/replica when the
+    behavior wraps one (``equivocate``), else ``None``.
+
+    * ``silent`` — receives everything, says nothing (the failure mode
+      timeout-based detectors cannot distinguish from slowness);
+    * ``spam`` — floods peers with well-formed junk on every delivery;
+    * ``equivocate`` — runs the honest stack inside a
+      :class:`~repro.net.adversary.MutatingNode` but re-signs a
+      *different* (empty, validly signed) round-1 batch for half its
+      peers in atomic broadcast: allowed adversary behavior that the
+      agreement layer must neutralize.
+    """
+    if kind == "silent":
+        return SilentNode(), None, None
+    if kind == "spam":
+        rng = random.Random(seed ^ 0x5FA17)
+        return (
+            SpamNode(
+                network, party,
+                lambda r: ("chaos-junk", r.getrandbits(32)),
+                rng,
+            ),
+            None,
+            None,
+        )
+    if kind == "equivocate":
+        built: dict[str, object] = {}
+
+        def inner_factory(intercepted) -> ProtocolRuntime:
+            runtime = ProtocolRuntime(party, intercepted, public, keys, seed=seed)
+            replica = Replica(state_machine or KeyValueStore(), causal=causal)
+            runtime.spawn(service_session(), replica)
+            built["runtime"] = runtime
+            built["replica"] = replica
+            return runtime
+
+        sign_rng = random.Random(seed ^ 0xE041)
+
+        def mutate(recipient: int, payload: object):
+            if isinstance(payload, tuple) and len(payload) == 2:
+                session, message = payload
+                if isinstance(message, AbcProposal) and recipient % 2 == 1:
+                    batch: tuple = ()
+                    statement = ("abc-proposal", session, message.round, batch)
+                    signature = keys.signing_key.sign(statement, sign_rng)
+                    return (session, AbcProposal(message.round, batch, signature))
+            return payload
+
+        node = MutatingNode(network, party, inner_factory, mutate)
+        return node, built["runtime"], built["replica"]
+    raise ValueError(
+        f"unknown byzantine kind {kind!r} (expected one of {BYZANTINE_KINDS})"
+    )
+
+
+# -- scenarios ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One scheduled process fault, ``at`` seconds after the run epoch."""
+
+    at: float
+    action: str  # kill | restart | suspend | resume | corrupt-checkpoint
+    party: int
+
+    def to_json(self) -> dict:
+        return {"at": self.at, "action": self.action, "party": self.party}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LifecycleEvent":
+        return cls(
+            at=float(data["at"]),
+            action=str(data["action"]),
+            party=int(data["party"]),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete declarative chaos run.
+
+    All times are seconds after the run epoch (the moment the fault
+    plan is saved, before replicas spawn) — schedule the first activity
+    late enough (builtins use >= 2s) for the cluster to come up.
+    """
+
+    name: str
+    n: int = 4
+    t: int = 1
+    seed: int = 0
+    ops: int = 6
+    faults: FaultSpec = FaultSpec()
+    events: tuple[LifecycleEvent, ...] = ()
+    byzantine: tuple[tuple[int, str], ...] = ()
+    io_timeout: float = 45.0
+    op_timeout: float = 30.0
+    liveness_bound: float = 20.0
+    liveness_probes: int = 2
+    checkpoint_every: int = 2
+    workload_start: float = 2.0
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "t": self.t,
+            "seed": self.seed,
+            "ops": self.ops,
+            "faults": self.faults.to_json(),
+            "events": [event.to_json() for event in self.events],
+            "byzantine": [[party, kind] for party, kind in self.byzantine],
+            "io_timeout": self.io_timeout,
+            "op_timeout": self.op_timeout,
+            "liveness_bound": self.liveness_bound,
+            "liveness_probes": self.liveness_probes,
+            "checkpoint_every": self.checkpoint_every,
+            "workload_start": self.workload_start,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Scenario":
+        return cls(
+            name=str(data["name"]),
+            n=int(data.get("n", 4)),
+            t=int(data.get("t", 1)),
+            seed=int(data.get("seed", 0)),
+            ops=int(data.get("ops", 6)),
+            faults=FaultSpec.from_json(data.get("faults", {})),
+            events=tuple(
+                LifecycleEvent.from_json(event) for event in data.get("events", ())
+            ),
+            byzantine=tuple(
+                (int(party), str(kind))
+                for party, kind in data.get("byzantine", ())
+            ),
+            io_timeout=float(data.get("io_timeout", 45.0)),
+            op_timeout=float(data.get("op_timeout", 30.0)),
+            liveness_bound=float(data.get("liveness_bound", 20.0)),
+            liveness_probes=int(data.get("liveness_probes", 2)),
+            checkpoint_every=int(data.get("checkpoint_every", 2)),
+            workload_start=float(data.get("workload_start", 2.0)),
+        )
+
+
+def builtin_scenarios() -> dict[str, Scenario]:
+    """The named scenarios ``repro chaos run --scenario`` accepts."""
+    partition_heal = Scenario(
+        name="partition-heal",
+        seed=1101,
+        ops=6,
+        faults=FaultSpec(
+            duplicate_rate=0.05,
+            hold_rate=0.15,
+            max_hold=0.1,
+            partitions=(PartitionSpec(start=2.6, stop=4.6, group=(3,)),),
+        ),
+    )
+    kill_recover = Scenario(
+        name="kill-recover",
+        seed=2202,
+        ops=8,
+        faults=FaultSpec(reset_rate=0.02),
+        events=(
+            LifecycleEvent(at=3.4, action="kill", party=2),
+            LifecycleEvent(at=3.6, action="corrupt-checkpoint", party=2),
+            LifecycleEvent(at=4.4, action="restart", party=2),
+        ),
+    )
+    stall = Scenario(
+        name="stall",
+        seed=4404,
+        ops=6,
+        events=(
+            LifecycleEvent(at=2.8, action="suspend", party=1),
+            LifecycleEvent(at=4.2, action="resume", party=1),
+        ),
+    )
+    torture = Scenario(
+        name="torture",
+        seed=3303,
+        ops=8,
+        byzantine=((3, "equivocate"),),
+        faults=FaultSpec(
+            reset_rate=0.02,
+            corrupt_rate=0.02,
+            duplicate_rate=0.05,
+            delay_rate=0.1,
+            max_delay=0.02,
+            hold_rate=0.1,
+            max_hold=0.1,
+            partitions=(PartitionSpec(start=2.6, stop=4.0, group=(1,)),),
+        ),
+        events=(
+            LifecycleEvent(at=4.6, action="kill", party=2),
+            LifecycleEvent(at=5.6, action="restart", party=2),
+        ),
+        checkpoint_every=3,
+    )
+    return {
+        scenario.name: scenario
+        for scenario in (partition_heal, kill_recover, stall, torture)
+    }
+
+
+def plan_timeline(scenario: Scenario) -> list[dict]:
+    """Derive the full fault-and-workload schedule from the scenario.
+
+    Pure function of the spec (op spacing jitter comes from
+    ``random.Random(scenario.seed)``), so the same seed always yields
+    the identical timeline — this is what the run journal records and
+    what ``chaos replay`` re-derives and compares.  Entries are plain
+    JSON types so equality survives a serialization round-trip.
+    """
+    rng = random.Random(scenario.seed)
+    timeline: list[dict] = []
+    for cut in scenario.faults.partitions:
+        timeline.append(
+            {
+                "at": cut.start,
+                "kind": "partition",
+                "stop": cut.stop,
+                "group": list(cut.group),
+            }
+        )
+    for event in scenario.events:
+        timeline.append(
+            {"at": event.at, "kind": event.action, "party": event.party}
+        )
+    at = scenario.workload_start
+    for i in range(scenario.ops):
+        at += 0.15 + rng.random() * 0.35
+        timeline.append(
+            {
+                "at": round(at, 6),
+                "kind": "op",
+                "op": ["set", f"chaos-{i}", i],
+            }
+        )
+    timeline.sort(key=lambda entry: (entry["at"], entry["kind"], entry.get("party", -1)))
+    return timeline
+
+
+def corrupt_checkpoint(directory: str | pathlib.Path, party: int) -> bool:
+    """Flip a byte inside the checkpoint body (keeping the recorded MAC)
+    so the next ``--recover`` must reject it; False if none exists yet."""
+    path = checkpoint_path(directory, party)
+    if not path.exists():
+        return False
+    data = json.loads(path.read_text())
+    body = bytearray(bytes.fromhex(data["body"]))
+    if not body:
+        return False
+    body[len(body) // 2] ^= 0xFF
+    data["body"] = bytes(body).hex()
+    path.write_text(json.dumps(data))
+    return True
+
+
+# -- running a scenario -------------------------------------------------------------
+
+
+async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
+    byzantine = dict(scenario.byzantine)
+    honest = [p for p in range(scenario.n) if p not in byzantine]
+    deal_rng = random.Random(scenario.seed ^ 0xDEA1)
+    print(
+        f"chaos[{scenario.name}]: dealing keys for n={scenario.n}, "
+        f"t={scenario.t}, seed={scenario.seed}",
+        flush=True,
+    )
+    keys = deal_system(
+        scenario.n, deal_rng, t=scenario.t, clients=1, group=small_group()
+    )
+    keystore.write_deployment(keys, workdir)
+    addresses = allocate_addresses(list(range(scenario.n)) + [CLIENT_BASE])
+    ClusterConfig(addresses, io_timeout=scenario.io_timeout).save(
+        workdir / CLUSTER_FILE
+    )
+    epoch = save_fault_plan(workdir, scenario.faults, scenario.seed)
+    timeline = plan_timeline(scenario)
+
+    print(
+        f"chaos[{scenario.name}]: spawning {scenario.n} replicas "
+        f"(byzantine: {byzantine or 'none'})",
+        flush=True,
+    )
+    replicas = {}
+    for party in range(scenario.n):
+        replicas[party] = await _spawn_replica(
+            workdir,
+            party,
+            byzantine=byzantine.get(party),
+            journal=party not in byzantine,
+            checkpoint_every=scenario.checkpoint_every,
+            io_timeout=scenario.io_timeout,
+        )
+    for party in range(scenario.n):
+        await replicas[party].wait_for_line("listening")
+
+    public = keystore.load_public(workdir / "public.json")
+    cid, channel_keys = keystore.load_client(
+        workdir / f"client-{CLIENT_BASE}.json"
+    )
+    network = TransportNetwork(
+        cid, addresses, channel_keys,
+        faults=SeededFaultPlan(scenario.faults, scenario.seed, epoch=epoch),
+    )
+    client = ServiceClient(cid, network, public, random.Random(scenario.seed + 99))
+    network.attach(cid, client)
+    await network.start()
+
+    loop = asyncio.get_running_loop()
+    # Convert the shared wall-clock epoch into this loop's clock so the
+    # orchestrator and every replica process agree on event times.
+    t0 = loop.time() - (time.time() - epoch)
+    events_log: list[dict] = []
+    restarted: list[int] = []
+
+    def note(entry: dict) -> None:
+        entry["at_actual"] = round(loop.time() - t0, 3)
+        events_log.append(entry)
+        pretty = {k: v for k, v in entry.items() if k not in ("at", "at_actual")}
+        print(
+            f"chaos[{scenario.name}] t={entry['at_actual']:>6.2f}: {pretty}",
+            flush=True,
+        )
+
+    try:
+        for entry in timeline:
+            delay = t0 + entry["at"] - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            kind = entry["kind"]
+            party = entry.get("party")
+            if kind == "op":
+                operation = tuple(entry["op"])
+                started = loop.time()
+                try:
+                    completed = await client.call(
+                        operation,
+                        timeout=scenario.op_timeout,
+                        attempt_timeout=2.0,
+                    )
+                    note(
+                        {
+                            "kind": "op",
+                            "op": entry["op"],
+                            "nonce": completed.nonce,
+                            "latency": round(loop.time() - started, 3),
+                        }
+                    )
+                except asyncio.TimeoutError:
+                    # A workload op may legitimately stall while faults
+                    # are active; it is not a liveness verdict (probes
+                    # in the quiescent window are) and the safety
+                    # checker only requires *committed* ops to survive.
+                    note({"kind": "op", "op": entry["op"], "latency": None})
+            elif kind == "partition":
+                note(
+                    {
+                        "kind": "partition",
+                        "group": entry["group"],
+                        "heal_at": entry["stop"],
+                    }
+                )
+            elif kind == "kill":
+                await replicas[party].kill()
+                note({"kind": "kill", "party": party})
+            elif kind == "suspend":
+                replicas[party].suspend()
+                note({"kind": "suspend", "party": party})
+            elif kind == "resume":
+                replicas[party].resume()
+                note({"kind": "resume", "party": party})
+            elif kind == "corrupt-checkpoint":
+                corrupted = corrupt_checkpoint(workdir, party)
+                note(
+                    {
+                        "kind": "corrupt-checkpoint",
+                        "party": party,
+                        "corrupted": corrupted,
+                    }
+                )
+            elif kind == "restart":
+                replicas[party] = await _spawn_replica(
+                    workdir,
+                    party,
+                    recover=True,
+                    byzantine=byzantine.get(party),
+                    journal=party not in byzantine,
+                    checkpoint_every=scenario.checkpoint_every,
+                    io_timeout=scenario.io_timeout,
+                )
+                await replicas[party].wait_for_line("listening")
+                status = await replicas[party].wait_for_line("replica-checkpoint")
+                if party not in byzantine:
+                    restarted.append(party)
+                note({"kind": "restart", "party": party, "checkpoint": status})
+
+        # -- quiescent window: every partition healed, no pending fault --
+        heal_at = max(
+            (cut.stop for cut in scenario.faults.partitions), default=0.0
+        )
+        settle = t0 + heal_at + 1.0 - loop.time()
+        if settle > 0:
+            await asyncio.sleep(settle)
+        for party in restarted:
+            await replicas[party].wait_for_line("replica-recovered")
+        note({"kind": "quiescent"})
+
+        probes: list[dict] = []
+        for i in range(scenario.liveness_probes):
+            operation = ("set", f"probe-{i}", i)
+            started = loop.time()
+            try:
+                await client.call(
+                    operation,
+                    timeout=scenario.liveness_bound,
+                    attempt_timeout=2.0,
+                )
+                latency: float | None = round(loop.time() - started, 3)
+            except asyncio.TimeoutError:
+                latency = None
+            probes.append({"op": list(operation), "latency": latency})
+            note({"kind": "probe", "op": list(operation), "latency": latency})
+
+        committed = [
+            JournalEntry(
+                client=client.client_id,
+                nonce=nonce,
+                op=client.operation(nonce),
+            )
+            for nonce in sorted(client.completed)
+        ]
+
+        print(f"chaos[{scenario.name}]: stopping the cluster", flush=True)
+        for party in sorted(replicas):
+            await replicas[party].stop()
+    finally:
+        for process in replicas.values():
+            await process.kill()
+        await network.close()
+
+    journals = read_journals(workdir, honest)
+    safety = check_safety(journals, committed)
+    liveness = check_liveness(probes, scenario.liveness_bound)
+    counters = {
+        name: value
+        for name, value in sorted(network.trace.counters.items())
+        if name.startswith(("chaos.", "transport."))
+    }
+    return {
+        "scenario": scenario.to_json(),
+        "timeline": timeline,
+        "events": events_log,
+        "journal_lengths": {
+            str(party): len(entries) for party, entries in journals.items()
+        },
+        "committed": len(committed),
+        "resubmissions": client.resubmissions,
+        "duplicate_replies": client.duplicate_replies,
+        "client_counters": counters,
+        "safety": safety.to_json(),
+        "liveness": liveness.to_json(),
+        "ok": safety.ok and liveness.ok,
+    }
+
+
+def resolve_scenario(name_or_path: str, seed: int | None = None) -> Scenario:
+    """A builtin scenario by name, or a JSON spec by path; ``seed``
+    overrides the spec's seed when given."""
+    scenarios = builtin_scenarios()
+    if name_or_path in scenarios:
+        scenario = scenarios[name_or_path]
+    else:
+        path = pathlib.Path(name_or_path)
+        if not path.exists():
+            raise SystemExit(
+                f"chaos: unknown scenario {name_or_path!r} "
+                f"(builtins: {', '.join(sorted(scenarios))})"
+            )
+        scenario = Scenario.from_json(json.loads(path.read_text()))
+    if seed is not None:
+        scenario = replace(scenario, seed=seed)
+    return scenario
+
+
+def run_scenario(
+    scenario: Scenario,
+    directory: str | pathlib.Path | None = None,
+    keep: bool = False,
+    journal_out: str | pathlib.Path | None = DEFAULT_JOURNAL,
+) -> int:
+    """Execute a scenario end to end; returns a process exit code.
+
+    Writes the run journal (scenario + derived timeline + observations
+    + verdicts) to ``journal_out`` and to ``chaos-journal.json`` inside
+    the working directory.
+    """
+    created = directory is None
+    workdir = pathlib.Path(directory or tempfile.mkdtemp(prefix="repro-chaos-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        report = asyncio.run(_run_scenario(scenario, workdir))
+        text = json.dumps(report, indent=1)
+        (workdir / DEFAULT_JOURNAL).write_text(text)
+        if journal_out is not None:
+            pathlib.Path(journal_out).write_text(text)
+            print(f"chaos[{scenario.name}]: journal written to {journal_out}")
+        for issue in report["safety"]["issues"]:
+            print(f"chaos[{scenario.name}]: SAFETY: {issue}")
+        for issue in report["liveness"]["issues"]:
+            print(f"chaos[{scenario.name}]: LIVENESS: {issue}")
+        verdict = "ok" if report["ok"] else "FAILED"
+        print(
+            f"chaos[{scenario.name}]: {verdict} "
+            f"(safety={report['safety']['ok']}, "
+            f"liveness={report['liveness']['ok']}, "
+            f"committed={report['committed']}, "
+            f"resubmissions={report['resubmissions']})"
+        )
+        return 0 if report["ok"] else 1
+    finally:
+        if created and not keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+        elif keep:
+            print(f"chaos state kept in {workdir}")
+
+
+def replay_journal(
+    journal: str | pathlib.Path,
+    seed: int | None = None,
+    execute: bool = False,
+    directory: str | pathlib.Path | None = None,
+    keep: bool = False,
+) -> int:
+    """Re-derive the fault schedule from a recorded run journal.
+
+    With the journal's own seed (the default) the derived timeline must
+    be *identical* to the recorded one — the reproducibility invariant.
+    ``--seed`` swaps in a different seed (equality is then skipped) and
+    ``--execute`` re-runs the scenario for real.
+    """
+    data = json.loads(pathlib.Path(journal).read_text())
+    scenario = Scenario.from_json(data["scenario"])
+    if seed is not None and seed != scenario.seed:
+        scenario = replace(scenario, seed=seed)
+        print(f"chaos replay: seed overridden to {seed}; skipping equality check")
+    else:
+        timeline = plan_timeline(scenario)
+        if timeline != data["timeline"]:
+            print("chaos replay: MISMATCH — derived timeline differs from journal")
+            for derived, recorded in zip(timeline, data["timeline"]):
+                if derived != recorded:
+                    print(f"  derived:  {derived}")
+                    print(f"  recorded: {recorded}")
+                    break
+            return 1
+        print(
+            f"chaos replay: timeline of {len(timeline)} events reproduced "
+            f"exactly (seed {scenario.seed})"
+        )
+    if execute:
+        return run_scenario(
+            scenario, directory=directory, keep=keep, journal_out=None
+        )
+    return 0

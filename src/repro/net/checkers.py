@@ -1,0 +1,168 @@
+"""Continuous safety and liveness checking for chaos runs.
+
+The chaos engine (:mod:`repro.net.chaos`) tortures a live TCP cluster;
+these checkers are the oracle deciding whether the run refuted the
+paper's guarantees:
+
+* **Safety** — the executed-operation journals of the honest replicas
+  must be *prefix-consistent* (any two journals agree on every position
+  both contain: the single total order of atomic broadcast, observed
+  from the outside), and no operation the client holds a threshold-
+  signed answer for may be missing from the longest honest journal —
+  "no committed op is lost", including across crash/recovery.
+* **Liveness** — operations submitted in a *quiescent window* (every
+  partition healed, no pending lifecycle fault) must complete within a
+  stated bound.  During active faults only safety is checked: the
+  asynchronous model promises nothing about timing there.
+
+Checkers are pure functions over plain data (journal entries as
+dictionaries, probe records), so they are trivially unit-testable and
+reusable against any journal source.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JournalEntry",
+    "SafetyReport",
+    "LivenessReport",
+    "read_journals",
+    "check_safety",
+    "check_liveness",
+]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One executed operation as recorded by a replica host."""
+
+    client: int
+    nonce: int
+    op: tuple
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JournalEntry":
+        return cls(
+            client=int(data["client"]),
+            nonce=int(data["nonce"]),
+            op=tuple(data["op"]),
+        )
+
+    def key(self) -> tuple:
+        return (self.client, self.nonce)
+
+
+def read_journals(
+    directory: str | pathlib.Path, parties: list[int]
+) -> dict[int, list[JournalEntry]]:
+    """Load ``journal/exec-<party>.jsonl`` for every listed party.
+
+    A missing journal (replica never started, or was killed before its
+    first execution) reads as an empty log — an empty log is trivially
+    a prefix of every other log, so this is not an error.
+    """
+    journals: dict[int, list[JournalEntry]] = {}
+    base = pathlib.Path(directory) / "journal"
+    for party in parties:
+        path = base / f"exec-{party}.jsonl"
+        entries: list[JournalEntry] = []
+        if path.exists():
+            for line in path.read_text().splitlines():
+                line = line.strip()
+                if line:
+                    entries.append(JournalEntry.from_json(json.loads(line)))
+        journals[party] = entries
+    return journals
+
+
+@dataclass
+class SafetyReport:
+    """Verdict of the prefix-consistency / no-lost-commit check."""
+
+    ok: bool
+    issues: list[str] = field(default_factory=list)
+    longest: int = 0
+
+    def to_json(self) -> dict:
+        return {"ok": self.ok, "issues": self.issues, "longest": self.longest}
+
+
+def check_safety(
+    journals: dict[int, list[JournalEntry]],
+    committed: list[JournalEntry] | None = None,
+) -> SafetyReport:
+    """Honest journals must be pairwise prefix-consistent, and every
+    client-committed operation must appear in the longest journal.
+
+    ``committed`` holds the operations the client received a combined
+    threshold signature for — the service vouched for them, so a
+    recovery that loses one is a safety violation even if the surviving
+    logs still agree with each other.
+    """
+    issues: list[str] = []
+    parties = sorted(journals)
+    for i, a in enumerate(parties):
+        for b in parties[i + 1:]:
+            log_a, log_b = journals[a], journals[b]
+            for position in range(min(len(log_a), len(log_b))):
+                if log_a[position] != log_b[position]:
+                    issues.append(
+                        f"divergence at position {position}: "
+                        f"replica {a} executed {log_a[position]}, "
+                        f"replica {b} executed {log_b[position]}"
+                    )
+                    break  # one divergence per pair is enough evidence
+    longest: list[JournalEntry] = []
+    for party in parties:
+        if len(journals[party]) > len(longest):
+            longest = journals[party]
+    if committed:
+        executed_keys = {entry.key() for entry in longest}
+        for entry in committed:
+            if entry.key() not in executed_keys:
+                issues.append(
+                    f"committed operation lost: client {entry.client} holds a "
+                    f"signed answer for nonce {entry.nonce} ({entry.op!r}) but "
+                    f"no honest journal of maximal length contains it"
+                )
+    return SafetyReport(ok=not issues, issues=issues, longest=len(longest))
+
+
+@dataclass
+class LivenessReport:
+    """Verdict of the quiescent-window completion check."""
+
+    ok: bool
+    bound: float
+    probes: list[dict] = field(default_factory=list)
+    issues: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "bound": self.bound,
+            "probes": self.probes,
+            "issues": self.issues,
+        }
+
+
+def check_liveness(probes: list[dict], bound: float) -> LivenessReport:
+    """Every probe submitted in a quiescent window must have completed
+    within ``bound`` seconds (``latency`` is ``None`` for a timeout)."""
+    issues: list[str] = []
+    for probe in probes:
+        latency = probe.get("latency")
+        if latency is None:
+            issues.append(f"probe {probe.get('op')!r} never completed")
+        elif latency > bound:
+            issues.append(
+                f"probe {probe.get('op')!r} took {latency:.2f}s "
+                f"(bound {bound:.2f}s)"
+            )
+    return LivenessReport(
+        ok=not issues, bound=bound, probes=list(probes), issues=issues
+    )

@@ -23,6 +23,8 @@ to the deterministic simulator instead.  See ``docs/DEPLOYMENT.md``.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
 import json
 import os
 import pathlib
@@ -42,19 +44,30 @@ from ..crypto.groups import small_group
 from ..smr.client import ServiceClient
 from ..smr.replica import Replica, service_session
 from ..smr.state_machine import KeyValueStore, StateMachine
-from .transport import TransportError, TransportNetwork
+from .transport import FaultPlan, TransportError, TransportNetwork
 
 __all__ = [
     "CLUSTER_FILE",
+    "DEFAULT_IO_TIMEOUT",
     "ClusterConfig",
     "ReplicaHost",
     "allocate_addresses",
+    "checkpoint_path",
     "demo_cluster",
+    "load_checkpoint",
     "run_client_ops",
     "serve_replica",
+    "write_checkpoint",
 ]
 
 CLUSTER_FILE = "cluster.json"
+
+# Default bound on every "wait for the cluster to say something" loop.
+# Configurable per deployment through ``ClusterConfig.io_timeout`` (and
+# ``demo-cluster --io-timeout`` / chaos scenarios), because 30s is
+# plenty on a laptop but flaky on a loaded CI machine or under
+# injected faults.
+DEFAULT_IO_TIMEOUT = 30.0
 
 
 # -- cluster topology on disk -------------------------------------------------------
@@ -62,16 +75,20 @@ CLUSTER_FILE = "cluster.json"
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """The address map of a deployed cluster (party id -> host, port)."""
+    """The operational shape of a deployed cluster: the address map
+    (party id -> host, port) plus the deployment-wide I/O deadline
+    every process-level wait inherits."""
 
     addresses: dict[int, tuple[str, int]]
+    io_timeout: float = DEFAULT_IO_TIMEOUT
 
     def save(self, path: str | pathlib.Path) -> None:
         data = {
             "addresses": {
                 str(party): [host, port]
                 for party, (host, port) in sorted(self.addresses.items())
-            }
+            },
+            "io_timeout": self.io_timeout,
         }
         pathlib.Path(path).write_text(json.dumps(data, indent=1))
 
@@ -82,7 +99,8 @@ class ClusterConfig:
             addresses={
                 int(party): (str(entry[0]), int(entry[1]))
                 for party, entry in data["addresses"].items()
-            }
+            },
+            io_timeout=float(data.get("io_timeout", DEFAULT_IO_TIMEOUT)),
         )
 
 
@@ -105,11 +123,107 @@ def allocate_addresses(
     return addresses
 
 
+# -- authenticated local checkpoints ------------------------------------------------
+#
+# A replica's delivered log is periodically persisted so a restart can
+# replay most of its history from disk and only fetch the tail from
+# peers (Section 6 recovery stays the source of truth).  The file is
+# *authenticated*: the paper's adversary may control the machine
+# between crash and restart, so an unauthenticated snapshot would let
+# it rewrite history.  The MAC key is derived from the party's full
+# channel keyring — forging a checkpoint requires compromising the
+# party's entire key material, at which point it is simply corrupted.
+# A checkpoint that fails authentication (or fails to parse) is
+# REJECTED and recovery falls back to pure peer state transfer; the
+# chaos engine's corrupted-snapshot fault asserts exactly this.
+
+
+def checkpoint_path(directory: str | pathlib.Path, party: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"checkpoint-{party}.json"
+
+
+def _checkpoint_key(party: int, channel_keys: dict[int, bytes]) -> bytes:
+    material = [b"repro-checkpoint-v1", party.to_bytes(8, "big")]
+    for peer in sorted(channel_keys):
+        material.append(peer.to_bytes(8, "big"))
+        material.append(channel_keys[peer])
+    return hashlib.sha256(b"".join(material)).digest()
+
+
+def write_checkpoint(
+    directory: str | pathlib.Path,
+    party: int,
+    channel_keys: dict[int, bytes],
+    entries: tuple,
+    round_number: int,
+) -> pathlib.Path:
+    """Atomically persist the delivered log with an HMAC over its
+    canonical wire encoding."""
+    from . import wire
+
+    body = wire.dumps((tuple(entries), round_number))
+    mac = hmac.new(_checkpoint_key(party, channel_keys), body, hashlib.sha256)
+    path = checkpoint_path(directory, party)
+    data = json.dumps(
+        {"party": party, "body": body.hex(), "mac": mac.hexdigest()}
+    )
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(data)
+    tmp.replace(path)  # atomic: a crash mid-write never half-updates
+    return path
+
+
+def load_checkpoint(
+    directory: str | pathlib.Path, party: int, channel_keys: dict[int, bytes]
+) -> tuple[tuple, int] | None:
+    """Load and authenticate a checkpoint; ``None`` if it is missing,
+    malformed, or fails the MAC — the caller must treat all three the
+    same way (recover purely from peers)."""
+    from . import wire
+
+    path = checkpoint_path(directory, party)
+    try:
+        data = json.loads(path.read_text())
+        body = bytes.fromhex(data["body"])
+        tag = bytes.fromhex(data["mac"])
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+    expected = hmac.new(
+        _checkpoint_key(party, channel_keys), body, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(tag, expected):
+        return None
+    try:
+        entries, round_number = wire.loads(body)
+    except (wire.WireError, ValueError):
+        return None
+    if not isinstance(entries, tuple) or not isinstance(round_number, int):
+        return None
+    return entries, round_number
+
+
 # -- one server process -------------------------------------------------------------
 
 
 class ReplicaHost:
-    """One server: keystore + transport + protocol runtime + replica."""
+    """One server: keystore + transport + protocol runtime + replica.
+
+    Optional chaos surface:
+
+    * ``faults`` — a :class:`~repro.net.transport.FaultPlan` injected
+      into the transport (when ``None``, a plan serialized by the chaos
+      engine as ``faults.json`` in the deployment directory is loaded
+      automatically, so subprocess replicas pick up the scenario);
+    * ``byzantine`` — host a corrupted party instead of an honest one
+      (a behavior name understood by
+      :func:`repro.net.chaos.byzantine_node`);
+    * ``journal`` — append every executed operation to
+      ``journal/exec-<party>.jsonl`` for the chaos safety checker;
+    * checkpoints — when ``checkpoint_every > 0`` the delivered log is
+      persisted (authenticated) every that-many executions and on
+      graceful shutdown, and a restart with ``recover=True`` preloads
+      it before asking peers for the tail.
+    """
 
     def __init__(
         self,
@@ -118,32 +232,115 @@ class ReplicaHost:
         state_machine: StateMachine | None = None,
         causal: bool = False,
         seed: int | None = None,
+        faults: FaultPlan | None = None,
+        byzantine: str | None = None,
+        journal: bool = False,
+        checkpoint_every: int = 0,
     ) -> None:
         directory = pathlib.Path(directory)
+        self.directory = directory
         self.party = party
         self.public = keystore.load_public(directory / "public.json")
         self.keys = keystore.load_party(directory / f"server-{party}.json", self.public)
         cluster = ClusterConfig.load(directory / CLUSTER_FILE)
+        self.io_timeout = cluster.io_timeout
+        if faults is None:
+            from .chaos import load_fault_plan  # lazy: chaos imports us
+
+            faults = load_fault_plan(directory)
         self.network = TransportNetwork(
-            party, cluster.addresses, self.keys.channel_keys
+            party, cluster.addresses, self.keys.channel_keys, faults=faults
         )
-        self.runtime = ProtocolRuntime(
-            party, self.network, self.public, self.keys,
-            seed=seed if seed is not None else party,
+        self.byzantine = byzantine
+        self.checkpoint_status = "absent"
+        self._checkpoint_every = checkpoint_every
+        self._executions = 0
+        self._journal = None
+        seed = seed if seed is not None else party
+        if byzantine is None:
+            self.runtime: ProtocolRuntime | None = ProtocolRuntime(
+                party, self.network, self.public, self.keys, seed=seed
+            )
+            self.network.attach(party, self.runtime)
+            self.replica: Replica | None = Replica(
+                state_machine or KeyValueStore(), causal=causal
+            )
+            self.runtime.spawn(service_session(), self.replica)
+        else:
+            from .chaos import byzantine_node  # lazy: chaos imports us
+
+            node, self.runtime, self.replica = byzantine_node(
+                byzantine, self.network, party, self.public, self.keys,
+                seed=seed, state_machine=state_machine or KeyValueStore(),
+                causal=causal,
+            )
+            self.network.attach(party, node)
+        if self.replica is not None:
+            self.replica.on_execute = self._on_execute
+        if journal and byzantine is None:
+            journal_dir = directory / "journal"
+            journal_dir.mkdir(exist_ok=True)
+            # "w": the journal is this incarnation's executed sequence;
+            # recovery replays the full history into it, so truncating
+            # keeps it a single consistent prefix-checkable log.
+            self._journal = open(
+                journal_dir / f"exec-{party}.jsonl", "w", encoding="utf-8"
+            )
+
+    def _on_execute(self, request, result) -> None:
+        self._executions += 1
+        if self._journal is not None:
+            self._journal.write(
+                json.dumps(
+                    {
+                        "i": self._executions,
+                        "client": request.client,
+                        "nonce": request.nonce,
+                        "op": list(request.operation),
+                    }
+                )
+                + "\n"
+            )
+            self._journal.flush()
+        if self._checkpoint_every and self._executions % self._checkpoint_every == 0:
+            self.write_checkpoint()
+
+    def write_checkpoint(self) -> pathlib.Path | None:
+        """Persist the authenticated delivered log (honest hosts only)."""
+        if self.replica is None or self.replica.causal or self.byzantine:
+            return None
+        return write_checkpoint(
+            self.directory,
+            self.party,
+            self.keys.channel_keys,
+            tuple(self.replica.abc.delivered_log),
+            self.replica.abc.round,
         )
-        self.network.attach(party, self.runtime)
-        self.replica = Replica(state_machine or KeyValueStore(), causal=causal)
-        self.runtime.spawn(service_session(), self.replica)
 
     async def start(self, recover: bool = False) -> None:
         await self.network.start()
-        if recover:
-            self.replica.begin_recovery(
-                Context(self.runtime, service_session())
+        if recover and self.replica is not None:
+            ctx = Context(self.runtime, service_session())
+            loaded = load_checkpoint(
+                self.directory, self.party, self.keys.channel_keys
             )
+            # Host-owned startup state, written once before any handler
+            # runs — not round/epoch-guarded protocol state.
+            if loaded is not None:
+                self.replica.preload_log(ctx, loaded[0])
+                self.checkpoint_status = "loaded"  # repro: noqa-RL005 single-owner startup state
+            elif checkpoint_path(self.directory, self.party).exists():
+                # Present but unauthenticated/corrupted: reject it and
+                # recover purely from peers.
+                self.checkpoint_status = "rejected"  # repro: noqa-RL005 single-owner startup state
+                self.network.trace.bump("chaos.checkpoint_rejected")
+            self.replica.begin_recovery(ctx)
 
     async def close(self) -> None:
         await self.network.close()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None  # repro: noqa-RL005 idempotent shutdown, single owner
 
 
 async def serve_replica(
@@ -151,10 +348,16 @@ async def serve_replica(
     party: int,
     recover: bool = False,
     causal: bool = False,
+    byzantine: str | None = None,
+    journal: bool = False,
+    checkpoint_every: int = 0,
 ) -> int:
     """Run one replica until SIGTERM/SIGINT; prints a parseable final
     state line (the demo cluster checks it to verify recovery)."""
-    host = ReplicaHost(directory, party, causal=causal)
+    host = ReplicaHost(
+        directory, party, causal=causal, byzantine=byzantine,
+        journal=journal, checkpoint_every=checkpoint_every,
+    )
     await host.start(recover=recover)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -167,15 +370,27 @@ async def serve_replica(
         flush=True,
     )
     if recover:
+        print(
+            f"replica-checkpoint party={party} status={host.checkpoint_status}",
+            flush=True,
+        )
+    if recover and host.replica is not None:
         task = loop.create_task(_announce_recovery(host))
         task.add_done_callback(lambda t: t.cancelled() or t.exception())
-    await stop.wait()
-    snapshot = host.replica.state_machine.snapshot()
-    print(
-        f"replica-final party={party} executed={len(host.replica.executed)} "
-        f"snapshot={snapshot!r}",
-        flush=True,
-    )
+    # Bounded by SIGTERM from the operator, not by wall clock: a
+    # replica serves until told to stop.
+    await stop.wait()  # repro: noqa-RL005 runs-until-signalled by design
+    if host.replica is not None:
+        if checkpoint_every:
+            host.write_checkpoint()
+        snapshot = host.replica.state_machine.snapshot()
+        print(
+            f"replica-final party={party} executed={len(host.replica.executed)} "
+            f"snapshot={snapshot!r}",
+            flush=True,
+        )
+    else:
+        print(f"replica-final party={party} byzantine={byzantine}", flush=True)
     await host.close()
     return 0
 
@@ -238,9 +453,15 @@ def _replica_env() -> dict[str, str]:
 class _ReplicaProcess:
     """A spawned ``repro run-replica`` subprocess with captured output."""
 
-    def __init__(self, proc: asyncio.subprocess.Process, party: int) -> None:
+    def __init__(
+        self,
+        proc: asyncio.subprocess.Process,
+        party: int,
+        io_timeout: float = DEFAULT_IO_TIMEOUT,
+    ) -> None:
         self.proc = proc
         self.party = party
+        self.io_timeout = io_timeout
         self.lines: list[str] = []
         task = asyncio.get_running_loop().create_task(self._drain())
         task.add_done_callback(lambda t: t.cancelled() or t.exception())
@@ -249,15 +470,24 @@ class _ReplicaProcess:
     async def _drain(self) -> None:
         assert self.proc.stdout is not None
         while True:
-            raw = await self.proc.stdout.readline()
+            # Terminates on child exit (EOF), not on a deadline — the
+            # drain must outlive any pause/partition the child is under.
+            raw = await self.proc.stdout.readline()  # repro: noqa-RL005 EOF-bounded pipe drain
             if not raw:
                 return
             line = raw.decode(errors="replace").rstrip()
             self.lines.append(line)
             print(f"  [replica {self.party}] {line}", flush=True)
 
-    async def wait_for_line(self, needle: str, timeout: float = 30.0) -> str:
-        """Block until a captured stdout line contains ``needle``."""
+    async def wait_for_line(self, needle: str, timeout: float | None = None) -> str:
+        """Block until a captured stdout line contains ``needle``.
+
+        The deadline defaults to the deployment's configured
+        ``ClusterConfig.io_timeout`` (threaded through at spawn time)
+        rather than a hardcoded constant.
+        """
+        if timeout is None:
+            timeout = self.io_timeout
         deadline = asyncio.get_running_loop().time() + timeout
         while True:
             for line in self.lines:
@@ -280,19 +510,36 @@ class _ReplicaProcess:
                 await asyncio.wait_for(self.proc.wait(), grace)
             except asyncio.TimeoutError:
                 self.proc.kill()
-                await self.proc.wait()
+                await self.proc.wait()  # repro: noqa-RL005 SIGKILL already sent; exit is certain
         await self._task
 
     async def kill(self) -> None:
         """Crash the replica (no grace, no cleanup) — the fault model."""
         if self.proc.returncode is None:
             self.proc.kill()
-            await self.proc.wait()
+            await self.proc.wait()  # repro: noqa-RL005 SIGKILL already sent; exit is certain
         await self._task
+
+    def suspend(self) -> None:
+        """SIGSTOP: the process freezes mid-whatever — from the cluster's
+        point of view, an arbitrarily slow (but not crashed) replica."""
+        if self.proc.returncode is None:
+            self.proc.send_signal(signal.SIGSTOP)
+
+    def resume(self) -> None:
+        """SIGCONT after :meth:`suspend`."""
+        if self.proc.returncode is None:
+            self.proc.send_signal(signal.SIGCONT)
 
 
 async def _spawn_replica(
-    directory: pathlib.Path, party: int, recover: bool = False
+    directory: pathlib.Path,
+    party: int,
+    recover: bool = False,
+    byzantine: str | None = None,
+    journal: bool = False,
+    checkpoint_every: int = 0,
+    io_timeout: float = DEFAULT_IO_TIMEOUT,
 ) -> _ReplicaProcess:
     command = [
         sys.executable, "-m", "repro", "run-replica",
@@ -300,13 +547,19 @@ async def _spawn_replica(
     ]
     if recover:
         command.append("--recover")
+    if byzantine:
+        command.extend(["--byzantine", byzantine])
+    if journal:
+        command.append("--journal")
+    if checkpoint_every:
+        command.extend(["--checkpoint-every", str(checkpoint_every)])
     proc = await asyncio.create_subprocess_exec(
         *command,
         stdout=asyncio.subprocess.PIPE,
         stderr=asyncio.subprocess.STDOUT,
         env=_replica_env(),
     )
-    return _ReplicaProcess(proc, party)
+    return _ReplicaProcess(proc, party, io_timeout=io_timeout)
 
 
 async def _submit_and_await(
@@ -333,10 +586,13 @@ async def _demo_cluster(
     keys = deal_system(n, rng, t=t, clients=1, group=small_group())
     keystore.write_deployment(keys, directory)
     addresses = allocate_addresses(list(range(n)) + [CLIENT_BASE])
-    ClusterConfig(addresses).save(directory / CLUSTER_FILE)
+    ClusterConfig(addresses, io_timeout=timeout).save(directory / CLUSTER_FILE)
 
     print(f"spawning {n} replica processes", flush=True)
-    replicas = {party: await _spawn_replica(directory, party) for party in range(n)}
+    replicas = {
+        party: await _spawn_replica(directory, party, io_timeout=timeout)
+        for party in range(n)
+    }
     public = keystore.load_public(directory / "public.json")
     cid, channel_keys = keystore.load_client(
         directory / f"client-{CLIENT_BASE}.json"
@@ -359,7 +615,9 @@ async def _demo_cluster(
         await _submit_and_await(network, client, phase_b, timeout)
 
         print(f"restarting replica {victim} with --recover", flush=True)
-        replicas[victim] = await _spawn_replica(directory, victim, recover=True)
+        replicas[victim] = await _spawn_replica(
+            directory, victim, recover=True, io_timeout=timeout
+        )
         await replicas[victim].wait_for_line("listening", timeout)
 
         print("phase C: 1 write + 1 read with the recovered cluster", flush=True)

@@ -53,6 +53,8 @@ from .tracing import Trace
 __all__ = [
     "TransportError",
     "MAX_FRAME_BODY",
+    "FrameFault",
+    "FaultPlan",
     "encode_hello",
     "decode_hello",
     "encode_data",
@@ -65,6 +67,68 @@ __all__ = [
 
 class TransportError(Exception):
     """Malformed, oversized, or unauthenticated transport frame."""
+
+
+# -- fault injection hooks ----------------------------------------------------------
+#
+# The chaos engine (repro.net.chaos) needs to exercise the deployed
+# transport under the same adversary the simulator's schedulers model:
+# partitions, loss, corruption, duplication and reordering.  Rather
+# than a parallel "test transport", the production code path exposes a
+# small hook surface that defaults to a no-op; every fault the plan can
+# express maps onto a failure mode TCP already has, so the reliability
+# machinery (reconnect + retransmit + cumulative acks + dedup) is what
+# gets exercised, not bypassed:
+#
+# * a severed link (partition) looks like dial failures / dead
+#   connections;
+# * a lost or corrupted frame looks like a connection reset — the
+#   unacked backlog is retransmitted on reconnect (frames can never be
+#   *silently* dropped mid-stream: the receiver's cumulative ack would
+#   permanently skip them);
+# * a duplicated frame is delivered twice and deduplicated;
+# * reordering happens *above* the framing layer, by holding a payload
+#   back before it is assigned a sequence number.
+
+
+@dataclass(frozen=True)
+class FrameFault:
+    """One frame-level fault decision: an action plus an extra delay."""
+
+    action: str = "pass"  # pass | reset | corrupt | duplicate
+    delay: float = 0.0
+
+
+_PASS_FRAME = FrameFault()
+
+# How often a severed sender re-checks whether its link healed.
+_PARTITION_POLL = 0.05
+
+
+class FaultPlan:
+    """Fault-injection hook surface consulted by the TCP transport.
+
+    The base class injects nothing and is the default for every
+    :class:`TransportNetwork`; :class:`repro.net.chaos.SeededFaultPlan`
+    overrides these hooks with seed-reproducible decisions.  All hooks
+    are synchronous and must be cheap — they run on the hot path.
+    """
+
+    def start(self) -> None:
+        """Anchor the plan's clock; called from ``TransportNetwork.start``."""
+
+    def link_up(self, sender: int, recipient: int) -> bool:
+        """False while the directed link is severed (partition)."""
+        return True
+
+    def frame_fault(self, sender: int, recipient: int) -> FrameFault:
+        """Sampled once per data-frame write on the sender side."""
+        return _PASS_FRAME
+
+    def send_hold(self, sender: int, recipient: int) -> float:
+        """Seconds to hold a payload *before* sequencing (reorder/delay);
+        0 sends immediately."""
+        return 0.0
 
 
 # -- frame codec -------------------------------------------------------------------
@@ -257,6 +321,11 @@ class _PeerChannel:
         while True:
             if self.net._closed:
                 return
+            if not self.net.faults.link_up(self.net.party, self.peer):
+                # The chaos plan severed this link: do not even dial.
+                self.net.trace.bump("chaos.partitioned")
+                await asyncio.sleep(_PARTITION_POLL)
+                continue
             writer = None
             ack_task = None
             try:
@@ -311,9 +380,44 @@ class _PeerChannel:
                 await self._wake.wait()
                 continue
             seq, data = frame
-            writer.write(data)
+            written = await self._write_frame(writer, seq, data, written)
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, seq: int, data: bytes, written: int
+    ) -> int:
+        """Write one frame, applying the chaos plan's frame fault (if any).
+
+        Loss and corruption are realized as connection resets so the
+        reconnect path retransmits the unacked backlog — a frame that
+        was simply skipped would be permanently jumped over by the
+        receiver's cumulative ack.
+        """
+        if not self.net.faults.link_up(self.net.party, self.peer):
+            # A partition severing a *live* connection mid-stream.
+            self.net.trace.bump("chaos.partitioned")
+            raise ConnectionResetError("chaos: link severed")
+        fault = self.net.faults.frame_fault(self.net.party, self.peer)
+        if fault.delay > 0:
+            await asyncio.sleep(fault.delay)
+        if fault.action == "reset":
+            self.net.trace.bump("chaos.resets")
+            raise ConnectionResetError("chaos: frame dropped, connection reset")
+        if fault.action == "corrupt":
+            # Flip one payload byte: the receiver's HMAC check MUST
+            # reject the frame and drop the connection; we reset our
+            # side immediately and retransmit the intact frame.
+            corrupted = bytearray(data)
+            corrupted[-1] ^= 0x01
+            writer.write(bytes(corrupted))
             await writer.drain()
-            written = seq
+            self.net.trace.bump("chaos.corruptions")
+            raise ConnectionResetError("chaos: frame corrupted")
+        writer.write(data)
+        if fault.action == "duplicate":
+            self.net.trace.bump("chaos.duplicated")
+            writer.write(data)
+        await writer.drain()
+        return seq
 
     def _next_after(self, written: int) -> tuple[int, bytes] | None:
         """The oldest unacked frame not yet written on this connection.
@@ -372,11 +476,13 @@ class TransportNetwork:
         addresses: dict[int, tuple[str, int]],
         channel_keys: dict[int, bytes],
         rng: random.Random | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.party = party
         self.addresses = dict(addresses)
         self.channel_keys = dict(channel_keys)
         self.rng = rng or random.Random()
+        self.faults = faults or FaultPlan()
         self.trace = Trace()
         self.node: Node | None = None
         self.errors: list[BaseException] = []
@@ -411,6 +517,7 @@ class TransportNetwork:
     async def start(self) -> None:
         """Bind the listener (port 0 allocates a free port) and start
         accepting authenticated peer connections."""
+        self.faults.start()
         host, port = self.addresses.get(self.party, ("127.0.0.1", 0))
         self._server = await asyncio.start_server(self._on_connection, host, port)
         if self._closed:
@@ -457,9 +564,26 @@ class TransportNetwork:
             # like the simulator's self-messages through the pool.
             asyncio.get_running_loop().call_soon(self._deliver_local, encoded)
             return
-        key = self.channel_keys.get(recipient)
-        if key is None:
+        if self.channel_keys.get(recipient) is None:
             raise TransportError(f"no channel key for party {recipient}")
+        hold = self.faults.send_hold(self.party, recipient)
+        if hold > 0:
+            # Reordering happens here, above the framing layer: the held
+            # payload is sequenced only when it is finally enqueued, so
+            # payloads sent after it overtake it without violating the
+            # per-connection in-order invariant the acks rely on.
+            self.trace.bump("chaos.held")
+            asyncio.get_running_loop().call_later(
+                hold, self._enqueue_payload, recipient, encoded
+            )
+            return
+        self._enqueue_payload(recipient, encoded)
+
+    def _enqueue_payload(self, recipient: int, encoded: bytes) -> None:
+        """Sequence and frame one encoded payload for a remote peer."""
+        if self._closed:
+            return
+        key = self.channel_keys[recipient]
         channel = self._channels.get(recipient)
         if channel is None:
             channel = _PeerChannel(self, recipient)
@@ -515,6 +639,11 @@ class TransportNetwork:
                 body = await self._read_frame(reader)
                 if self._closed:
                     return
+                if not self.faults.link_up(peer, self.party):
+                    # Partition enforced on the receive side too, so a
+                    # cut holds even when only one endpoint has a plan.
+                    self.trace.bump("chaos.partitioned")
+                    raise ConnectionResetError("chaos: link severed")
                 incarnation, seq, payload_bytes = decode_data(
                     body, self.channel_keys[peer], peer, self.party
                 )

@@ -11,6 +11,7 @@ combines their signature shares into one service-signed reply.
 
 from __future__ import annotations
 
+import asyncio
 import random
 from dataclasses import dataclass
 
@@ -63,6 +64,8 @@ class ServiceClient(Node):
         self._operations: dict[int, tuple] = {}
         self._replies: dict[int, dict[int, Reply]] = {}
         self.completed: dict[int, CompletedRequest] = {}
+        self.resubmissions = 0
+        self.duplicate_replies = 0
 
     # -- submission --------------------------------------------------------------
 
@@ -113,6 +116,74 @@ class ServiceClient(Node):
             self.network.send(self.client_id, server, payload)
         return nonce
 
+    def resubmit(self, nonce: int, servers: list[int] | None = None) -> bool:
+        """Re-send a still-pending ordered request under its *original*
+        nonce.
+
+        Safe to call any number of times: replicas deduplicate by
+        ``(client, nonce)`` (at-most-once execution), and this client
+        ignores replies for nonces already completed, so a resubmission
+        can never double-count an operation.  Returns False once the
+        request has completed (nothing was sent).
+        """
+        if nonce in self.completed or nonce not in self._operations:
+            return False
+        operation = self._operations[nonce]
+        request = Request(client=self.client_id, nonce=nonce, operation=operation)
+        payload = (self.session, SubmitRequest(request.encode()))
+        for server in self._targets(servers):
+            self.network.send(self.client_id, server, payload)
+        self.resubmissions += 1
+        return True
+
+    async def call(
+        self,
+        operation: tuple,
+        *,
+        timeout: float = 60.0,
+        attempt_timeout: float = 3.0,
+        backoff: float = 2.0,
+        max_attempt_timeout: float = 15.0,
+        servers: list[int] | None = None,
+    ) -> CompletedRequest:
+        """Submit an ordered request and await its signed answer,
+        resubmitting with capped exponential backoff.
+
+        This is the chaos-hardened client loop for the TCP backend (the
+        network must provide ``wait_until``, i.e. be a
+        :class:`~repro.net.transport.TransportNetwork`): a replica that
+        crashes, restarts, or sits behind a partition can swallow the
+        first submission, so the request is re-sent — same nonce, so
+        replicas execute it at most once — every ``attempt_timeout``
+        (growing by ``backoff`` up to ``max_attempt_timeout``) until
+        the overall per-op ``timeout`` expires, which raises
+        ``asyncio.TimeoutError`` instead of hanging forever.
+        """
+        nonce = self.submit(operation, servers=servers)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        wait = attempt_timeout
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"operation {operation!r} (nonce {nonce}) did not complete "
+                    f"within {timeout}s after {self.resubmissions} resubmission(s)"
+                )
+            try:
+                await self.network.wait_until(
+                    lambda: nonce in self.completed,
+                    timeout=min(wait, remaining),
+                )
+                return self.completed[nonce]
+            except asyncio.TimeoutError:
+                self.resubmit(nonce, servers=servers)
+                wait = min(wait * backoff, max_attempt_timeout)
+
+    def operation(self, nonce: int) -> tuple:
+        """The operation submitted under ``nonce`` (KeyError if unknown)."""
+        return self._operations[nonce]
+
     def _next_nonce(self, operation: tuple) -> int:
         self._nonce += 1
         self._operations[self._nonce] = operation
@@ -135,9 +206,13 @@ class ServiceClient(Node):
             return
         nonce = message.nonce
         if nonce in self.completed or nonce not in self._operations:
+            # Late or repeated answers for a finished request (normal
+            # under resubmission) change nothing: dedup, don't recount.
+            self.duplicate_replies += 1
             return
         bucket = self._replies.setdefault(nonce, {})
         if sender in bucket:
+            self.duplicate_replies += 1
             return
         # Verify the replica's signature share up front; junk shares from
         # corrupted replicas are discarded here.

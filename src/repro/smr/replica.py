@@ -21,6 +21,7 @@ inside the server's :class:`~repro.core.runtime.ProtocolRuntime`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core.atomic_broadcast import AtomicBroadcast
 from ..core.protocol import Context, Protocol, SessionId
@@ -104,6 +105,11 @@ class Replica(Protocol):
         self.recovering = False
         self._recovery_logs: dict[int, RecoverLog] = {}
         self._replaying = False
+        # Observation hook: called after every executed request (replays
+        # included) — the deployment host uses it for the execution
+        # journal the chaos safety checker reads, and for periodic
+        # checkpointing.  Never part of the protocol itself.
+        self.on_execute: Callable[[Request, object], None] | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -242,6 +248,27 @@ class Replica(Protocol):
     def _adopt_log(self, ctx: Context, entries: tuple, round_number: int) -> None:
         self.recovering = False
         self._recovery_logs.clear()
+        self._replay_entries(ctx, entries)
+        self.abc.resume_at(ctx, round_number)
+        ctx.trace.bump("replica.recoveries")
+
+    def preload_log(self, ctx: Context, entries: tuple) -> None:
+        """Replay a locally checkpointed delivery log before recovery.
+
+        The host calls this with an *authenticated* checkpoint (HMAC
+        verified against the party's own key material) before
+        :meth:`begin_recovery`: peers then only need to supply the tail
+        the checkpoint missed — ``_adopt_log`` skips everything already
+        delivered here.  An unauthenticated or corrupted checkpoint
+        must never reach this method; the host rejects it and falls
+        back to pure peer recovery.
+        """
+        if self.causal:
+            raise ValueError("checkpoints are not supported for causal replicas")
+        self._replay_entries(ctx, entries)
+        ctx.trace.bump("replica.checkpoint_preloads")
+
+    def _replay_entries(self, ctx: Context, entries: tuple) -> None:
         self._replaying = True
         try:
             for item in entries:
@@ -257,8 +284,6 @@ class Replica(Protocol):
                     self._execute(ctx, request)
         finally:
             self._replaying = False
-        self.abc.resume_at(ctx, round_number)
-        ctx.trace.bump("replica.recoveries")
 
     def _execute(self, ctx: Context, request: Request) -> None:
         key = (request.client, request.nonce)
@@ -267,6 +292,8 @@ class Replica(Protocol):
         self._seen_nonces.add(key)
         result = self.state_machine.apply(request)
         self.executed.append((request, result))
+        if self.on_execute is not None:
+            self.on_execute(request, result)
         if self._replaying:
             return  # clients were answered before the crash
         digest = ("request", request.client, request.nonce, request.operation)

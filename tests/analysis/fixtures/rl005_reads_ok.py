@@ -1,0 +1,23 @@
+"""RL005 mode-5 clean fixture: every read is bounded or justified."""
+import asyncio
+
+
+async def drain_stdout(proc):
+    raw = await proc.stdout.readline()  # repro: noqa-RL005 EOF-bounded pipe drain
+    return raw
+
+
+async def await_event(stop: asyncio.Event):
+    await asyncio.wait_for(stop.wait(), 5.0)
+
+
+async def pull_queue(queue: asyncio.Queue):
+    item = await asyncio.wait_for(queue.get(), timeout=1.0)
+    return item
+
+
+async def poll_lines(lines: list[str]):
+    # sleep is not a read; bounded by construction.
+    while not lines:
+        await asyncio.sleep(0.05)
+    return lines[0]

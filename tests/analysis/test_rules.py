@@ -155,6 +155,32 @@ def test_rl005_scope_excludes_the_simulator():
     assert report.diagnostics == []
 
 
+def test_rl005_unbounded_reads_in_chaos_layer():
+    for relpath in ("net/runtime.py", "net/chaos.py"):
+        report = findings("rl005_reads_bad.py", "RL005", relpath=relpath)
+        assert locations(report) == [
+            ("RL005", 7),   # proc.stdout.readline()
+            ("RL005", 12),  # event.wait()
+            ("RL005", 16),  # queue.get()
+            ("RL005", 21),  # reader.readexactly()
+        ]
+        assert all("no timeout" in d.message for d in report.diagnostics)
+        assert all("noqa-RL005" in d.hint for d in report.diagnostics)
+
+
+def test_rl005_unbounded_reads_clean_when_bounded_or_justified():
+    report = findings("rl005_reads_ok.py", "RL005", relpath="net/chaos.py")
+    assert report.diagnostics == []
+    assert report.suppressed == 1  # the justified readline
+
+
+def test_rl005_unbounded_reads_not_applied_to_transport():
+    # The transport's reader loops are bounded by connection lifetime;
+    # mode 5 polices only the chaos orchestration layer.
+    report = findings("rl005_reads_bad.py", "RL005", relpath="net/transport.py")
+    assert report.diagnostics == []
+
+
 # -- inline suppression ---------------------------------------------------------
 
 

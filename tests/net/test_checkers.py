@@ -1,0 +1,117 @@
+"""The chaos oracles: prefix-consistency safety and quiescent liveness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.net.checkers import (
+    JournalEntry,
+    check_liveness,
+    check_safety,
+    read_journals,
+)
+
+
+def entry(nonce: int, op=None, client: int = 100) -> JournalEntry:
+    return JournalEntry(client=client, nonce=nonce, op=tuple(op or ("set", "k", nonce)))
+
+
+# -- safety -------------------------------------------------------------------------
+
+
+def test_prefixes_of_different_lengths_are_consistent():
+    log = [entry(1), entry(2), entry(3)]
+    report = check_safety({0: log, 1: log[:2], 2: log, 3: []})
+    assert report.ok and report.issues == []
+    assert report.longest == 3
+
+
+def test_divergence_is_a_safety_violation():
+    shared = [entry(1)]
+    report = check_safety(
+        {0: shared + [entry(2)], 1: shared + [entry(9, op=("set", "evil", 9))]}
+    )
+    assert not report.ok
+    assert len(report.issues) == 1
+    assert "divergence at position 1" in report.issues[0]
+
+
+def test_one_divergence_reported_per_pair():
+    a = [entry(1), entry(2), entry(3)]
+    b = [entry(7), entry(8), entry(9)]
+    report = check_safety({0: a, 1: b})
+    assert len(report.issues) == 1  # first divergence is evidence enough
+
+
+def test_committed_op_must_survive_in_the_longest_journal():
+    log = [entry(1), entry(2)]
+    ok = check_safety({0: log, 1: log}, committed=[entry(2)])
+    assert ok.ok
+    lost = check_safety({0: log, 1: log[:1]}, committed=[entry(3)])
+    assert not lost.ok
+    assert "committed operation lost" in lost.issues[0]
+    assert "nonce 3" in lost.issues[0]
+
+
+def test_committed_check_uses_the_longest_journal():
+    """A replica that died before executing a committed op is fine as
+    long as *some* honest journal (the longest) carries it."""
+    full = [entry(1), entry(2), entry(3)]
+    report = check_safety({0: full, 1: full[:1]}, committed=[entry(3)])
+    assert report.ok
+
+
+def test_safety_report_serializes():
+    report = check_safety({0: [entry(1)], 1: [entry(1)]}, committed=[entry(1)])
+    data = json.loads(json.dumps(report.to_json()))
+    assert data == {"ok": True, "issues": [], "longest": 1}
+
+
+# -- journal files ------------------------------------------------------------------
+
+
+def test_read_journals_parses_lines_and_tolerates_absence(tmp_path):
+    journal_dir = tmp_path / "journal"
+    journal_dir.mkdir()
+    lines = [
+        {"i": 0, "client": 100, "nonce": 1, "op": ["set", "a", 1]},
+        {"i": 1, "client": 100, "nonce": 2, "op": ["set", "b", 2]},
+    ]
+    (journal_dir / "exec-0.jsonl").write_text(
+        "\n".join(json.dumps(line) for line in lines) + "\n"
+    )
+    journals = read_journals(tmp_path, [0, 3])
+    assert journals[0] == [
+        entry(1, op=("set", "a", 1)),
+        entry(2, op=("set", "b", 2)),
+    ]
+    assert journals[3] == []  # killed before its first execution
+    assert check_safety(journals).ok
+
+
+def test_journal_entry_key_identifies_the_request():
+    one = JournalEntry.from_json({"client": 5, "nonce": 9, "op": ["get", "x"]})
+    assert one.key() == (5, 9)
+    assert one.op == ("get", "x")
+
+
+# -- liveness -----------------------------------------------------------------------
+
+
+def test_probes_within_bound_pass():
+    probes = [{"op": ["set", "p", 0], "latency": 0.8}, {"op": ["set", "q", 1], "latency": 2.0}]
+    report = check_liveness(probes, bound=5.0)
+    assert report.ok and report.issues == []
+    assert report.to_json()["bound"] == 5.0
+
+
+def test_timed_out_probe_fails_liveness():
+    report = check_liveness([{"op": ["set", "p", 0], "latency": None}], bound=5.0)
+    assert not report.ok
+    assert "never completed" in report.issues[0]
+
+
+def test_slow_probe_fails_liveness():
+    report = check_liveness([{"op": ["set", "p", 0], "latency": 9.5}], bound=5.0)
+    assert not report.ok
+    assert "bound" in report.issues[0]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.crypto import deal_system, small_group
 from repro.crypto import keystore
 from repro.crypto.dealer import CLIENT_BASE, deal_channel_keys
 from repro.net import wire
+from repro.net.chaos import FaultSpec, PartitionSpec, SeededFaultPlan
 from repro.net.runtime import (
     CLUSTER_FILE,
     ClusterConfig,
@@ -212,6 +214,56 @@ def test_delivery_survives_connection_churn():
             )
             assert node.received == [(0, ("after", i)) for i in range(5)]
             assert nets[0].trace.counters.get("transport.reconnects", 0) >= 1
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())
+
+
+# -- injected faults (the chaos hook surface) ---------------------------------------
+
+
+def test_partition_blocks_delivery_until_heal():
+    """While a FaultPlan partition is active no frame crosses the cut
+    in either direction; after the scheduled heal the retransmission
+    machinery delivers everything that was queued."""
+
+    async def scenario():
+        spec = FaultSpec(
+            partitions=(PartitionSpec(start=0.0, stop=1.0, group=(1,)),)
+        )
+        epoch = time.time()
+        keys = deal_channel_keys([0, 1], random.Random(3))
+        nets, nodes = {}, {}
+        for party in (0, 1):
+            net = TransportNetwork(
+                party, {party: ("127.0.0.1", 0)}, keys[party],
+                rng=random.Random(3000 + party),
+                faults=SeededFaultPlan(spec, seed=11, epoch=epoch),
+            )
+            node = Collector()
+            net.attach(party, node)
+            await net.start()
+            nets[party], nodes[party] = net, node
+        for party in (0, 1):
+            for peer in (0, 1):
+                nets[party].addresses[peer] = nets[peer].listen_address
+        try:
+            for i in range(5):
+                nets[0].send(0, 1, ("cut", i))
+                nets[1].send(1, 0, ("cut-back", i))
+            await asyncio.sleep(0.3)  # well inside the partition window
+            assert nodes[1].received == [] and nodes[0].received == []
+            assert nets[0].trace.counters.get("chaos.partitioned", 0) >= 1
+
+            await nets[1].wait_until(
+                lambda: len(nodes[1].received) == 5, timeout=30
+            )
+            await nets[0].wait_until(
+                lambda: len(nodes[0].received) == 5, timeout=30
+            )
+            assert nodes[1].received == [(0, ("cut", i)) for i in range(5)]
+            assert nodes[0].received == [(1, ("cut-back", i)) for i in range(5)]
         finally:
             await _close_all(nets)
 
@@ -446,6 +498,68 @@ def test_smr_crash_and_reconnect_mid_protocol(tmp_path):
             assert dict(snapshot[1]) == {"a": 1, "b": 2, "c": 3}
             for host in hosts.values():
                 assert not host.network.errors
+        finally:
+            await net.close()
+            for host in hosts.values():
+                await host.close()
+
+    asyncio.run(scenario())
+
+
+def test_recovery_stalls_behind_partition_then_completes(tmp_path):
+    """Restart a crashed replica *while a partition isolates it*: the
+    Section-6 state transfer cannot progress until the cut heals (the
+    fault plan blocks its frames on both the send and receive side),
+    and completes correctly once it does."""
+
+    async def scenario():
+        keys = deal_system(4, random.Random(8), t=1, clients=1, group=small_group())
+        keystore.write_deployment(keys, tmp_path)
+        addresses = allocate_addresses(list(range(4)) + [CLIENT_BASE])
+        ClusterConfig(addresses).save(tmp_path / CLUSTER_FILE)
+
+        hosts = {party: ReplicaHost(tmp_path, party) for party in range(4)}
+        for host in hosts.values():
+            await host.start()
+        public = keystore.load_public(tmp_path / "public.json")
+        cid, channel_keys = keystore.load_client(
+            tmp_path / f"client-{CLIENT_BASE}.json"
+        )
+        net = TransportNetwork(cid, addresses, channel_keys)
+        client = ServiceClient(cid, net, public, random.Random(4))
+        net.attach(cid, client)
+        await net.start()
+        try:
+            assert await _submit(net, client, ("set", "a", 1)) == ("ok", 1)
+            await hosts[3].close()
+            assert await _submit(net, client, ("set", "b", 2)) == ("ok", 2)
+
+            # The restarted replica comes back behind an active cut that
+            # heals itself 1.2s in.  Only the rejoining host carries the
+            # plan: it enforces the cut on its own writes *and* on every
+            # connection it accepts, so no recovery frame crosses.
+            plan = SeededFaultPlan(
+                FaultSpec(
+                    partitions=(PartitionSpec(start=0.0, stop=1.2, group=(3,)),)
+                ),
+                seed=17,
+                epoch=time.time(),
+            )
+            hosts[3] = ReplicaHost(tmp_path, 3, faults=plan)
+            await hosts[3].start(recover=True)
+
+            await asyncio.sleep(0.6)  # well inside the partition window
+            assert hosts[3].replica.recovering
+            assert hosts[3].replica.executed == []
+            assert hosts[3].network.trace.counters.get("chaos.partitioned", 0) >= 1
+
+            await _until(lambda: not hosts[3].replica.recovering, timeout=30)
+            assert await _submit(net, client, ("set", "c", 3)) == ("ok", 3)
+            await _until(
+                lambda: len(hosts[3].replica.executed) == 3, timeout=30
+            )
+            snapshot = hosts[3].replica.state_machine.snapshot()
+            assert dict(snapshot[1]) == {"a": 1, "b": 2, "c": 3}
         finally:
             await net.close()
             for host in hosts.values():
