@@ -20,7 +20,7 @@ step() {
     echo "== $1"
 }
 
-step "repro lint (protocol-invariant rules RL001-RL005)"
+step "repro lint (protocol-invariant rules RL001-RL007)"
 if ! python -m repro lint src/repro --format json > /tmp/repro-lint.json; then
     cat /tmp/repro-lint.json
     if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
@@ -46,6 +46,25 @@ print(f"repro lint: ok ({report['files_scanned']} files, "
       f"{report['baselined']} baselined, {report['suppressed']} suppressed)")
 EOF
 fi
+
+step "repro lint self-check (the analysis package lints itself)"
+if ! python -m repro lint src/repro/analysis --format json \
+        > /tmp/repro-lint-self.json; then
+    cat /tmp/repro-lint-self.json
+    echo "repro lint self-check: FAILED"
+    failures=$((failures + 1))
+else
+    echo "repro lint self-check: ok"
+fi
+
+step "repro lint SARIF report (artifact for code scanning)"
+python -m repro lint src/repro --format sarif > /tmp/repro-lint.sarif || true
+python - <<'EOF'
+import json
+report = json.load(open("/tmp/repro-lint.sarif"))
+results = report["runs"][0]["results"]
+print(f"sarif: wrote /tmp/repro-lint.sarif ({len(results)} result(s))")
+EOF
 
 step "ruff"
 if python -m ruff --version >/dev/null 2>&1; then

@@ -11,7 +11,16 @@ cross-cutting invariants hold everywhere in the codebase:
   (RL003, Section 2);
 * every sent message dataclass is wire-registered and handled (RL004);
 * async handlers neither drop coroutines nor mutate shared state after
-  an ``await`` without re-checking the round guard (RL005).
+  an ``await`` without re-checking the round guard (RL005);
+* whole-program: no unverified Byzantine input reaches replica state —
+  taint from the deliver paths must pass a verify/combine/quorum gate
+  before a state-machine apply, checkpoint/journal write, outbound
+  threshold signing, or quorum-set insertion (RL006, Sections 3.3-5);
+* every wire-registered message has a reachable handler and no handler
+  consumes an unregistered type (RL007).
+
+RL006/RL007 run on the call graph + taint engine in
+:mod:`repro.analysis.project` and :mod:`repro.analysis.dataflow`.
 
 Run it with ``python -m repro lint`` (see docs/STATIC_ANALYSIS.md), or
 programmatically::
@@ -32,7 +41,10 @@ from .engine import (
     run_lint,
     write_baseline,
 )
+from .dataflow import TaintAnalysis, TaintCatalog
+from .project import ProjectGraph
 from .rules import ALL_RULES, Rule, rules_by_id
+from .sarif import format_sarif
 from .source import LintSyntaxError, SourceFile
 
 __all__ = [
@@ -44,11 +56,15 @@ __all__ = [
     "Diagnostic",
     "LintReport",
     "LintSyntaxError",
+    "ProjectGraph",
     "Rule",
     "Severity",
     "SourceFile",
+    "TaintAnalysis",
+    "TaintCatalog",
     "discover_files",
     "format_json",
+    "format_sarif",
     "lint_sources",
     "run_lint",
     "rules_by_id",

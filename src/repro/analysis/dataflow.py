@@ -1,0 +1,772 @@
+"""Taint dataflow over the :class:`~repro.analysis.project.ProjectGraph`.
+
+The safety argument of the paper is one cross-cutting invariant: every
+value a replica *acts on* (executes, signs, checkpoints, counts toward
+a quorum) arrived from a potentially Byzantine peer and therefore must
+first pass a threshold-verified gate.  This module checks it as a
+classic source → sanitizer → sink taint problem:
+
+* **intra-procedural**: a forward walk over each function body in
+  statement order, propagating *taint labels* through assignments,
+  calls, attribute access, containers and comprehensions;
+* **interprocedural**: per-function :class:`FunctionFlow` facts (which
+  labels reach returns, sinks, field stores, and callee arguments) are
+  composed over the call graph; a global closure then decides which
+  labels are actually reachable from a taint root.
+
+Labels — the nodes of the global flow graph:
+
+* ``("param", qualname, index)`` — a function parameter;
+* ``("source", qualname, line, name)`` — the result of a source call
+  (``wire.loads``, ``codec.loads``);
+* ``("field", ClassName, attr)`` — an instance attribute (object- and
+  flow-insensitive: one label per class/attr pair project-wide).
+
+Sanitization is *statement-ordered within a function*: once a call to a
+catalogued sanitizer (``verify*``, ``combine``, ``check``, the quorum
+predicates, ``compare_digest``) has executed, later flows in the same
+function are treated as gated.  This models the stack's universal
+early-return idiom (``if not key.verify(...): return``) without full
+path sensitivity; it deliberately *under*-approximates (a sanitizer on
+an unrelated value also gates), because RL006's job is to prove the
+**absence** of whole functions that consume Byzantine input with no
+gate at all — the SecureSMART failure mode — not to re-verify the gates
+themselves.  Loops run twice so loop-carried taint converges; the whole
+interprocedural pass iterates to a fixpoint on summaries and fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dataclass_field
+
+from .project import CallSite, FunctionInfo, ProjectGraph, walk_function_body
+
+__all__ = [
+    "ArgPass",
+    "FieldStore",
+    "FunctionFlow",
+    "Label",
+    "SinkHit",
+    "TaintAnalysis",
+    "TaintCatalog",
+    "TaintPath",
+]
+
+Label = tuple[str, ...]
+
+# Mutating container methods: storing a tainted value through one of
+# these on ``self.X`` taints the field, exactly like ``self.X = v``.
+_MUTATORS = frozenset(
+    {"append", "add", "insert", "extend", "update", "setdefault", "__setitem__"}
+)
+
+_MAX_FIXPOINT_PASSES = 8
+
+
+@dataclass(frozen=True)
+class TaintCatalog:
+    """The source / sanitizer / sink catalogue a rule runs with."""
+
+    # Called names whose *result* is tainted (network deserialization).
+    source_calls: frozenset[str]
+    # Method names whose message-like parameter is tainted by definition
+    # (deliver-path entry points); the parameter picked is the one named
+    # in source_param_names, else the last positional parameter.
+    source_methods: frozenset[str]
+    source_param_names: frozenset[str]
+    # Called names that gate a flow (threshold verification catalogue).
+    sanitizers: frozenset[str]
+    # Called name -> human-readable sink kind.
+    sink_calls: dict[str, str]
+    # Receiver name fragments for which ``<recv>.write(...)`` is a sink.
+    sink_write_receivers: frozenset[str] = frozenset()
+    # Restrict source_calls to project callees defined in these relpaths
+    # (empty = any resolved callee counts).
+    source_call_paths: frozenset[str] = frozenset()
+    # For *unresolved* source_calls: accept only these receiver names
+    # (``wire.loads`` but not ``json.loads``; empty = any receiver).
+    source_receivers: frozenset[str] = frozenset()
+
+    def tainted_params(self, fn: FunctionInfo) -> frozenset[int]:
+        if fn.name not in self.source_methods:
+            return frozenset()
+        named = [
+            i for i, p in enumerate(fn.params) if p in self.source_param_names
+        ]
+        if named:
+            return frozenset(named)
+        if fn.params:
+            return frozenset({len(fn.params) - 1})
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """Taint labels reached a catalogued sink call."""
+
+    qualname: str
+    line: int
+    col: int
+    sink: str  # called name
+    kind: str  # human-readable sink kind
+    labels: frozenset[Label]
+    gated: bool
+
+
+@dataclass(frozen=True)
+class FieldStore:
+    """Taint labels stored into ``self.<attr>`` (or a mutator on it)."""
+
+    qualname: str
+    line: int
+    col: int
+    cls: str
+    attr: str
+    labels: frozenset[Label]
+    gated: bool
+
+
+@dataclass(frozen=True)
+class ArgPass:
+    """Taint labels passed as an argument to a resolved project call."""
+
+    qualname: str
+    line: int
+    col: int
+    site: CallSite
+    callee: str
+    param_index: int
+    labels: frozenset[Label]
+    gated: bool
+
+
+@dataclass
+class FunctionFlow:
+    """Everything taint-observable about one function, in label form."""
+
+    qualname: str
+    sinks: list[SinkHit] = dataclass_field(default_factory=list)
+    stores: list[FieldStore] = dataclass_field(default_factory=list)
+    passes: list[ArgPass] = dataclass_field(default_factory=list)
+    returns: frozenset[Label] = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintPath:
+    """A resolved finding: a root label reaching a sink, with its chain."""
+
+    hit: SinkHit
+    root: Label
+    chain: tuple[str, ...]  # human-readable hops, root first
+
+
+class _FunctionAnalyzer:
+    """One forward pass over one function body."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        fn: FunctionInfo,
+        catalog: TaintCatalog,
+        summaries: dict[str, frozenset[Label]],
+        gating: frozenset[str] = frozenset(),
+    ) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.catalog = catalog
+        self.summaries = summaries
+        self.gating = gating
+        self.flow = FunctionFlow(qualname=fn.qualname)
+        self.locals: dict[str, frozenset[Label]] = {}
+        self.gated = False
+        self._sites = graph.call_sites_by_node.get(fn.qualname, {})
+        self._returns: set[Label] = set()
+        for index, param in enumerate(fn.params):
+            self.locals[param] = frozenset({("param", fn.qualname, str(index))})
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self) -> FunctionFlow:
+        node = self.fn.node
+        if isinstance(node, ast.Lambda):
+            self._returns.update(self._eval(node.body))
+        else:
+            self._walk_body(node.body)
+        self.flow.returns = frozenset(self._returns)
+        self._dedupe_events()
+        return self.flow
+
+    def _dedupe_events(self) -> None:
+        """Loop bodies are walked twice; drop the duplicated events."""
+        self.flow.sinks = list(dict.fromkeys(self.flow.sinks))
+        self.flow.stores = list(dict.fromkeys(self.flow.stores))
+        self.flow.passes = list(dict.fromkeys(self.flow.passes))
+
+    # -- statements ----------------------------------------------------------
+
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            labels = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, labels, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self._eval(stmt.value) | self._eval(stmt.target)
+            self._assign(stmt.target, labels, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                labels = self._eval(stmt.value)
+                if labels and not self.gated:
+                    self._returns.update(labels)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.If,)):
+            # A sanitizer in the *test* gates the fall-through (the
+            # ``if not key.verify(...): return`` idiom); one inside a
+            # *branch body* must not leak into sibling branches — the
+            # branches of an if/elif dispatch chain are alternatives,
+            # not a sequence.
+            self._eval(stmt.test)
+            entry_gated = self.gated
+            self._walk_body(stmt.body)
+            self.gated = entry_gated
+            self._walk_body(stmt.orelse)
+            self.gated = entry_gated
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._eval(stmt.iter)
+            # Two passes for loop-carried taint.
+            for _ in range(2):
+                self._assign(stmt.target, iter_labels, stmt.iter)
+                self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            for _ in range(2):
+                self._eval(stmt.test)
+                self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, labels, item.context_expr)
+            self._walk_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(stmt.orelse)
+            self._walk_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Match):
+            subject = self._eval(stmt.subject)
+            entry_gated = self.gated
+            for case in stmt.cases:
+                for name in _pattern_names(case.pattern):
+                    self.locals[name] = self.locals.get(name, frozenset()) | subject
+                if case.guard is not None:
+                    self._eval(case.guard)
+                self._walk_body(case.body)
+                self.gated = entry_gated
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.locals.pop(target.id, None)
+        # FunctionDef / ClassDef / Import / Pass / Global / Nonlocal:
+        # nothing to propagate here (nested defs are separate nodes).
+
+    def _assign(
+        self, target: ast.expr, labels: frozenset[Label], value: ast.expr | None
+    ) -> None:
+        if isinstance(target, ast.Name):
+            # Strong update: assigning a clean value clears the local.
+            self.locals[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(target.elts)
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._assign(sub_target, self._eval(sub_value), sub_value)
+            else:
+                for sub_target in target.elts:
+                    self._assign(sub_target, labels, None)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, labels, None)
+        elif isinstance(target, ast.Attribute):
+            self._record_field_store(target, labels)
+        elif isinstance(target, ast.Subscript):
+            # self.X[k] = v taints the field; locals via subscript are
+            # treated as whole-container taint on the base name.
+            base = target.value
+            self._eval(target.slice)
+            if isinstance(base, ast.Attribute):
+                self._record_field_store(base, labels)
+            elif isinstance(base, ast.Name):
+                self.locals[base.id] = self.locals.get(base.id, frozenset()) | labels
+
+    def _record_field_store(
+        self, target: ast.Attribute, labels: frozenset[Label]
+    ) -> None:
+        if not labels:
+            return
+        if (
+            isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            self.flow.stores.append(
+                FieldStore(
+                    qualname=self.fn.qualname,
+                    line=target.lineno,
+                    col=target.col_offset,
+                    cls=self.fn.cls,
+                    attr=target.attr,
+                    labels=labels,
+                    gated=self.gated,
+                )
+            )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: ast.expr | None) -> frozenset[Label]:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self.locals.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.NamedExpr):
+            labels = self._eval(node.value)
+            self._assign(node.target, labels, node.value)
+            return labels
+        if isinstance(node, ast.Lambda):
+            return frozenset()  # a closure's body is its own graph node
+        if isinstance(
+            node,
+            (
+                ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.IfExp,
+                ast.Tuple, ast.List, ast.Set, ast.Dict, ast.Subscript,
+                ast.Starred, ast.JoinedStr, ast.FormattedValue, ast.Await,
+                ast.Yield, ast.YieldFrom, ast.Slice,
+            ),
+        ):
+            labels: frozenset[Label] = frozenset()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    labels |= self._eval(child)
+            return labels
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            labels = frozenset()
+            for comp in node.generators:
+                iter_labels = self._eval(comp.iter)
+                self._assign(comp.target, iter_labels, None)
+                labels |= iter_labels
+                for if_expr in comp.ifs:
+                    self._eval(if_expr)
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    labels |= self._eval(child)
+            return labels
+        return frozenset()  # constants etc.
+
+    def _eval_attribute(self, node: ast.Attribute) -> frozenset[Label]:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            return frozenset({("field", self.fn.cls, node.attr)})
+        return self._eval(node.value)
+
+    def _eval_call(self, node: ast.Call) -> frozenset[Label]:
+        site = self._sites.get(id(node))
+        name = site.name if site is not None else _called_name(node)
+
+        receiver_labels: frozenset[Label] = frozenset()
+        if isinstance(node.func, ast.Attribute):
+            receiver_labels = self._eval(node.func.value)
+
+        arg_labels: list[frozenset[Label]] = [self._eval(arg) for arg in node.args]
+        kw_labels: dict[str, frozenset[Label]] = {
+            kw.arg: self._eval(kw.value) for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs expansion
+                receiver_labels |= self._eval(kw.value)
+        all_labels = receiver_labels.union(*arg_labels, *kw_labels.values())
+
+        # Sanitizer: gates everything from here on; its result is clean.
+        if name in self.catalog.sanitizers:
+            self.gated = True
+            return frozenset()
+
+        # Sink: tainted data consumed by the protected operation.
+        sink_kind = self._sink_kind(name, node)
+        if sink_kind is not None and all_labels:
+            self.flow.sinks.append(
+                SinkHit(
+                    qualname=self.fn.qualname,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    sink=name,
+                    kind=sink_kind,
+                    labels=all_labels,
+                    gated=self.gated,
+                )
+            )
+
+        # Mutator on self.X: container insertion taints the field.
+        if (
+            name in _MUTATORS
+            and isinstance(node.func, ast.Attribute)
+            and all_labels
+        ):
+            base = node.func.value
+            # Walk e.g. self.proposals.setdefault(r, {}).setdefault(...)
+            while isinstance(base, ast.Call) and isinstance(base.func, ast.Attribute):
+                base = base.func.value
+            if isinstance(base, ast.Attribute):
+                self._record_field_store(base, all_labels)
+            elif isinstance(base, ast.Name):  # local container insertion
+                self.locals[base.id] = (
+                    self.locals.get(base.id, frozenset()) | all_labels
+                )
+
+        # Interprocedural: record labels flowing into resolved callees.
+        result: frozenset[Label] = frozenset()
+        if site is not None and site.callees:
+            for callee in site.callees:
+                callee_fn = self.graph.functions.get(callee)
+                if callee_fn is None:
+                    continue
+                mapped: dict[int, frozenset[Label]] = {}
+                for arg_index, labels in enumerate(arg_labels):
+                    mapped.setdefault(
+                        callee_fn.arg_param_index(arg_index, site.bound), frozenset()
+                    )
+                    mapped[callee_fn.arg_param_index(arg_index, site.bound)] |= labels
+                for kw_name, labels in kw_labels.items():
+                    param_index = callee_fn.param_index_of(kw_name)
+                    if param_index is not None:
+                        mapped.setdefault(param_index, frozenset())
+                        mapped[param_index] |= labels
+                for param_index, labels in mapped.items():
+                    if labels and param_index < len(callee_fn.params):
+                        self.flow.passes.append(
+                            ArgPass(
+                                qualname=self.fn.qualname,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                site=site,
+                                callee=callee,
+                                param_index=param_index,
+                                labels=labels,
+                                gated=self.gated,
+                            )
+                        )
+                # Map the callee's return labels into this scope.
+                for label in self.summaries.get(callee, frozenset()):
+                    if label[0] == "param" and label[1] == callee:
+                        index = int(label[2])
+                        result |= mapped.get(index, frozenset())
+                    else:  # source/field labels are global
+                        result |= {label}
+        elif site is None or not site.callees:
+            # External/unresolved call: conservative pass-through.
+            result = all_labels
+
+        # Source: the result is Byzantine input no matter what went in.
+        if self._is_source_call(name, site, node):
+            result = result | {
+                ("source", self.fn.qualname, str(node.lineno), name)
+            }
+        if site is not None and site.kind == "constructor":
+            # The constructed object carries whatever taint went in.
+            result = result | all_labels
+        # A project function that itself (transitively) verifies also
+        # gates: ``if not verify_commit_certificate(...): return`` is a
+        # gate even though the sanitizer call sits one frame down.  The
+        # taint passed INTO the call was recorded pre-gate above.
+        if site is not None and any(callee in self.gating for callee in site.callees):
+            self.gated = True
+        return result
+
+    def _is_source_call(
+        self, name: str, site: CallSite | None, node: ast.Call
+    ) -> bool:
+        """A deserialization source, not just anything named ``loads``.
+
+        ``json.loads`` of a local keystore file is not network input;
+        only calls resolving into the wire/codec modules (or, when
+        unresolved, spelled through a catalogued receiver alias) count.
+        """
+        if name not in self.catalog.source_calls:
+            return False
+        if site is not None and site.callees:
+            if not self.catalog.source_call_paths:
+                return True
+            return any(
+                self.graph.functions[callee].relpath in self.catalog.source_call_paths
+                for callee in site.callees
+                if callee in self.graph.functions
+            )
+        if not self.catalog.source_receivers:
+            return True
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            terminal = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            return terminal in self.catalog.source_receivers
+        return False
+
+    def _sink_kind(self, name: str, node: ast.Call) -> str | None:
+        kind = self.catalog.sink_calls.get(name)
+        if kind is not None:
+            return kind
+        if name == "write" and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            terminal = None
+            if isinstance(base, ast.Attribute):
+                terminal = base.attr
+            elif isinstance(base, ast.Name):
+                terminal = base.id
+            if terminal is not None and any(
+                fragment in terminal for fragment in self.catalog.sink_write_receivers
+            ):
+                return "journal write"
+        return None
+
+
+def _called_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _pattern_names(pattern: ast.pattern) -> list[str]:
+    names: list[str] = []
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name is not None:
+            names.append(node.name)
+        elif isinstance(node, ast.MatchStar) and node.name is not None:
+            names.append(node.name)
+    return names
+
+
+class TaintAnalysis:
+    """Whole-program fixpoint + closure over the per-function flows."""
+
+    def __init__(self, graph: ProjectGraph, catalog: TaintCatalog) -> None:
+        self.graph = graph
+        self.catalog = catalog
+        self.flows: dict[str, FunctionFlow] = {}
+        self.summaries: dict[str, frozenset[Label]] = {}
+        self.gating: frozenset[str] = frozenset()
+        self.tainted: set[Label] = set()
+        self.parents: dict[Label, tuple[Label, str]] = {}
+
+    @classmethod
+    def run(cls, graph: ProjectGraph, catalog: TaintCatalog) -> "TaintAnalysis":
+        analysis = cls(graph, catalog)
+        analysis.gating = analysis._gating_closure()
+        analysis._fixpoint()
+        analysis._close()
+        return analysis
+
+    def _gating_closure(self) -> frozenset[str]:
+        """Functions that (transitively) call a catalogued sanitizer."""
+        gating: set[str] = set()
+        for qualname, fn in self.graph.functions.items():
+            nodes = (
+                ast.walk(fn.node.body)
+                if isinstance(fn.node, ast.Lambda)
+                else walk_function_body(fn.node)
+            )
+            for node in nodes:
+                if (
+                    isinstance(node, ast.Call)
+                    and _called_name(node) in self.catalog.sanitizers
+                ):
+                    gating.add(qualname)
+                    break
+        while True:
+            added = {
+                qualname
+                for qualname in self.graph.functions
+                if qualname not in gating
+                and any(
+                    callee in gating
+                    for site in self.graph.calls.get(qualname, [])
+                    for callee in site.callees
+                )
+            }
+            if not added:
+                break
+            gating |= added
+        return frozenset(gating)
+
+    def _fixpoint(self) -> None:
+        for _ in range(_MAX_FIXPOINT_PASSES):
+            changed = False
+            for qualname, fn in self.graph.functions.items():
+                flow = _FunctionAnalyzer(
+                    self.graph, fn, self.catalog, self.summaries, self.gating
+                ).run()
+                self.flows[qualname] = flow
+                if self.summaries.get(qualname, frozenset()) != flow.returns:
+                    self.summaries[qualname] = flow.returns
+                    changed = True
+            if not changed:
+                break
+
+    def _close(self) -> None:
+        """Propagate root labels through ungated passes and stores."""
+        edges: dict[Label, list[tuple[Label, str]]] = {}
+
+        def add_edge(src: Label, dst: Label, description: str) -> None:
+            edges.setdefault(src, []).append((dst, description))
+
+        for qualname, flow in self.flows.items():
+            fn = self.graph.functions[qualname]
+            location = f"{fn.relpath}:{{line}} {self._display(fn)}"
+            for arg_pass in flow.passes:
+                if arg_pass.gated:
+                    continue
+                callee_fn = self.graph.functions[arg_pass.callee]
+                dst: Label = ("param", arg_pass.callee, str(arg_pass.param_index))
+                hop = (
+                    f"{self._display(fn)} ({fn.relpath}:{arg_pass.line}) passes it to "
+                    f"{self._display(callee_fn)}"
+                )
+                for label in arg_pass.labels:
+                    add_edge(label, dst, hop)
+            for store in flow.stores:
+                if store.gated:
+                    continue
+                dst = ("field", store.cls, store.attr)
+                hop = (
+                    f"{self._display(fn)} ({fn.relpath}:{store.line}) stores it in "
+                    f"{store.cls}.{store.attr}"
+                )
+                for label in store.labels:
+                    add_edge(label, dst, hop)
+            del location
+
+        roots: list[tuple[Label, str]] = []
+        for qualname, fn in self.graph.functions.items():
+            for index in self.catalog.tainted_params(fn):
+                roots.append(
+                    (
+                        ("param", qualname, str(index)),
+                        f"network input enters {self._display(fn)} "
+                        f"({fn.relpath}:{fn.line})",
+                    )
+                )
+        for qualname, flow in self.flows.items():
+            fn = self.graph.functions[qualname]
+            for event in [*flow.sinks, *flow.passes, *flow.stores]:
+                for label in event.labels:
+                    if label[0] == "source":
+                        roots.append(
+                            (
+                                label,
+                                f"deserialized by {label[3]}() in "
+                                f"{self._display(fn)} ({fn.relpath}:{label[2]})",
+                            )
+                        )
+
+        queue: list[Label] = []
+        self.root_notes: dict[Label, str] = {}
+        for label, note in roots:
+            if label not in self.tainted:
+                self.tainted.add(label)
+                self.root_notes[label] = note
+                queue.append(label)
+        while queue:
+            current = queue.pop()
+            for successor, description in edges.get(current, []):
+                if successor not in self.tainted:
+                    self.tainted.add(successor)
+                    self.parents[successor] = (current, description)
+                    queue.append(successor)
+
+    def _display(self, fn: FunctionInfo) -> str:
+        if not fn.name:
+            return "<lambda>"
+        return f"{fn.cls}.{fn.name}" if fn.cls else fn.name
+
+    # -- results -------------------------------------------------------------
+
+    def _chain_for(self, label: Label) -> tuple[str, ...]:
+        hops: list[str] = []
+        current = label
+        seen: set[Label] = set()
+        while current in self.parents and current not in seen:
+            seen.add(current)
+            parent, description = self.parents[current]
+            hops.append(description)
+            current = parent
+        if current in self.root_notes:
+            hops.append(self.root_notes[current])
+        return tuple(reversed(hops))
+
+    def _pick_label(self, labels: frozenset[Label]) -> Label | None:
+        tainted = [label for label in labels if label in self.tainted]
+        if not tainted:
+            return None
+        # Prefer the label with the shortest chain — clearest diagnosis.
+        return min(tainted, key=lambda lb: (len(self._chain_for(lb)), lb))
+
+    def sink_findings(self) -> list[TaintPath]:
+        """Ungated sink hits actually reachable from a taint root."""
+        findings: list[TaintPath] = []
+        for flow in self.flows.values():
+            for hit in flow.sinks:
+                if hit.gated:
+                    continue
+                label = self._pick_label(hit.labels)
+                if label is not None:
+                    findings.append(
+                        TaintPath(hit=hit, root=label, chain=self._chain_for(label))
+                    )
+        return findings
+
+    def store_findings(self, fields: set[tuple[str, str]]) -> list[TaintPath]:
+        """Ungated tainted stores into the given (class, attr) fields."""
+        findings: list[TaintPath] = []
+        for flow in self.flows.values():
+            for store in flow.stores:
+                if store.gated or (store.cls, store.attr) not in fields:
+                    continue
+                label = self._pick_label(store.labels)
+                if label is not None:
+                    hit = SinkHit(
+                        qualname=store.qualname,
+                        line=store.line,
+                        col=store.col,
+                        sink=store.attr,
+                        kind="quorum-set insertion",
+                        labels=store.labels,
+                        gated=store.gated,
+                    )
+                    findings.append(
+                        TaintPath(hit=hit, root=label, chain=self._chain_for(label))
+                    )
+        return findings

@@ -2,22 +2,28 @@
 
 Pipeline::
 
-    paths -> discover *.py -> parse -> run scoped rules
+    paths -> discover *.py -> parse (optionally multiprocess)
+          -> run scoped rules (per-file in workers, project-wide here)
           -> drop inline `# repro: noqa-RLxxx` suppressions
-          -> split against the baseline -> report (text or JSON)
+          -> split against the baseline -> report (text / JSON / SARIF)
 
 The engine is import-light and dependency-free: it runs on the ``ast``
 module only, so CI can run it everywhere the package itself runs.
+
+Exit semantics are severity-aware: ``error`` findings fail the lint,
+``warning`` findings are reported but do not (RL007's unreachable-
+handler diagnosis can be test-only code; see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .baseline import Baseline, BaselineEntry
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, Severity
 from .rules import Rule, rules_by_id
 from .source import LintSyntaxError, SourceFile
 
@@ -33,6 +39,9 @@ __all__ = [
 
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
+# Below this many files the process-pool startup costs more than it saves.
+_PARALLEL_THRESHOLD = 8
+
 
 @dataclass
 class LintReport:
@@ -44,10 +53,20 @@ class LintReport:
     stale_baseline: list[BaselineEntry]
     files_scanned: int
     errors: list[str] = field(default_factory=list)  # unparseable files etc.
+    timings: dict[str, float] = field(default_factory=dict)  # rule id -> seconds
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.WARNING)
 
     @property
     def ok(self) -> bool:
-        return not self.diagnostics and not self.errors
+        """Warnings inform; only errors (and unreadable files) fail."""
+        return self.error_count == 0 and not self.errors
 
     def to_dict(self) -> dict:
         return {
@@ -55,9 +74,12 @@ class LintReport:
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
             "baselined": len(self.baselined),
+            "errors_count": self.error_count,
+            "warnings_count": self.warning_count,
             "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
             "errors": self.errors,
             "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+            "timings": {rule: round(secs, 4) for rule, secs in sorted(self.timings.items())},
         }
 
     def format_text(self, *, verbose: bool = False) -> str:
@@ -74,8 +96,13 @@ class LintReport:
             )
             for entry in self.stale_baseline:
                 lines.append(f"  stale: {entry.rule} {entry.path}: {entry.code}")
+        if verbose and self.timings:
+            for rule, secs in sorted(self.timings.items()):
+                lines.append(f"timing: {rule} {secs * 1000:.1f}ms")
         summary = (
-            f"{len(self.diagnostics)} finding(s), {len(self.baselined)} baselined, "
+            f"{len(self.diagnostics)} finding(s) "
+            f"({self.error_count} error(s), {self.warning_count} warning(s)), "
+            f"{len(self.baselined)} baselined, "
             f"{self.suppressed} suppressed, {self.files_scanned} file(s) scanned"
         )
         lines.append(summary)
@@ -95,22 +122,48 @@ def discover_files(paths: list[Path]) -> list[Path]:
     return sorted(found)
 
 
-def lint_sources(
-    sources: list[SourceFile],
-    rules: list[Rule] | None = None,
-    baseline: Baseline | None = None,
-) -> LintReport:
-    """Run rules over already-parsed sources (the testable core)."""
-    active = rules if rules is not None else rules_by_id(None)
+def _check_source(
+    source: SourceFile, rules: list[Rule]
+) -> tuple[list[Diagnostic], dict[str, float]]:
+    """Per-file rules over one source (runs in workers under --jobs)."""
     raw: list[Diagnostic] = []
-    for rule in active:
-        if rule.project_wide:
-            raw.extend(rule.check_project(sources))
-        else:
-            for source in sources:
-                if rule.applies_to(source.relpath):
-                    raw.extend(rule.check(source))
+    timings: dict[str, float] = {}
+    for rule in rules:
+        if rule.project_wide or not rule.applies_to(source.relpath):
+            continue
+        start = time.perf_counter()
+        raw.extend(rule.check(source))
+        timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) + (
+            time.perf_counter() - start
+        )
+    return raw, timings
 
+
+def _check_project(
+    sources: list[SourceFile], rules: list[Rule]
+) -> tuple[list[Diagnostic], dict[str, float]]:
+    """Project-wide rules (always run in the parent: they need it all)."""
+    raw: list[Diagnostic] = []
+    timings: dict[str, float] = {}
+    for rule in rules:
+        if not rule.project_wide:
+            continue
+        start = time.perf_counter()
+        raw.extend(rule.check_project(sources))
+        timings[rule.rule_id] = time.perf_counter() - start
+    return raw, timings
+
+
+def _finish(
+    sources: list[SourceFile],
+    raw: list[Diagnostic],
+    baseline: Baseline | None,
+    timings: dict[str, float],
+) -> LintReport:
+    """Suppression + baseline split, shared by serial and parallel paths."""
+    noqa_warnings = [
+        diag for source in sources for diag in source.unknown_noqa_diagnostics()
+    ]
     by_relpath = {source.relpath: source for source in sources}
     kept: list[Diagnostic] = []
     suppressed = 0
@@ -120,6 +173,7 @@ def lint_sources(
             suppressed += 1
         else:
             kept.append(diag)
+    kept.extend(noqa_warnings)
     kept.sort(key=Diagnostic.sort_key)
 
     if baseline is None:
@@ -132,7 +186,48 @@ def lint_sources(
         suppressed=suppressed,
         stale_baseline=stale,
         files_scanned=len(sources),
+        timings=timings,
     )
+
+
+def lint_sources(
+    sources: list[SourceFile],
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run rules over already-parsed sources (the testable core)."""
+    active = rules if rules is not None else rules_by_id(None)
+    raw: list[Diagnostic] = []
+    timings: dict[str, float] = {}
+    for source in sources:
+        file_raw, file_timings = _check_source(source, active)
+        raw.extend(file_raw)
+        for rule_id, secs in file_timings.items():
+            timings[rule_id] = timings.get(rule_id, 0.0) + secs
+    project_raw, project_timings = _check_project(sources, active)
+    raw.extend(project_raw)
+    timings.update(project_timings)
+    return _finish(sources, raw, baseline, timings)
+
+
+def _scan_one(args: tuple[str, list[str] | None]) -> tuple[
+    SourceFile | None, list[Diagnostic], dict[str, float], str | None
+]:
+    """Worker: parse one file and run the per-file rules on it.
+
+    Module-level (picklable) so ProcessPoolExecutor can ship it; both
+    ``SourceFile`` (plain dataclass holding an ``ast`` tree) and
+    ``Diagnostic`` pickle cleanly back to the parent.
+    """
+    path_str, rule_ids = args
+    try:
+        source = SourceFile.from_path(Path(path_str))
+    except LintSyntaxError as exc:
+        return None, [], {}, str(exc)
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, [], {}, f"{path_str}: {exc}"
+    raw, timings = _check_source(source, rules_by_id(rule_ids))
+    return source, raw, timings, None
 
 
 def run_lint(
@@ -140,34 +235,83 @@ def run_lint(
     *,
     rule_ids: list[str] | None = None,
     baseline_path: Path | None = None,
+    jobs: int | None = None,
 ) -> LintReport:
-    """Discover, parse and lint ``paths``; the CLI entry point's core."""
-    files = discover_files(paths)
-    sources: list[SourceFile] = []
-    errors: list[str] = []
-    for file in files:
-        try:
-            sources.append(SourceFile.from_path(file))
-        except LintSyntaxError as exc:
-            errors.append(str(exc))
-        except (OSError, UnicodeDecodeError) as exc:
-            errors.append(f"{file}: {exc}")
+    """Discover, parse and lint ``paths``; the CLI entry point's core.
 
+    ``jobs`` > 1 parses and per-file-checks in a process pool; the
+    project-wide rules (which need every tree at once) and the baseline
+    split always run in the parent.  Falls back to serial on any pool
+    failure — sandboxes without working ``fork``/semaphores are real.
+    """
+    files = discover_files(paths)
     baseline = None
     if baseline_path is not None and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
+    active = rules_by_id(rule_ids)
 
-    report = lint_sources(sources, rules=rules_by_id(rule_ids), baseline=baseline)
+    scanned: list[
+        tuple[SourceFile | None, list[Diagnostic], dict[str, float], str | None]
+    ] | None = None
+    if jobs is not None and jobs > 1 and len(files) >= _PARALLEL_THRESHOLD:
+        try:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                scanned = list(
+                    pool.map(
+                        _scan_one,
+                        [(str(file), rule_ids) for file in files],
+                        chunksize=max(1, len(files) // (jobs * 4)),
+                    )
+                )
+        except (OSError, ImportError, concurrent.futures.process.BrokenProcessPool):
+            scanned = None
+    if scanned is None:
+        scanned = [_scan_one((str(file), rule_ids)) for file in files]
+
+    sources: list[SourceFile] = []
+    raw: list[Diagnostic] = []
+    timings: dict[str, float] = {}
+    errors: list[str] = []
+    for source, file_raw, file_timings, error in scanned:
+        if error is not None:
+            errors.append(error)
+            continue
+        if source is not None:
+            sources.append(source)
+            raw.extend(file_raw)
+            for rule_id, secs in file_timings.items():
+                timings[rule_id] = timings.get(rule_id, 0.0) + secs
+
+    project_raw, project_timings = _check_project(sources, active)
+    raw.extend(project_raw)
+    timings.update(project_timings)
+
+    report = _finish(sources, raw, baseline, timings)
     report.errors.extend(errors)
     return report
 
 
 def write_baseline(report: LintReport, path: Path) -> Baseline:
-    """Snapshot the report's findings (new + already baselined) to ``path``."""
+    """Snapshot the report's findings (new + already baselined) to ``path``.
+
+    Hand-written ``reason`` fields (and multi-occurrence ``count``s) of
+    entries already in the file are preserved; only genuinely new
+    entries get the add-a-justification placeholder.
+    """
+    existing: dict[tuple[str, str, str], BaselineEntry] = {}
+    if path.exists():
+        for entry in Baseline.load(path).entries:
+            existing.setdefault(entry.fingerprint(), entry)
     baseline = Baseline.from_diagnostics(
         report.diagnostics + report.baselined,
         reason="baselined by --write-baseline; add a specific justification",
     )
+    for entry in baseline.entries:
+        kept = existing.get(entry.fingerprint())
+        if kept is not None and kept.reason:
+            entry.reason = kept.reason
     baseline.write(path)
     return baseline
 

@@ -49,7 +49,13 @@ class Rule:
         raise NotImplementedError
 
     def diagnostic(
-        self, source: SourceFile, line: int, col: int, message: str, hint: str | None = None
+        self,
+        source: SourceFile,
+        line: int,
+        col: int,
+        message: str,
+        hint: str | None = None,
+        severity: str | None = None,
     ) -> Diagnostic:
         return Diagnostic(
             rule=self.rule_id,
@@ -57,7 +63,7 @@ class Rule:
             line=line,
             col=col,
             message=message,
-            severity=self.severity,
+            severity=self.severity if severity is None else severity,
             hint=self.hint if hint is None else hint,
             code=source.line_text(line),
         )
@@ -69,6 +75,7 @@ def _build_registry() -> dict[str, Rule]:
     from .messages import MessageRegistrationRule
     from .quorum import QuorumArithmeticRule
     from .results import DiscardedResultRule
+    from .taint import HandlerReachabilityRule, TaintFlowRule
 
     rules = [
         QuorumArithmeticRule(),
@@ -76,6 +83,8 @@ def _build_registry() -> dict[str, Rule]:
         DeterminismRule(),
         MessageRegistrationRule(),
         AsyncHygieneRule(),
+        TaintFlowRule(),
+        HandlerReachabilityRule(),
     ]
     return {rule.rule_id: rule for rule in rules}
 

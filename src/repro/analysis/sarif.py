@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 emitter for ``repro lint --format sarif``.
+
+Static Analysis Results Interchange Format — the dialect GitHub code
+scanning ingests (``github/codeql-action/upload-sarif``).  Only *new*
+findings are emitted as results: baselined findings are accepted debt
+tracked in ``lint-baseline.json``, and surfacing them again in code
+scanning would bury real regressions.  The exit-code gate in CI stays
+the source of truth; the SARIF upload is a reporting surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Severity
+from .engine import LintReport
+from .rules import ALL_RULES
+
+__all__ = ["format_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+_SRC_PREFIX = "src/repro/"
+
+
+def _level(severity: str) -> str:
+    return "warning" if severity == Severity.WARNING else "error"
+
+
+def format_sarif(report: LintReport, *, tool_version: str = "1.0.0") -> str:
+    rule_ids = sorted(ALL_RULES)
+    rules_meta = [
+        {
+            "id": rule_id,
+            "name": type(ALL_RULES[rule_id]).__name__,
+            "shortDescription": {"text": ALL_RULES[rule_id].summary},
+            "help": {"text": ALL_RULES[rule_id].hint},
+            "defaultConfiguration": {"level": _level(ALL_RULES[rule_id].severity)},
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+
+    results = []
+    for diag in report.diagnostics:
+        result = {
+            "ruleId": diag.rule,
+            "level": _level(diag.severity),
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _SRC_PREFIX + diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.rule in index_of:
+            result["ruleIndex"] = index_of[diag.rule]
+        if diag.code:
+            result["partialFingerprints"] = {
+                "reproLintFingerprint/v1": f"{diag.rule}:{diag.path}:{diag.code}"
+            }
+        results.append(result)
+
+    invocation_ok = report.ok and not report.errors
+    payload = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "version": tool_version,
+                        "rules": rules_meta,
+                    }
+                },
+                "invocations": [
+                    {
+                        "executionSuccessful": invocation_ok,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": error}}
+                            for error in report.errors
+                        ],
+                    }
+                ],
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -67,13 +67,15 @@ class SourceFile:
         except SyntaxError as exc:
             raise LintSyntaxError(path, exc) from exc
         lines = text.splitlines()
+        noqa = _collect_noqa(lines)
+        _propagate_noqa(tree, noqa)
         return cls(
             path=path,
             relpath=relpath if relpath is not None else path,
             text=text,
             tree=tree,
             lines=lines,
-            noqa=_collect_noqa(lines),
+            noqa=noqa,
         )
 
     @classmethod
@@ -94,6 +96,35 @@ class SourceFile:
         rules = self.noqa[line]
         return rules is None or rule in rules
 
+    def unknown_noqa_diagnostics(self) -> list:
+        """Warn on suppressions naming a rule that does not exist.
+
+        A suppression with a typo'd rule id silently suppresses nothing
+        and outlives the finding it meant to silence.  Emitted as RL000
+        warnings so they surface without failing CI.
+        """
+        from .diagnostics import Diagnostic, Severity
+        from .rules import ALL_RULES
+
+        out: list[Diagnostic] = []
+        for lineno, rules in sorted(self.noqa.items()):
+            if rules is None:
+                continue
+            for rule_id in sorted(rules - set(ALL_RULES)):
+                out.append(
+                    Diagnostic(
+                        rule="RL000",
+                        path=self.relpath,
+                        line=lineno,
+                        col=0,
+                        message=f"noqa suppression names unknown rule {rule_id}",
+                        severity=Severity.WARNING,
+                        hint="fix the rule id or delete the stale suppression",
+                        code=self.line_text(lineno),
+                    )
+                )
+        return out
+
 
 def _collect_noqa(lines: list[str]) -> dict[int, set[str] | None]:
     noqa: dict[int, set[str] | None] = {}
@@ -113,3 +144,42 @@ def _collect_noqa(lines: list[str]) -> dict[int, set[str] | None]:
                 continue  # blanket suppression already present
             noqa[lineno] = ids | (existing or set())
     return noqa
+
+
+def _merge_noqa(noqa: dict[int, set[str] | None], target: int, source: int) -> None:
+    found = noqa.get(source, set())
+    if source not in noqa:
+        return
+    existing = noqa.get(target)
+    if found is None or (target in noqa and existing is None):
+        noqa[target] = None
+    else:
+        noqa[target] = set(found) | (existing or set())
+
+
+def _propagate_noqa(tree: ast.Module, noqa: dict[int, set[str] | None]) -> None:
+    """Map suppressions onto the line diagnostics actually anchor to.
+
+    * multiline statements: a noqa anywhere in the statement's span
+      suppresses at its first line (where checkers report);
+    * decorated defs/classes: a noqa on a decorator line suppresses at
+      the ``def``/``class`` line (``node.lineno`` excludes decorators).
+    """
+    if not noqa:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        decorators = getattr(node, "decorator_list", [])
+        for deco in decorators:
+            end = getattr(deco, "end_lineno", None) or deco.lineno
+            for lineno in range(deco.lineno, end + 1):
+                if lineno != node.lineno:
+                    _merge_noqa(noqa, node.lineno, lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body:  # compound: header lines only
+            span_end = max(node.lineno, body[0].lineno - 1)
+        else:
+            span_end = getattr(node, "end_lineno", None) or node.lineno
+        for lineno in range(node.lineno + 1, span_end + 1):
+            _merge_noqa(noqa, node.lineno, lineno)

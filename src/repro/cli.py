@@ -272,7 +272,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 break
 
     try:
-        report = engine.run_lint(paths, rule_ids=rule_ids, baseline_path=baseline_path)
+        report = engine.run_lint(
+            paths, rule_ids=rule_ids, baseline_path=baseline_path, jobs=args.jobs
+        )
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -286,6 +288,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(engine.format_json(report))
+    elif args.format == "sarif":
+        from .analysis import sarif
+
+        print(sarif.format_sarif(report))
     else:
         print(report.format_text(verbose=args.verbose))
     return 0 if report.ok else 1
@@ -473,7 +479,9 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     lint.add_argument("paths", nargs="*", help="files or directories (default: src/repro)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="parse/check files in N worker processes")
     lint.add_argument("--rules", help="comma-separated rule ids, e.g. RL001,RL003")
     lint.add_argument("--baseline", help="baseline file (default: nearest lint-baseline.json)")
     lint.add_argument("--no-baseline", action="store_true",

@@ -1,0 +1,35 @@
+"""RL007 fixture: handler reachability vs the wire registry.
+
+``Ghost`` is sent and dispatched by a *reachable* handler but never
+registered — works in the in-process simulator, undecodable over real
+bytes (error).  ``OrphanRegistered`` is registered and sent, but its
+only dispatch site sits in a private method nothing calls (warning).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ghost:
+    round: int
+
+
+@dataclass(frozen=True)
+class OrphanRegistered:
+    round: int
+
+
+class Protocol:
+    def on_start(self, ctx):
+        ctx.broadcast(Ghost(round=1))
+        ctx.broadcast(OrphanRegistered(round=1))
+
+    def on_message(self, ctx, sender, message):
+        if isinstance(message, Ghost):
+            return "ghost"
+        return None
+
+    def _forgotten_handler(self, ctx, message):
+        if isinstance(message, OrphanRegistered):
+            return "orphan"
+        return None

@@ -1,0 +1,9 @@
+"""RL007 fixture: miniature wire registry (linted with relpath net/wire.py)."""
+
+
+def _ensure_registry(register, rl007_core):
+    classes = [
+        rl007_core.OrphanRegistered,
+    ]
+    for cls in classes:
+        register(cls)

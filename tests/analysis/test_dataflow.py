@@ -1,0 +1,164 @@
+"""Taint engine semantics: propagation, gating, interprocedural flow."""
+
+from repro.analysis import SourceFile
+from repro.analysis.dataflow import TaintAnalysis, TaintCatalog
+from repro.analysis.project import ProjectGraph
+
+CATALOG = TaintCatalog(
+    source_calls=frozenset({"loads"}),
+    source_methods=frozenset({"on_message"}),
+    source_param_names=frozenset({"message", "payload"}),
+    sanitizers=frozenset({"verify", "is_quorum"}),
+    sink_calls={"apply": "state-machine apply", "sign_share": "signing"},
+    sink_write_receivers=frozenset({"journal"}),
+    source_receivers=frozenset({"wire", "codec"}),
+)
+
+
+def analyze(text: str, relpath: str = "core/flow.py") -> TaintAnalysis:
+    source = SourceFile.from_source(text, relpath=relpath)
+    graph = ProjectGraph.build([source])
+    return TaintAnalysis.run(graph, CATALOG)
+
+
+def sink_lines(analysis: TaintAnalysis) -> list[int]:
+    return sorted(finding.hit.line for finding in analysis.sink_findings())
+
+
+def test_on_message_param_to_sink_is_flagged():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        self.machine.apply(message)\n"
+    )
+    assert sink_lines(analysis) == [3]
+
+
+def test_verify_in_test_gates_the_fall_through():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        if not ctx.keys.verify(message):\n"
+        "            return\n"
+        "        self.machine.apply(message)\n"
+    )
+    assert sink_lines(analysis) == []
+
+
+def test_gating_in_one_branch_does_not_leak_into_siblings():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        if sender == 0:\n"
+        "            ctx.keys.verify(message)\n"
+        "        elif sender == 1:\n"
+        "            self.machine.apply(message)\n"
+    )
+    assert sink_lines(analysis) == [6]
+
+
+def test_taint_flows_through_call_into_callee_sink():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        self._handle(ctx, message)\n"
+        "\n"
+        "    def _handle(self, ctx, request):\n"
+        "        self.machine.apply(request)\n"
+    )
+    assert sink_lines(analysis) == [6]
+
+
+def test_taint_flows_through_return_summaries():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        decoded = self._decode(message)\n"
+        "        self.machine.apply(decoded)\n"
+        "\n"
+        "    def _decode(self, request):\n"
+        "        return request\n"
+    )
+    assert sink_lines(analysis) == [4]
+
+
+def test_source_call_requires_catalogued_receiver():
+    tainted = analyze(
+        "class Proto:\n"
+        "    def run(self, ctx, wire, raw):\n"
+        "        value = wire.loads(raw)\n"
+        "        self.machine.apply(value)\n"
+    )
+    assert sink_lines(tainted) == [4]
+    local = analyze(
+        "class Proto:\n"
+        "    def run(self, ctx, json, raw):\n"
+        "        value = json.loads(raw)\n"
+        "        self.machine.apply(value)\n"
+    )
+    assert sink_lines(local) == []
+
+
+def test_field_stores_carry_taint_across_methods():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        self.pending = message\n"
+        "\n"
+        "    def flush(self, ctx):\n"
+        "        self.machine.apply(self.pending)\n"
+    )
+    assert sink_lines(analysis) == [6]
+
+
+def test_helper_that_verifies_gates_its_caller():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        if not self._valid(ctx, message):\n"
+        "            return\n"
+        "        self.machine.apply(message)\n"
+        "\n"
+        "    def _valid(self, ctx, request):\n"
+        "        return ctx.keys.verify(request)\n"
+    )
+    assert sink_lines(analysis) == []
+
+
+def test_strong_update_clears_taint():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        value = message\n"
+        "        value = 0\n"
+        "        self.machine.apply(value)\n"
+    )
+    assert sink_lines(analysis) == []
+
+
+def test_loop_carried_taint_converges():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        queue = []\n"
+        "        for item in message.entries:\n"
+        "            queue.append(item)\n"
+        "        for item in queue:\n"
+        "            self.machine.apply(item)\n"
+    )
+    assert sink_lines(analysis) == [7]
+
+
+def test_finding_chain_names_the_hops():
+    analysis = analyze(
+        "class Proto:\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        self._handle(ctx, message)\n"
+        "\n"
+        "    def _handle(self, ctx, request):\n"
+        "        self.machine.apply(request)\n"
+    )
+    [finding] = analysis.sink_findings()
+    chain = " ".join(finding.chain)
+    assert "Proto.on_message" in chain
+    assert "Proto._handle" in chain

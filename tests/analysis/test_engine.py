@@ -150,6 +150,179 @@ def test_unknown_rule_id_rejected():
         rules_by_id(["RL999"])
 
 
+# -- severity, timings, parallelism ---------------------------------------------
+
+
+def _warning_report():
+    # A noqa naming a nonexistent rule yields an RL000 *warning* only.
+    source = SourceFile.from_source(
+        "x = 1  # repro: noqa-RL998\n", relpath="core/warned.py"
+    )
+    return lint_sources([source], rules=rules_by_id(["RL001"]))
+
+
+def test_warnings_do_not_fail_the_lint():
+    report = _warning_report()
+    assert report.ok
+    assert report.error_count == 0
+    assert report.warning_count == 1
+    [diag] = report.diagnostics
+    assert diag.rule == "RL000"
+    assert diag.severity == "warning"
+    assert "RL998" in diag.message
+
+
+def test_error_counts_split_by_severity():
+    report = _report()
+    assert report.error_count == 1
+    assert report.warning_count == 0
+    assert "1 error(s), 0 warning(s)" in report.format_text()
+
+
+def test_per_rule_timings_recorded_and_shown_verbose():
+    report = _report()
+    assert "RL001" in report.timings
+    assert report.timings["RL001"] >= 0.0
+    assert "timing: RL001" in report.format_text(verbose=True)
+    assert "timing:" not in report.format_text(verbose=False)
+
+
+def test_parallel_jobs_report_matches_serial(tmp_path):
+    for index in range(10):
+        (tmp_path / f"mod{index}.py").write_text(VIOLATION)
+    serial = run_lint([tmp_path])
+    parallel = run_lint([tmp_path], jobs=2)
+    assert [d.fingerprint() for d in parallel.diagnostics] == [
+        d.fingerprint() for d in serial.diagnostics
+    ]
+    assert parallel.files_scanned == serial.files_scanned == 10
+
+
+# -- noqa suppression edge cases -------------------------------------------------
+
+
+def test_noqa_on_decorator_line_suppresses_the_decorated_def():
+    # RL004 anchors on the `class` line; the suppression sits on the
+    # decorator line above it and must still apply.
+    text = (
+        "from dataclasses import dataclass\n"
+        "\n"
+        "\n"
+        "@dataclass  # repro: noqa-RL004\n"
+        "class Ghost:\n"
+        "    round: int\n"
+        "\n"
+        "\n"
+        "class Proto:\n"
+        "    def on_start(self, ctx):\n"
+        "        ctx.send(0, Ghost(round=1))\n"
+        "\n"
+        "    def on_message(self, ctx, sender, message):\n"
+        "        return isinstance(message, Ghost)\n"
+    )
+    source = SourceFile.from_source(text, relpath="core/example.py")
+    report = lint_sources([source], rules=rules_by_id(["RL004"]))
+    assert report.diagnostics == []
+    assert report.suppressed == 1
+
+
+def test_noqa_on_multiline_statement_continuation_suppresses():
+    text = (
+        "def f(n, t):\n"
+        "    return (\n"
+        "        n - t  # repro: noqa-RL001\n"
+        "    )\n"
+    )
+    source = SourceFile.from_source(text, relpath="core/example.py")
+    report = lint_sources([source], rules=rules_by_id(["RL001"]))
+    assert report.diagnostics == []
+    assert report.suppressed == 1
+
+
+def test_noqa_naming_unknown_rule_warns_not_silently_passes():
+    report = _warning_report()
+    assert report.warning_count == 1
+    assert "unknown rule RL998" in report.diagnostics[0].message
+
+
+def test_noqa_known_rule_produces_no_unknown_warning():
+    source = SourceFile.from_source(
+        "def f(n, t):\n    return n - t  # repro: noqa-RL001\n",
+        relpath="core/example.py",
+    )
+    report = lint_sources([source], rules=rules_by_id(["RL001"]))
+    assert report.diagnostics == []
+    assert report.suppressed == 1
+
+
+# -- baseline reason preservation ------------------------------------------------
+
+
+def test_write_baseline_preserves_existing_reasons(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(_report(), path)
+    loaded = Baseline.load(path)
+    loaded.entries[0].reason = "hand-written protocol justification"
+    loaded.write(path)
+
+    report = _report(baseline=Baseline.load(path))
+    assert report.ok
+    write_baseline(report, path)
+    assert (
+        Baseline.load(path).entries[0].reason
+        == "hand-written protocol justification"
+    )
+
+
+def test_write_baseline_new_entries_get_placeholder(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(_report(), path)
+    [entry] = Baseline.load(path).entries
+    assert "add a specific justification" in entry.reason
+
+
+# -- SARIF -----------------------------------------------------------------------
+
+
+def test_sarif_output_shape_and_content():
+    from repro.analysis import format_sarif
+
+    report = _report()
+    data = json.loads(format_sarif(report))
+    assert data["version"] == "2.1.0"
+    [run] = data["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "RL001" in rule_ids and "RL006" in rule_ids and "RL007" in rule_ids
+    [result] = run["results"]
+    assert result["ruleId"] == "RL001"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/core/example.py"
+    assert location["region"]["startLine"] == 2
+
+
+def test_sarif_emits_no_results_for_clean_or_baselined_report():
+    from repro.analysis import format_sarif
+
+    baseline = Baseline(
+        entries=[BaselineEntry(rule="RL001", path="core/example.py", code="return n - t")]
+    )
+    report = _report(baseline=baseline)
+    data = json.loads(format_sarif(report))
+    assert data["runs"][0]["results"] == []
+    assert data["runs"][0]["invocations"][0]["executionSuccessful"] is True
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(VIOLATION)
+    rc = main(["lint", str(target), "--no-baseline", "--format", "sarif"])
+    assert rc == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["runs"][0]["results"][0]["ruleId"] == "RL001"
+
+
 # -- CLI ------------------------------------------------------------------------
 
 

@@ -1,0 +1,159 @@
+"""Call-graph construction: the resolution forms RL006/RL007 rely on."""
+
+from repro.analysis import SourceFile
+from repro.analysis.project import ProjectGraph
+
+
+def build(*named_sources: tuple[str, str]) -> ProjectGraph:
+    sources = [
+        SourceFile.from_source(text, relpath=relpath)
+        for relpath, text in named_sources
+    ]
+    return ProjectGraph.build(sources)
+
+
+def callee_names(graph: ProjectGraph, qualname: str) -> set[str]:
+    return {
+        callee
+        for site in graph.calls.get(qualname, [])
+        for callee in site.callees
+    }
+
+
+def test_local_and_module_function_calls_resolve():
+    graph = build(
+        (
+            "core/a.py",
+            "def helper(value):\n"
+            "    return value\n"
+            "\n"
+            "def entry(value):\n"
+            "    return helper(value)\n",
+        )
+    )
+    assert callee_names(graph, "core/a.py::entry") == {"core/a.py::helper"}
+
+
+def test_imported_symbol_calls_resolve_across_modules():
+    graph = build(
+        ("core/b.py", "def shared(value):\n    return value\n"),
+        (
+            "core/a.py",
+            "from .b import shared\n"
+            "\n"
+            "def entry(value):\n"
+            "    return shared(value)\n",
+        ),
+    )
+    assert callee_names(graph, "core/a.py::entry") == {"core/b.py::shared"}
+
+
+def test_relative_import_across_packages_resolves():
+    graph = build(
+        ("net/wire.py", "def loads(raw):\n    return raw\n"),
+        (
+            "smr/replica.py",
+            "from ..net import wire\n"
+            "\n"
+            "def decode(raw):\n"
+            "    return wire.loads(raw)\n",
+        ),
+    )
+    assert callee_names(graph, "smr/replica.py::decode") == {"net/wire.py::loads"}
+
+
+def test_self_method_calls_resolve_through_base_classes():
+    graph = build(
+        (
+            "core/a.py",
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return 1\n"
+            "\n"
+            "class Derived(Base):\n"
+            "    def entry(self):\n"
+            "        return self.shared()\n",
+        )
+    )
+    assert callee_names(graph, "core/a.py::Derived.entry") == {
+        "core/a.py::Base.shared"
+    }
+
+
+def test_field_type_inference_resolves_attribute_method_calls():
+    graph = build(
+        (
+            "core/abc.py",
+            "class AtomicBroadcast:\n"
+            "    def on_message(self, ctx, sender, message):\n"
+            "        return message\n",
+        ),
+        (
+            "smr/replica.py",
+            "from ..core.abc import AtomicBroadcast\n"
+            "\n"
+            "class Replica:\n"
+            "    def __init__(self):\n"
+            "        self.abc = AtomicBroadcast()\n"
+            "\n"
+            "    def on_message(self, ctx, sender, message):\n"
+            "        self.abc.on_message(ctx, sender, message)\n",
+        ),
+    )
+    assert "core/abc.py::AtomicBroadcast.on_message" in callee_names(
+        graph, "smr/replica.py::Replica.on_message"
+    )
+
+
+def test_duck_dispatch_is_conservative_but_denylists_builtins():
+    graph = build(
+        (
+            "core/a.py",
+            "class Backend:\n"
+            "    def deliver(self, payload):\n"
+            "        return payload\n"
+            "\n"
+            "def entry(backend, bag, payload):\n"
+            "    bag.append(payload)\n"
+            "    return backend.deliver(payload)\n",
+        )
+    )
+    names = callee_names(graph, "core/a.py::entry")
+    assert "core/a.py::Backend.deliver" in names  # duck-resolved
+    assert all("append" not in callee for callee in names)  # builtin denylist
+
+
+def test_reachability_includes_closures_and_called_privates():
+    graph = build(
+        (
+            "core/a.py",
+            "class Proto:\n"
+            "    def on_start(self, ctx):\n"
+            "        ctx.spawn(on_output=lambda value: self._private(value))\n"
+            "\n"
+            "    def _private(self, value):\n"
+            "        return value\n"
+            "\n"
+            "    def _orphan(self, value):\n"
+            "        return value\n",
+        )
+    )
+    reachable = graph.reachable_from(["core/a.py::Proto.on_start"])
+    assert "core/a.py::Proto._private" in reachable  # via the closure
+    assert "core/a.py::Proto._orphan" not in reachable
+
+
+def test_nested_functions_do_not_leak_into_module_namespace():
+    graph = build(
+        (
+            "core/a.py",
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner()\n"
+            "\n"
+            "def other():\n"
+            "    return inner()\n",  # no module-level `inner` exists
+        )
+    )
+    assert callee_names(graph, "core/a.py::other") == set()

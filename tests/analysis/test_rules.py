@@ -181,6 +181,79 @@ def test_rl005_unbounded_reads_not_applied_to_transport():
     assert report.diagnostics == []
 
 
+# -- RL006: whole-program taint (project-wide) ----------------------------------
+
+
+def test_rl006_fires_on_unsanitized_source_to_sink_paths():
+    report = findings("rl006_bad.py", "RL006", relpath="smr/rl006_bad.py")
+    lines = [line for _, line in locations(report)]
+    text = load("rl006_bad.py", "smr/rl006_bad.py").text
+    apply_line = text[: text.index("self.state_machine.apply(message")].count("\n") + 1
+    deliver_apply = text[: text.index("self.state_machine.apply(request")].count("\n") + 1
+    assert apply_line in lines  # on_message param -> apply
+    assert deliver_apply in lines  # wire.loads result -> apply
+    assert all(rule == "RL006" for rule, _ in locations(report))
+    assert all(d.severity == "error" for d in report.diagnostics)
+    assert "unverified network input" in report.diagnostics[0].message
+
+
+def test_rl006_gated_fixture_is_clean():
+    report = findings("rl006_ok.py", "RL006", relpath="smr/rl006_ok.py")
+    assert report.diagnostics == []
+
+
+def test_rl006_catches_seeded_verify_removal_on_deliver_path():
+    # The acceptance regression: take the gated replica and strip one
+    # verify() gate from its deliver path — RL006 must start firing.
+    gated_text = load("rl006_ok.py", "smr/rl006_ok.py").text
+    gate = (
+        "        if not self.keys.verify(message.operation, message.signature):\n"
+        "            return\n"
+    )
+    assert gate in gated_text
+    stripped = SourceFile.from_source(
+        gated_text.replace(gate, ""), relpath="smr/rl006_ok.py"
+    )
+    report = lint_sources([stripped], rules=rules_by_id(["RL006"]))
+    assert report.diagnostics, "removing the verify() gate must be caught"
+    assert {d.rule for d in report.diagnostics} == {"RL006"}
+    assert any("apply" in d.message for d in report.diagnostics)
+
+
+def test_rl006_chain_names_the_functions_on_the_path():
+    report = findings("rl006_bad.py", "RL006", relpath="smr/rl006_bad.py")
+    messages = " ".join(d.message for d in report.diagnostics)
+    assert "Replica.on_message" in messages
+    assert "Replica._on_submit" in messages
+
+
+# -- RL007: handler reachability vs wire registry (project-wide) -----------------
+
+
+def _rl007_report():
+    wire = load("rl007_wire.py", "net/wire.py")
+    core = load("rl007_core.py", "core/rl007_core.py")
+    return lint_sources([core, wire], rules=rules_by_id(["RL007"])), core.text
+
+
+def test_rl007_unregistered_dispatch_in_reachable_handler_is_error():
+    report, text = _rl007_report()
+    ghost_line = text[: text.index("isinstance(message, Ghost)")].count("\n") + 1
+    ghost = [d for d in report.diagnostics if "Ghost" in d.message]
+    assert [d.line for d in ghost] == [ghost_line]
+    assert ghost[0].severity == "error"
+    assert "never registered" in ghost[0].message
+
+
+def test_rl007_unreachable_handler_for_registered_message_is_warning():
+    report, text = _rl007_report()
+    orphan_line = text[: text.index("isinstance(message, OrphanRegistered)")].count("\n") + 1
+    orphan = [d for d in report.diagnostics if "OrphanRegistered" in d.message]
+    assert [d.line for d in orphan] == [orphan_line]
+    assert orphan[0].severity == "warning"
+    assert "unreachable" in orphan[0].message
+
+
 # -- inline suppression ---------------------------------------------------------
 
 
