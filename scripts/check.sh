@@ -106,6 +106,21 @@ if [ "${1:-}" != "--fast" ]; then
         echo "bench smoke: ok"
     fi
 
+    step "bench e2e smoke (TCP cluster throughput wiring, docs/PERFORMANCE.md)"
+    if ! python -m repro bench e2e --smoke \
+            --out /tmp/repro-bench-e2e-smoke.json > /dev/null; then
+        echo "bench e2e smoke: FAILED (zero committed throughput?)"
+        failures=$((failures + 1))
+    else
+        python - <<'EOF'
+import json
+report = json.load(open("/tmp/repro-bench-e2e-smoke.json"))
+print(f"bench e2e smoke: ok "
+      f"(baseline {report['baseline']['committed_ops_per_s']:.1f} ops/s, "
+      f"batched {report['batched']['committed_ops_per_s']:.1f} ops/s)")
+EOF
+    fi
+
     step "chaos smoke (seeded fault injection, docs/CHAOS.md)"
     if ! python -m repro chaos run --scenario partition-heal \
             --journal /tmp/repro-chaos-journal.json > /dev/null; then

@@ -239,7 +239,11 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
-    return bench.main(seed=args.seed, out=args.out, smoke=args.smoke)
+    if args.mode == "e2e":
+        out = args.out if args.out is not None else "BENCH_e2e.json"
+        return bench.main_e2e(seed=args.seed, out=out, smoke=args.smoke)
+    out = args.out if args.out is not None else "BENCH_crypto.json"
+    return bench.main(seed=args.seed, out=out, smoke=args.smoke)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -454,16 +458,23 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser(
         "bench",
-        help="run the tracked crypto/agreement benchmarks",
+        help="run the tracked benchmarks (crypto microbenchmarks or e2e TCP)",
         description=(
-            "Microbenchmarks for multi-exponentiation, fixed-base tables and "
-            "batched share verification, plus n in {4,7,16} binary-agreement "
-            "end-to-end timings. Writes JSON for tracking in review; see "
+            "'crypto' (default): microbenchmarks for multi-exponentiation, "
+            "fixed-base tables and batched share verification, plus "
+            "n in {4,7,16} binary-agreement end-to-end timings "
+            "(BENCH_crypto.json). 'e2e': committed ops/sec of a live n=4 TCP "
+            "cluster under open-loop client load, unbatched baseline vs "
+            "batched+pipelined atomic broadcast (BENCH_e2e.json). See "
             "docs/PERFORMANCE.md."
         ),
     )
-    bench.add_argument("--out", default="BENCH_crypto.json",
-                       help="output JSON path (default: BENCH_crypto.json)")
+    bench.add_argument("mode", nargs="?", default="crypto",
+                       choices=["crypto", "e2e"],
+                       help="benchmark family to run (default: crypto)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: BENCH_crypto.json "
+                            "or BENCH_e2e.json by mode)")
     bench.add_argument("--smoke", action="store_true",
                        help="minimal repeats/sizes; wiring check for CI")
     bench.set_defaults(func=_cmd_bench)

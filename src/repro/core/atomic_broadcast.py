@@ -3,16 +3,34 @@
 Follows the round structure the paper describes (after Chandra-Toueg
 [12]): the parties proceed in global rounds; in round ``r``
 
-1. every party digitally signs the batch of payloads it proposes and
-   sends it to all others (``PROPOSAL``);
+1. every party assembles a *batch* of payloads (bounded by
+   :class:`AbcConfig` — a payload-count cap and a canonical-encoding
+   byte budget), digitally signs the batch *digest* and sends batch and
+   signature to all others (``PROPOSAL``);
 2. once properly signed proposals from a quorum (generalized ``n-t``)
-   of distinct parties arrived, the party proposes that list to a
-   multi-valued Byzantine agreement whose *external validity* predicate
-   accepts exactly such lists — so whatever is decided consists of
-   authentic, signed proposals, at least an honest-containing set of
-   which come from honest parties;
-3. all payloads in the decided list are delivered in a deterministic
-   order (by proposer id, then position), deduplicated across rounds.
+   of distinct parties arrived, the party proposes the list of
+   ``(proposer, digest, signature)`` entries to a multi-valued
+   Byzantine agreement whose *external validity* predicate accepts
+   exactly such lists — so whatever is decided consists of authentic,
+   signed proposals, at least an honest-containing set of which come
+   from honest parties.  Because signatures and MVBA inputs carry
+   digests, neither scales with batch bytes;
+3. all payloads in the batches behind the decided digest list are
+   delivered in a deterministic order (by proposer id, then position
+   within the batch), deduplicated across rounds.  A digest whose batch
+   has not arrived yet is fetched first (``AbcBatchRequest``); the
+   validity predicate refuses to endorse a candidate before holding
+   every referenced batch, so any commit certificate doubles as an
+   availability proof — a quorum, hence an honest-containing set,
+   stored the bytes — and the fetch always terminates.
+
+Pipelining: up to ``pipeline_depth`` rounds run concurrently — round
+``k+1``'s proposal exchange and quorum collection proceed while round
+``k``'s agreement is still deciding.  Each concurrent MVBA is tagged
+with its round number inside the session id, so instances never
+collide.  Decisions arriving out of order are buffered and applied
+strictly in round order, which keeps delivery identical at every
+honest party.
 
 Liveness and fairness: a payload submitted to an honest-containing set
 of honest parties appears in every candidate list of the next round
@@ -22,7 +40,13 @@ paper's fairness claim, measured by experiment E6.
 
 A party with nothing to send still joins every round it sees evidence
 for (a valid proposal with a higher round number) with an empty batch,
-so idle parties never block the quorum.
+so idle parties never block the quorum.  Proposals further ahead than
+the pipeline window (depth plus a small slack) are *not* buffered —
+a Byzantine sender can no longer stash one signed proposal per round
+across the whole horizon — but a validly signed proposal that far
+ahead is evidence this party fell behind; once an honest-containing
+set of distinct signers provided such evidence, the ``on_lag`` hook
+fires so the host can trigger state transfer (Section 6).
 """
 
 from __future__ import annotations
@@ -30,13 +54,47 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
+from ..crypto import hashing
 from ..crypto.schnorr import Signature
 from .multivalued_agreement import MultiValuedAgreement, MvbaDecision
 from .protocol import Context, Protocol, SessionId
 
-__all__ = ["AbcProposal", "AtomicBroadcast", "abc_session"]
+__all__ = [
+    "AbcBatch",
+    "AbcBatchRequest",
+    "AbcConfig",
+    "AbcProposal",
+    "AbcRejoin",
+    "AtomicBroadcast",
+    "abc_session",
+    "batch_digest",
+    "proposal_statement",
+]
 
 _ROUND_HORIZON = 1024
+
+
+@dataclass(frozen=True)
+class AbcConfig:
+    """Throughput knobs (docs/PERFORMANCE.md, "Throughput: batching &
+    pipelining").
+
+    ``max_batch``: most payloads a single proposal may carry.
+    ``max_batch_bytes``: canonical-encoding byte budget per batch; the
+    first payload always fits, so an oversized payload still ships
+    alone rather than starving.
+    ``pipeline_depth``: rounds allowed in flight beyond the last
+    delivered one (1 reproduces the paper's one-round-at-a-time
+    schedule).
+    ``buffer_slack``: extra future rounds whose proposals are buffered
+    beyond the pipeline window; anything further ahead is dropped and
+    counted as lag evidence instead.
+    """
+
+    max_batch: int = 64
+    max_batch_bytes: int = 1 << 16
+    pipeline_depth: int = 1
+    buffer_slack: int = 8
 
 
 @dataclass(frozen=True)
@@ -46,104 +104,291 @@ class AbcProposal:
     signature: Signature
 
 
+@dataclass(frozen=True)
+class AbcBatchRequest:
+    """Ask peers for the batch behind a digest referenced by a round."""
+
+    round: int
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class AbcBatch:
+    """Answer to :class:`AbcBatchRequest`; self-authenticating via the
+    digest, so no signature is needed."""
+
+    digest: bytes
+    batch: tuple
+
+
+@dataclass(frozen=True)
+class AbcRejoin:
+    """A recovered party asks peers to re-send their in-flight
+    proposals (bounded buffering dropped the ones that arrived while it
+    was down)."""
+
+    round: int
+
+
 def abc_session(tag: object = 0) -> SessionId:
     return ("abc", tag)
 
 
-def _proposal_statement(session: SessionId, r: int, batch: tuple) -> tuple:
-    return ("abc-proposal", session, r, batch)
+def batch_digest(batch: tuple) -> bytes:
+    """Collision-resistant digest over the canonical batch encoding."""
+    return hashing.hash_bytes("abc-batch", batch)
+
+
+def proposal_statement(session: SessionId, r: int, digest: bytes) -> tuple:
+    return ("abc-proposal", session, r, digest)
 
 
 class AtomicBroadcast(Protocol):
     """Long-lived totally-ordered broadcast; delivers via a callback.
 
     ``on_deliver(payload, round)`` is invoked exactly once per payload,
-    in the same order at every honest party.
+    in the same order at every honest party.  ``on_lag()`` (optional)
+    fires when an honest-containing set of signers is provably far
+    ahead of this party's round window.
     """
 
     def __init__(
-        self, on_deliver: Callable[[Hashable, int], None] | None = None
+        self,
+        on_deliver: Callable[[Hashable, int], None] | None = None,
+        config: AbcConfig | None = None,
     ) -> None:
         self.on_deliver = on_deliver
+        self.on_lag: Callable[[], None] | None = None
+        self.config = config if config is not None else AbcConfig()
         self.queue: list[Hashable] = []
+        self.queued: set[Hashable] = set()
         self.delivered: set[Hashable] = set()
         self.delivered_log: list[tuple[Hashable, int]] = []
-        self.round = 0  # last completed round
-        self.active_round: int | None = None
-        self.proposals: dict[int, dict[int, tuple[tuple, Signature]]] = {}
+        self.round = 0  # last delivered round
+        # Highest round this party signed a proposal for.  Never
+        # regresses — an honest party must not sign two different
+        # batches for the same round number, even across recovery.
+        self.highest_started = 0
+        self.in_flight: set[Hashable] = set()
+        # Our own proposals by round: (batch, digest, signature).
+        # Recently delivered rounds are retained (buffer_slack deep) so
+        # rejoining parties can ask for an exact re-send.
+        self.proposed: dict[int, tuple[tuple, bytes, Signature]] = {}
+        self.proposals: dict[int, dict[int, tuple[bytes, Signature]]] = {}
+        self.batches: dict[bytes, tuple] = {}
+        self.requested: set[bytes] = set()
         self.agreement_started: set[int] = set()
+        self.decisions: dict[int, tuple] = {}
+        # Digests decided in recently delivered rounds, kept so lagging
+        # peers can still fetch the batches behind them.
+        self._recent_digests: dict[int, frozenset[bytes]] = {}
+        self.lag_reports: dict[int, int] = {}
+        self._lag_notified = False
+        self.payloads_delivered = 0
+        self.rounds_delivered = 0
+        self._occupancy_sum = 0
+        self._occupancy_samples = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Throughput counters for the e2e bench (docs/PERFORMANCE.md)."""
+        rounds = self.rounds_delivered
+        mean_batch = self.payloads_delivered / rounds if rounds else 0.0
+        occupancy = (
+            self._occupancy_sum / self._occupancy_samples
+            if self._occupancy_samples
+            else 0.0
+        )
+        return {
+            "rounds": float(rounds),
+            "delivered": float(self.payloads_delivered),
+            "mean_batch": mean_batch,
+            "pipeline_occupancy": occupancy,
+        }
+
+    def _window(self) -> int:
+        return self.config.pipeline_depth + self.config.buffer_slack
 
     # -- input ------------------------------------------------------------------
 
     def submit(self, ctx: Context, payload: Hashable) -> None:
-        """a-broadcast: enqueue a payload for total ordering."""
-        if payload in self.delivered or payload in self.queue:
+        """a-broadcast: enqueue a payload for total ordering (O(1))."""
+        if payload in self.delivered or payload in self.queued:
             return
         self.queue.append(payload)
-        self._maybe_start_round(ctx)
+        self.queued.add(payload)
+        self._maybe_start_rounds(ctx)
 
     # -- round lifecycle -----------------------------------------------------------
 
-    def _maybe_start_round(self, ctx: Context) -> None:
-        if self.active_round is not None:
-            return
-        next_round = self.round + 1
-        have_input = any(p not in self.delivered for p in self.queue)
-        others_active = bool(self.proposals.get(next_round))
-        if not have_input and not others_active:
-            return
-        self.active_round = next_round
-        batch = tuple(p for p in self.queue if p not in self.delivered)
-        statement = _proposal_statement(ctx.session, next_round, batch)
-        signature = ctx.keys.signing_key.sign(statement, ctx.rng)
-        ctx.broadcast(AbcProposal(next_round, batch, signature))
-        self._maybe_start_agreement(ctx)
+    def _select_batch(self) -> tuple:
+        batch: list[Hashable] = []
+        size = 0
+        for payload in self.queue:
+            if len(batch) >= self.config.max_batch:
+                break
+            if payload in self.delivered or payload in self.in_flight:
+                continue
+            cost = len(hashing.encode(payload))
+            if batch and size + cost > self.config.max_batch_bytes:
+                break  # stop rather than skip ahead: keeps FIFO fairness
+            batch.append(payload)
+            size += cost
+        return tuple(batch)
+
+    def _maybe_start_rounds(self, ctx: Context) -> None:
+        if self.highest_started < self.round:
+            self.highest_started = self.round
+        while self.highest_started < self.round + self.config.pipeline_depth:
+            nxt = self.highest_started + 1
+            batch = self._select_batch()
+            if not batch and not self.proposals.get(nxt):
+                return
+            self.highest_started = nxt
+            digest = batch_digest(batch)
+            statement = proposal_statement(ctx.session, nxt, digest)
+            signature = ctx.keys.signing_key.sign(statement, ctx.rng)
+            self.proposed[nxt] = (batch, digest, signature)
+            self.batches.setdefault(digest, batch)
+            self.in_flight.update(batch)
+            ctx.broadcast(AbcProposal(nxt, batch, signature))
+            self._maybe_start_agreement(ctx, nxt)
 
     def resume_at(self, ctx: Context, round_number: int) -> None:
         """Rejoin the round structure after recovery (Section 6).
 
-        A restarting party may have opened a low-numbered round before
-        state transfer told it how far the others have progressed; that
-        round can never complete (nobody else will propose in it), so
-        abandon it, fast-forward to the recovered round, and re-enter at
-        the first undecided slot — for which proposals have usually
-        already been collected while recovery was in flight.
+        Fast-forward past everything the transferred log settled, drop
+        state for rounds at or below it, and ask the peers to re-send
+        their still-in-flight proposals — bounded buffering means the
+        ones that arrived while this party lagged were not kept.  Any
+        round this party already signed a proposal for stays off-limits
+        for re-proposal (``highest_started`` never regresses), so
+        recovery can never make an honest party equivocate.
         """
         self.round = max(self.round, round_number)
-        self.active_round = None
+        if self.highest_started < self.round:
+            self.highest_started = self.round
         for stale in [r for r in self.proposals if r <= self.round]:
             del self.proposals[stale]
-        self._maybe_start_round(ctx)
+        for stale in [r for r in self.decisions if r <= self.round]:
+            del self.decisions[stale]
+        self.agreement_started = {
+            r for r in self.agreement_started if r > self.round
+        }
+        retain = self.round - self.config.buffer_slack
+        for stale in [r for r in self.proposed if r <= retain]:
+            del self.proposed[stale]
+        for stale in [r for r in self._recent_digests if r <= retain]:
+            del self._recent_digests[stale]
+        self._sync_in_flight()
+        self._gc_batches()
+        self._refresh_lag()
+        ctx.broadcast(AbcRejoin(self.round))
+        self._maybe_start_rounds(ctx)
+
+    # -- message handling ---------------------------------------------------------
 
     def on_message(self, ctx: Context, sender: int, message: object) -> None:
-        if not isinstance(message, AbcProposal):
-            return
+        if isinstance(message, AbcProposal):
+            self._on_proposal(ctx, sender, message)
+        elif isinstance(message, AbcBatchRequest):
+            self._on_batch_request(ctx, sender, message)
+        elif isinstance(message, AbcBatch):
+            self._on_batch(ctx, sender, message)
+        elif isinstance(message, AbcRejoin):
+            self._on_rejoin(ctx, sender, message)
+
+    def _on_proposal(
+        self, ctx: Context, sender: int, message: AbcProposal
+    ) -> None:
         r = message.round
         if not isinstance(r, int) or not self.round < r <= self.round + _ROUND_HORIZON:
             return
         if not isinstance(message.batch, tuple):
             return
-        statement = _proposal_statement(ctx.session, r, message.batch)
+        digest = batch_digest(message.batch)
+        statement = proposal_statement(ctx.session, r, digest)
         key = ctx.public.verify_keys.get(sender)
         if key is None or not key.verify(statement, message.signature):
             return
+        if r > self.round + self._window():
+            # Bounded buffering (a Byzantine sender can no longer stash
+            # one proposal per round across the whole horizon) — but a
+            # validly signed proposal this far ahead is lag evidence.
+            self.lag_reports[sender] = max(self.lag_reports.get(sender, 0), r)
+            self._maybe_report_lag(ctx)
+            return
         self.proposals.setdefault(r, {}).setdefault(
-            sender, (message.batch, message.signature)
+            sender, (digest, message.signature)
         )
-        if self.active_round is None:
-            self._maybe_start_round(ctx)
-        self._maybe_start_agreement(ctx)
+        self.batches.setdefault(digest, message.batch)
+        self._maybe_start_rounds(ctx)
+        self._maybe_start_agreement(ctx, r)
+        self._retry_predicates(ctx)
+        self._try_deliver(ctx)
 
-    def _maybe_start_agreement(self, ctx: Context) -> None:
-        r = self.active_round
-        if r is None or r in self.agreement_started:
+    def _on_batch_request(
+        self, ctx: Context, sender: int, message: AbcBatchRequest
+    ) -> None:
+        digest = message.digest
+        if not isinstance(digest, bytes) or digest not in self.batches:
+            return
+        ctx.send(sender, AbcBatch(digest, self.batches[digest]))
+
+    def _on_batch(self, ctx: Context, sender: int, message: AbcBatch) -> None:
+        digest = message.digest
+        if not isinstance(digest, bytes) or not isinstance(message.batch, tuple):
+            return
+        if digest not in self.requested:
+            return  # only store what we asked for: bounded memory
+        if batch_digest(message.batch) != digest:
+            return
+        self.batches.setdefault(digest, message.batch)
+        self._retry_predicates(ctx)
+        self._try_deliver(ctx)
+
+    def _on_rejoin(self, ctx: Context, sender: int, message: AbcRejoin) -> None:
+        base = message.round
+        if not isinstance(base, int):
+            return
+        for r in sorted(self.proposed):
+            if r <= base:
+                continue
+            batch, _digest, signature = self.proposed[r]
+            ctx.send(sender, AbcProposal(r, batch, signature))
+
+    def _maybe_report_lag(self, ctx: Context) -> None:
+        if self.on_lag is None or self._lag_notified:
+            return
+        if not ctx.quorum.contains_honest(set(self.lag_reports)):
+            return
+        self._lag_notified = True
+        self.on_lag()
+
+    def _refresh_lag(self) -> None:
+        horizon = self.round + self._window()
+        self.lag_reports = {
+            s: self.lag_reports[s]
+            for s in sorted(self.lag_reports)
+            if self.lag_reports[s] > horizon
+        }
+        if not self.lag_reports:
+            self._lag_notified = False
+
+    # -- agreement ----------------------------------------------------------------
+
+    def _maybe_start_agreement(self, ctx: Context, r: int) -> None:
+        if r in self.agreement_started:
+            return
+        if r <= self.round or r > self.highest_started:
             return
         collected = self.proposals.get(r, {})
         if not ctx.quorum.is_quorum(collected):
             return
         self.agreement_started.add(r)
         candidate = tuple(
-            sorted((j, batch, sig) for j, (batch, sig) in collected.items())
+            sorted((j, digest, sig) for j, (digest, sig) in collected.items())
         )
         predicate = self._list_predicate(ctx, r)
         ctx.spawn(
@@ -153,7 +398,18 @@ class AtomicBroadcast(Protocol):
         )
 
     def _list_predicate(self, ctx: Context, r: int) -> Callable[[object], bool]:
-        """External validity: a quorum of distinct, properly signed proposals."""
+        """External validity: a quorum of distinct, properly signed digests.
+
+        Signatures cover the batch *digest*, so MVBA inputs stay O(n)
+        regardless of batch bytes.  A party additionally refuses to
+        endorse a candidate until it holds every referenced batch — a
+        commit certificate therefore doubles as an availability proof
+        (a quorum, hence an honest-containing set, stored the bytes),
+        so the post-decision fetch in :meth:`_try_deliver` always
+        terminates.  Missing batches are requested as a side effect,
+        which also restores liveness when a Byzantine proposer withheld
+        its batch from some honest parties.
+        """
         public = ctx.public
         quorum = ctx.quorum
         session = ctx.session
@@ -165,36 +421,133 @@ class AtomicBroadcast(Protocol):
             for entry in value:
                 if not (isinstance(entry, tuple) and len(entry) == 3):
                     return False
-                j, batch, sig = entry
-                if not isinstance(j, int) or not isinstance(batch, tuple):
+                j, digest, sig = entry
+                if not isinstance(j, int) or not isinstance(digest, bytes):
                     return False
                 key = public.verify_keys.get(j)
                 if key is None:
                     return False
-                if not key.verify(_proposal_statement(session, r, batch), sig):
+                if not key.verify(proposal_statement(session, r, digest), sig):
                     return False
                 senders.append(j)
             if len(set(senders)) != len(senders):
                 return False
-            return quorum.is_quorum(senders)
+            if not quorum.is_quorum(senders):
+                return False
+            missing = [d for _j, d, _s in value if d not in self.batches]
+            if missing:
+                self._request_batches(ctx, r, missing)
+                return False
+            return True
 
         return predicate
+
+    def _request_batches(
+        self, ctx: Context, r: int, digests: list[bytes]
+    ) -> None:
+        for digest in digests:
+            if digest in self.requested:
+                continue
+            self.requested.add(digest)
+            ctx.broadcast(AbcBatchRequest(r, digest))
+
+    def _retry_predicates(self, ctx: Context) -> None:
+        """Poke in-flight agreements whose CBC validations may pass now
+        that a new batch arrived."""
+        for r in sorted(self.agreement_started):
+            if r <= self.round:
+                continue
+            sid: SessionId = ("mvba", (ctx.session, r))
+            inst = ctx.instance(sid)
+            if isinstance(inst, MultiValuedAgreement):
+                inst.refresh_validation(ctx.at(sid))
 
     # -- delivery ----------------------------------------------------------------
 
     def _on_decision(self, ctx: Context, r: int, decision: object) -> None:
-        if not isinstance(decision, MvbaDecision) or r != self.round + 1:
+        if not isinstance(decision, MvbaDecision):
             return
-        for j, batch, _sig in sorted(decision.value):
-            for payload in batch:
-                if payload in self.delivered:
-                    continue
-                self.delivered.add(payload)
-                self.delivered_log.append((payload, r))
-                if self.on_deliver is not None:
-                    self.on_deliver(payload, r)
+        if r <= self.round or r in self.decisions:
+            return
+        if not isinstance(decision.value, tuple):
+            return
+        self.decisions[r] = decision.value
+        self._try_deliver(ctx)
+
+    def _try_deliver(self, ctx: Context) -> None:
+        """Apply buffered decisions strictly in round order."""
+        progressed = False
+        while True:
+            r = self.round + 1
+            value = self.decisions.get(r)
+            if value is None:
+                break
+            missing = [d for _j, d, _s in value if d not in self.batches]
+            if missing:
+                # In-order delivery must wait for the payload bytes;
+                # the deciding quorum stored them, so this terminates.
+                self._request_batches(ctx, r, missing)
+                break
+            self._occupancy_sum += max(self.highest_started, r) - self.round
+            self._occupancy_samples += 1
+            for _j, digest, _sig in sorted(value):
+                for payload in self.batches[digest]:
+                    if payload in self.delivered:
+                        continue
+                    self.delivered.add(payload)
+                    self.delivered_log.append((payload, r))
+                    self.payloads_delivered += 1
+                    if self.on_deliver is not None:
+                        self.on_deliver(payload, r)
+            del self.decisions[r]
+            self.round = r
+            self.rounds_delivered += 1
+            self._recent_digests[r] = frozenset(d for _j, d, _s in value)
+            self._cleanup_after_round(r)
+            ctx.trace.bump("abc.rounds")
+            progressed = True
+        if progressed:
+            self._refresh_lag()
+            self._maybe_start_rounds(ctx)
+
+    def _cleanup_after_round(self, r: int) -> None:
+        for stale in [p for p in self.proposals if p <= r]:
+            del self.proposals[stale]
+        self.agreement_started.discard(r)
+        retain = r - self.config.buffer_slack
+        for stale in [p for p in self.proposed if p <= retain]:
+            del self.proposed[stale]
+        for stale in [p for p in self._recent_digests if p <= retain]:
+            del self._recent_digests[stale]
         self.queue = [p for p in self.queue if p not in self.delivered]
-        self.round = r
-        self.active_round = None
-        ctx.trace.bump("abc.rounds")
-        self._maybe_start_round(ctx)
+        self.queued = set(self.queue)
+        self._sync_in_flight()
+        self._gc_batches()
+
+    def _sync_in_flight(self) -> None:
+        """Payloads masked from new batches: those in our own proposals
+        for rounds that have not delivered yet."""
+        masked: set[Hashable] = set()
+        for r in sorted(self.proposed):
+            if r > self.round:
+                masked.update(self.proposed[r][0])
+        self.in_flight = masked
+
+    def _gc_batches(self) -> None:
+        """Drop batch bytes no live round references.  Recently
+        delivered rounds stay fetchable for lagging peers."""
+        live: set[bytes] = set()
+        for r in sorted(self.proposals):
+            for j in sorted(self.proposals[r]):
+                live.add(self.proposals[r][j][0])
+        for r in sorted(self.decisions):
+            for entry in self.decisions[r]:
+                live.add(entry[1])
+        for r in sorted(self.proposed):
+            live.add(self.proposed[r][1])
+        for r in sorted(self._recent_digests):
+            live.update(self._recent_digests[r])
+        self.batches = {
+            d: self.batches[d] for d in sorted(live) if d in self.batches
+        }
+        self.requested &= live

@@ -101,6 +101,12 @@ class ConsistentBroadcast(Protocol):
         self.value = value
         self.validate = validate
         self.signed_value: Hashable | None = None
+        # A SEND whose validation failed is stashed (wrapped in a
+        # 1-tuple so a literal None value is representable) rather than
+        # dropped: external predicates can be *temporarily* false —
+        # e.g. a batch referenced by digest has not arrived yet — and
+        # the spawning layer re-pokes us via retry_pending.
+        self._pending_send: tuple[Hashable] | None = None
         self.shares: dict[int, Signature] = {}
         self.finalized = False
         self.delivered = False
@@ -129,12 +135,29 @@ class ConsistentBroadcast(Protocol):
         if sender != self.sender or self.signed_value is not None:
             return
         if not self._acceptable(value):
+            self._pending_send = (value,)
             return
+        self._accept(ctx, value)
+
+    def _accept(self, ctx: Context, value: Hashable) -> None:
+        self._pending_send = None
         self.signed_value = value
         share = ctx.keys.cert_quorum.sign_share(
             _statement(ctx.session, value), ctx.rng
         )
         ctx.send(self.sender, CbcEchoSignature(share))
+
+    def retry_pending(self, ctx: Context) -> None:
+        """Re-evaluate a stashed SEND whose validation failed earlier.
+
+        Uniqueness is unaffected: ``signed_value`` still gates signing,
+        so at most one value is ever endorsed per session.
+        """
+        if self.signed_value is not None or self._pending_send is None:
+            return
+        (value,) = self._pending_send
+        if self._acceptable(value):
+            self._accept(ctx, value)
 
     def _on_share(self, ctx: Context, sender: int, signature: Signature) -> None:
         if ctx.party != self.sender or self.finalized or self.value is None:

@@ -100,6 +100,22 @@ class MultiValuedAgreement(Protocol):
                 on_output=lambda d, s=sender: self._on_delivery(ctx, s, d),
             )
 
+    def refresh_validation(self, ctx: Context) -> None:
+        """Re-run the proposal broadcasts' pending validations.
+
+        The external predicate may be *temporarily* false — atomic
+        broadcast's availability condition fails until a referenced
+        batch arrives — so the spawning layer calls this when new
+        context (a fetched batch) could flip it to true.
+        """
+        if self.decided:
+            return
+        for sender in range(ctx.n):
+            session = cbc_session(sender, ctx.session)
+            inst = ctx.instance(session)
+            if isinstance(inst, ConsistentBroadcast):
+                inst.retry_pending(ctx.at(session))
+
     def _on_delivery(self, ctx: Context, sender: int, delivery: CbcDelivery) -> None:
         if self.decided:
             return

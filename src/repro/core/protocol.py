@@ -112,6 +112,12 @@ class Context:
     def instance(self, session: SessionId) -> Protocol | None:
         return self._runtime.instances.get(session)
 
+    def at(self, session: SessionId) -> "Context":
+        """A context facade for another session on the same runtime —
+        used by layers that must poke a sub-protocol instance directly
+        (e.g. re-running a pending validation)."""
+        return Context(self._runtime, session)
+
     def result(self, session: SessionId) -> object | None:
         """A finished session's output, or None if not (yet) produced."""
         return self._runtime.result(session)

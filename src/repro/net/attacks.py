@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 from typing import Hashable
 
-from ..core.atomic_broadcast import AbcProposal
+from ..core.atomic_broadcast import AbcProposal, batch_digest, proposal_statement
 from ..core.binary_agreement import AbaBval, AbaConf, AbaCoinShare, AbaDone
 from ..core.consistent_broadcast import CbcSend
 from ..core.reliable_broadcast import RbcSend
@@ -198,7 +198,7 @@ class DivergentAbcProposer(_OneShot):
 
     def attack(self, sender: int, payload: object) -> None:
         for target, batch in self.batches.items():
-            statement = ("abc-proposal", self.session, 1, batch)
+            statement = proposal_statement(self.session, 1, batch_digest(batch))
             signature = self.keys.signing_key.sign(statement, self.rng)
             self.network.send(
                 self.party, target, (self.session, AbcProposal(1, batch, signature))

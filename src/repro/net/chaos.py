@@ -53,7 +53,7 @@ import tempfile
 import time
 from dataclasses import dataclass, replace
 
-from ..core.atomic_broadcast import AbcProposal
+from ..core.atomic_broadcast import AbcProposal, batch_digest, proposal_statement
 from ..core.runtime import ProtocolRuntime
 from ..crypto import keystore
 from ..crypto.dealer import CLIENT_BASE, PartyKeys, PublicKeys, deal_system
@@ -347,7 +347,9 @@ def byzantine_node(
                 session, message = payload
                 if isinstance(message, AbcProposal) and recipient % 2 == 1:
                     batch: tuple = ()
-                    statement = ("abc-proposal", session, message.round, batch)
+                    statement = proposal_statement(
+                        session, message.round, batch_digest(batch)
+                    )
                     signature = keys.signing_key.sign(statement, sign_rng)
                     return (session, AbcProposal(message.round, batch, signature))
             return payload
@@ -405,6 +407,14 @@ class Scenario:
     liveness_probes: int = 2
     checkpoint_every: int = 2
     workload_start: float = 2.0
+    # Workload shape: how many client operations may be in flight at
+    # once (1 = the original closed loop).  >1 exercises batching and
+    # pipelining in the replicas.
+    op_concurrency: int = 1
+    # Optional atomic-broadcast knobs for the cluster (None = protocol
+    # defaults); see docs/PERFORMANCE.md.
+    abc_max_batch: int | None = None
+    abc_pipeline_depth: int | None = None
 
     def to_json(self) -> dict:
         return {
@@ -422,6 +432,9 @@ class Scenario:
             "liveness_probes": self.liveness_probes,
             "checkpoint_every": self.checkpoint_every,
             "workload_start": self.workload_start,
+            "op_concurrency": self.op_concurrency,
+            "abc_max_batch": self.abc_max_batch,
+            "abc_pipeline_depth": self.abc_pipeline_depth,
         }
 
     @classmethod
@@ -446,6 +459,17 @@ class Scenario:
             liveness_probes=int(data.get("liveness_probes", 2)),
             checkpoint_every=int(data.get("checkpoint_every", 2)),
             workload_start=float(data.get("workload_start", 2.0)),
+            op_concurrency=int(data.get("op_concurrency", 1)),
+            abc_max_batch=(
+                int(data["abc_max_batch"])
+                if data.get("abc_max_batch") is not None
+                else None
+            ),
+            abc_pipeline_depth=(
+                int(data["abc_pipeline_depth"])
+                if data.get("abc_pipeline_depth") is not None
+                else None
+            ),
         )
 
 
@@ -503,9 +527,24 @@ def builtin_scenarios() -> dict[str, Scenario]:
         ),
         checkpoint_every=3,
     )
+    pipeline_load = Scenario(
+        name="pipeline-load",
+        seed=5505,
+        ops=12,
+        op_concurrency=4,
+        abc_max_batch=8,
+        abc_pipeline_depth=3,
+        faults=FaultSpec(duplicate_rate=0.05),
+        events=(
+            LifecycleEvent(at=3.0, action="kill", party=2),
+            LifecycleEvent(at=4.0, action="restart", party=2),
+        ),
+    )
     return {
         scenario.name: scenario
-        for scenario in (partition_heal, kill_recover, stall, torture)
+        for scenario in (
+            partition_heal, kill_recover, stall, torture, pipeline_load
+        )
     }
 
 
@@ -580,9 +619,12 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
     )
     keystore.write_deployment(keys, workdir)
     addresses = allocate_addresses(list(range(scenario.n)) + [CLIENT_BASE])
-    ClusterConfig(addresses, io_timeout=scenario.io_timeout).save(
-        workdir / CLUSTER_FILE
-    )
+    ClusterConfig(
+        addresses,
+        io_timeout=scenario.io_timeout,
+        abc_max_batch=scenario.abc_max_batch,
+        abc_pipeline_depth=scenario.abc_pipeline_depth,
+    ).save(workdir / CLUSTER_FILE)
     epoch = save_fault_plan(workdir, scenario.faults, scenario.seed)
     timeline = plan_timeline(scenario)
 
@@ -632,6 +674,32 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
             flush=True,
         )
 
+    async def run_op(entry: dict) -> None:
+        operation = tuple(entry["op"])
+        started = loop.time()
+        try:
+            completed = await client.call(
+                operation,
+                timeout=scenario.op_timeout,
+                attempt_timeout=2.0,
+            )
+            note(
+                {
+                    "kind": "op",
+                    "op": entry["op"],
+                    "nonce": completed.nonce,
+                    "latency": round(loop.time() - started, 3),
+                }
+            )
+        except asyncio.TimeoutError:
+            # A workload op may legitimately stall while faults
+            # are active; it is not a liveness verdict (probes
+            # in the quiescent window are) and the safety
+            # checker only requires *committed* ops to survive.
+            note({"kind": "op", "op": entry["op"], "latency": None})
+
+    pending_ops: list[asyncio.Task] = []
+
     try:
         for entry in timeline:
             delay = t0 + entry["at"] - loop.time()
@@ -640,28 +708,22 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
             kind = entry["kind"]
             party = entry.get("party")
             if kind == "op":
-                operation = tuple(entry["op"])
-                started = loop.time()
-                try:
-                    completed = await client.call(
-                        operation,
-                        timeout=scenario.op_timeout,
-                        attempt_timeout=2.0,
-                    )
-                    note(
-                        {
-                            "kind": "op",
-                            "op": entry["op"],
-                            "nonce": completed.nonce,
-                            "latency": round(loop.time() - started, 3),
-                        }
-                    )
-                except asyncio.TimeoutError:
-                    # A workload op may legitimately stall while faults
-                    # are active; it is not a liveness verdict (probes
-                    # in the quiescent window are) and the safety
-                    # checker only requires *committed* ops to survive.
-                    note({"kind": "op", "op": entry["op"], "latency": None})
+                if scenario.op_concurrency > 1:
+                    # Open-loop dispatch: up to op_concurrency calls in
+                    # flight at once, so the replicas actually see
+                    # batched, pipelined load.  Each call self-terminates
+                    # via its own op_timeout, so the waits are bounded.
+                    pending_ops = [t for t in pending_ops if not t.done()]
+                    if len(pending_ops) >= scenario.op_concurrency:
+                        await asyncio.wait(  # repro: noqa-RL005 bounded by the timeout= kwarg; ops self-terminate via op_timeout
+                            pending_ops,
+                            timeout=scenario.op_timeout + 5.0,
+                            return_when=asyncio.FIRST_COMPLETED,
+                        )
+                        pending_ops = [t for t in pending_ops if not t.done()]
+                    pending_ops.append(loop.create_task(run_op(entry)))
+                else:
+                    await run_op(entry)
             elif kind == "partition":
                 note(
                     {
@@ -704,6 +766,14 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
                     restarted.append(party)
                 note({"kind": "restart", "party": party, "checkpoint": status})
 
+        if pending_ops:
+            # Drain outstanding workload calls before judging liveness;
+            # bounded because each call enforces op_timeout internally.
+            await asyncio.wait(  # repro: noqa-RL005 bounded by the timeout= kwarg; ops self-terminate via op_timeout
+                pending_ops, timeout=scenario.op_timeout + 5.0
+            )
+            pending_ops = [t for t in pending_ops if not t.done()]
+
         # -- quiescent window: every partition healed, no pending fault --
         heal_at = max(
             (cut.stop for cut in scenario.faults.partitions), default=0.0
@@ -744,6 +814,8 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
         for party in sorted(replicas):
             await replicas[party].stop()
     finally:
+        for task in pending_ops:
+            task.cancel()
         for process in replicas.values():
             await process.kill()
         await network.close()

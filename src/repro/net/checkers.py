@@ -38,11 +38,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One executed operation as recorded by a replica host."""
+    """One executed operation as recorded by a replica host.
+
+    ``round`` is the atomic-broadcast round the operation was ordered
+    in (-1 for records predating the batched protocol, or for
+    client-side commit records where the round is unknown).  With
+    batching, several entries share a round; rounds must never decrease
+    along a journal.
+    """
 
     client: int
     nonce: int
     op: tuple
+    round: int = -1
 
     @classmethod
     def from_json(cls, data: dict) -> "JournalEntry":
@@ -50,6 +58,7 @@ class JournalEntry:
             client=int(data["client"]),
             nonce=int(data["nonce"]),
             op=tuple(data["op"]),
+            round=int(data.get("round", -1)),
         )
 
     def key(self) -> tuple:
@@ -105,6 +114,23 @@ def check_safety(
     """
     issues: list[str] = []
     parties = sorted(journals)
+    # Batched rounds: several journal entries may share an ordering
+    # round, but rounds must never decrease along any single journal —
+    # a decrease means a replica executed part of an earlier batch
+    # after a later one (ordering violated across a batch boundary).
+    for party in parties:
+        last_round = -1
+        for position, entry in enumerate(journals[party]):
+            if entry.round < 0:
+                continue  # legacy record without round information
+            if entry.round < last_round:
+                issues.append(
+                    f"round regression in journal of replica {party} at "
+                    f"position {position}: round {entry.round} after "
+                    f"round {last_round}"
+                )
+                break
+            last_round = entry.round
     for i, a in enumerate(parties):
         for b in parties[i + 1:]:
             log_a, log_b = journals[a], journals[b]

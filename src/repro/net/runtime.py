@@ -36,6 +36,7 @@ import sys
 import tempfile
 from dataclasses import dataclass
 
+from ..core.atomic_broadcast import AbcConfig
 from ..core.protocol import Context
 from ..core.runtime import ProtocolRuntime
 from ..crypto import keystore
@@ -81,6 +82,11 @@ class ClusterConfig:
 
     addresses: dict[int, tuple[str, int]]
     io_timeout: float = DEFAULT_IO_TIMEOUT
+    # Atomic-broadcast throughput knobs (docs/PERFORMANCE.md).  ``None``
+    # means the protocol default — older cluster.json files load fine.
+    abc_max_batch: int | None = None
+    abc_max_batch_bytes: int | None = None
+    abc_pipeline_depth: int | None = None
 
     def save(self, path: str | pathlib.Path) -> None:
         data = {
@@ -90,18 +96,46 @@ class ClusterConfig:
             },
             "io_timeout": self.io_timeout,
         }
+        for knob in ("abc_max_batch", "abc_max_batch_bytes", "abc_pipeline_depth"):
+            value = getattr(self, knob)
+            if value is not None:
+                data[knob] = value
         pathlib.Path(path).write_text(json.dumps(data, indent=1))
 
     @classmethod
     def load(cls, path: str | pathlib.Path) -> "ClusterConfig":
         data = json.loads(pathlib.Path(path).read_text())
+
+        def knob(name: str) -> int | None:
+            value = data.get(name)
+            return int(value) if value is not None else None
+
         return cls(
             addresses={
                 int(party): (str(entry[0]), int(entry[1]))
                 for party, entry in data["addresses"].items()
             },
             io_timeout=float(data.get("io_timeout", DEFAULT_IO_TIMEOUT)),
+            abc_max_batch=knob("abc_max_batch"),
+            abc_max_batch_bytes=knob("abc_max_batch_bytes"),
+            abc_pipeline_depth=knob("abc_pipeline_depth"),
         )
+
+    def abc_config(self) -> "AbcConfig | None":
+        """The :class:`AbcConfig` these knobs describe, or None for the
+        protocol defaults."""
+        overrides = {
+            field_name: value
+            for field_name, value in (
+                ("max_batch", self.abc_max_batch),
+                ("max_batch_bytes", self.abc_max_batch_bytes),
+                ("pipeline_depth", self.abc_pipeline_depth),
+            )
+            if value is not None
+        }
+        if not overrides:
+            return None
+        return AbcConfig(**overrides)
 
 
 def allocate_addresses(
@@ -263,7 +297,9 @@ class ReplicaHost:
             )
             self.network.attach(party, self.runtime)
             self.replica: Replica | None = Replica(
-                state_machine or KeyValueStore(), causal=causal
+                state_machine or KeyValueStore(),
+                causal=causal,
+                abc_config=cluster.abc_config(),
             )
             self.runtime.spawn(service_session(), self.replica)
         else:
@@ -287,7 +323,7 @@ class ReplicaHost:
                 journal_dir / f"exec-{party}.jsonl", "w", encoding="utf-8"
             )
 
-    def _on_execute(self, request, result) -> None:
+    def _on_execute(self, request, result, rnd) -> None:
         self._executions += 1
         if self._journal is not None:
             self._journal.write(
@@ -297,6 +333,7 @@ class ReplicaHost:
                         "client": request.client,
                         "nonce": request.nonce,
                         "op": list(request.operation),
+                        "round": rnd,
                     }
                 )
                 + "\n"
@@ -384,6 +421,15 @@ async def serve_replica(
         if checkpoint_every:
             host.write_checkpoint()
         snapshot = host.replica.state_machine.snapshot()
+        stats = host.replica.abc.stats()
+        print(
+            f"replica-abc-stats party={party} "
+            f"rounds={stats['rounds']:.0f} "
+            f"delivered={stats['delivered']:.0f} "
+            f"mean_batch={stats['mean_batch']:.3f} "
+            f"occupancy={stats['pipeline_occupancy']:.3f}",
+            flush=True,
+        )
         print(
             f"replica-final party={party} executed={len(host.replica.executed)} "
             f"snapshot={snapshot!r}",

@@ -102,6 +102,9 @@ def _ensure_registry() -> None:
         multivalued_agreement.MvbaValue,
         multivalued_agreement.MvbaDecision,
         atomic_broadcast.AbcProposal,
+        atomic_broadcast.AbcBatchRequest,
+        atomic_broadcast.AbcBatch,
+        atomic_broadcast.AbcRejoin,
         secure_causal.ScDecryptionShare,
         optimistic.OptForward,
         optimistic.OptOrder,

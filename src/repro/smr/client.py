@@ -256,6 +256,11 @@ class ServiceClient(Node):
             self.completed[nonce] = CompletedRequest(
                 nonce=nonce, result=result, signature=signature
             )
+            # The share buffer served its purpose; dropping it keeps an
+            # open-loop client's memory proportional to the requests in
+            # flight rather than its lifetime (late duplicate replies
+            # are counted via `completed` instead).
+            self._replies.pop(nonce, None)
             return
 
     def _combine(self, statement: tuple, group: dict[int, Reply]) -> object | None:

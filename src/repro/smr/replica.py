@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.atomic_broadcast import AtomicBroadcast
+from ..core.atomic_broadcast import AbcConfig, AtomicBroadcast
 from ..core.protocol import Context, Protocol, SessionId
 from ..core.secure_causal import SecureCausalBroadcast
 from ..crypto.threshold_enc import Ciphertext
@@ -92,13 +92,25 @@ def reply_statement(request_digest: object, result: object) -> tuple:
     return ("service-reply", request_digest, result)
 
 
+def _entry_round(item: object) -> int:
+    """The round recorded in a log entry; 0 for malformed entries."""
+    if isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], int):
+        return item[1]
+    return 0
+
+
 class Replica(Protocol):
     """One server's replica of a trusted application."""
 
-    def __init__(self, state_machine: StateMachine, causal: bool = False) -> None:
+    def __init__(
+        self,
+        state_machine: StateMachine,
+        causal: bool = False,
+        abc_config: AbcConfig | None = None,
+    ) -> None:
         self.state_machine = state_machine
         self.causal = causal
-        self.abc = AtomicBroadcast()
+        self.abc = AtomicBroadcast(config=abc_config)
         self.sc_abc = SecureCausalBroadcast()
         self.executed: list[tuple[Request, object]] = []
         self._seen_nonces: set[tuple[int, int]] = set()
@@ -106,18 +118,20 @@ class Replica(Protocol):
         self._recovery_logs: dict[int, RecoverLog] = {}
         self._replaying = False
         # Observation hook: called after every executed request (replays
-        # included) — the deployment host uses it for the execution
-        # journal the chaos safety checker reads, and for periodic
-        # checkpointing.  Never part of the protocol itself.
-        self.on_execute: Callable[[Request, object], None] | None = None
+        # included) with the round the request was ordered in — the
+        # deployment host uses it for the execution journal the chaos
+        # safety checker reads, and for periodic checkpointing.  Never
+        # part of the protocol itself.
+        self.on_execute: Callable[[Request, object, int], None] | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
     def on_start(self, ctx: Context) -> None:
-        self.abc.on_deliver = lambda payload, rnd: self._on_ordered(ctx, payload)
+        self.abc.on_deliver = lambda payload, rnd: self._on_ordered(ctx, payload, rnd)
+        self.abc.on_lag = lambda: self._on_lag(ctx)
         self.sc_abc.on_start(ctx)
         self.sc_abc.on_deliver = lambda plaintext, rnd: self._on_ordered_plain(
-            ctx, plaintext
+            ctx, plaintext, rnd
         )
 
     # -- message routing ----------------------------------------------------------
@@ -174,13 +188,13 @@ class Replica(Protocol):
 
     # -- ordered execution -----------------------------------------------------------
 
-    def _on_ordered(self, ctx: Context, payload: object) -> None:
+    def _on_ordered(self, ctx: Context, payload: object, rnd: int) -> None:
         request = Request.decode(payload)
         if request is None:
             return  # a corrupted server ordered junk; skip deterministically
-        self._execute(ctx, request)
+        self._execute(ctx, request, rnd)
 
-    def _on_ordered_plain(self, ctx: Context, plaintext: object) -> None:
+    def _on_ordered_plain(self, ctx: Context, plaintext: object, rnd: int) -> None:
         if not isinstance(plaintext, bytes):
             return
         try:
@@ -190,7 +204,16 @@ class Replica(Protocol):
         request = Request.decode(decoded)
         if request is None:
             return
-        self._execute(ctx, request)
+        self._execute(ctx, request, rnd)
+
+    def _on_lag(self, ctx: Context) -> None:
+        """An honest-containing set of signers is provably rounds ahead
+        of our bounded proposal window: the proposals we missed were
+        dropped rather than buffered, so the only way back into the
+        round structure is Section 6 state transfer."""
+        if self.causal or self.recovering or self._replaying:
+            return
+        self.begin_recovery(ctx)
 
     # -- crash recovery (Section 6) ---------------------------------------------
 
@@ -219,31 +242,64 @@ class Replica(Protocol):
     def _on_recover_log(self, ctx: Context, sender: int, message: RecoverLog) -> None:
         if not self.recovering or not isinstance(message.entries, tuple):
             return
-        self._recovery_logs.setdefault(sender, message)
-        # Adopt a log once an honest-containing set reported identical
-        # *entries*.  Round numbers are deliberately left out of the
-        # match: honest peers with the same log can sit in different
-        # rounds (agreement for the next slot advances asynchronously),
-        # and requiring equal rounds would let recovery stall forever.
-        by_log: dict[tuple, set[int]] = {}
+        if not isinstance(message.round, int):
+            return
+        # Latest answer wins: peers keep progressing while recovery is
+        # in flight, and a re-query must not stay pinned to a stale
+        # (or forged, then corrected) earlier reply.
+        self._recovery_logs[sender] = message
+        adopted = self._vouched_candidate(ctx)
+        if adopted is None:
+            return
+        entries, supporters, round_number = adopted
+        if not ctx.quorum.contains_honest(supporters):
+            return
+        self._adopt_log(ctx, entries, round_number)
+
+    def _vouched_candidate(
+        self, ctx: Context
+    ) -> tuple[tuple, set[int], int] | None:
+        """The longest reported log vouched by an honest-containing set.
+
+        Peers answer at different moments, so identical-log matching
+        stalls under load (everyone reports a different length).
+        Instead, a responder *vouches* for a candidate ``(L, R)`` when
+        its own log extends ``L`` and every extra entry was delivered in
+        a round after ``R`` — an honest responder that executed past
+        ``L`` inside rounds ``<= R`` would contradict the claim that
+        everything up to ``R`` is settled by ``L``.  The adopted resume
+        round is ``max(last round in L, min supporter round)``: both
+        components are anchored at an honest reporter (supporters form
+        an honest-containing set), so a Byzantine candidate can neither
+        inflate the resume point past undecided rounds nor roll it
+        below history the log itself contains.  Resuming low merely
+        revisits rounds the agreement layer already treats as settled.
+        """
+        best: tuple[tuple[int, int], tuple, set[int], int] | None = None
         for peer in sorted(self._recovery_logs):
-            log = self._recovery_logs[peer]
-            by_log.setdefault(log.entries, set()).add(peer)
-        # Log tuples are not orderable across shapes; adopt the candidate
-        # backed by the lowest-numbered peer so the choice is a function
-        # of the received set, not of arrival order.
-        candidates = sorted(by_log.items(), key=lambda kv: min(kv[1]))
-        for entries, supporters in candidates:
-            if ctx.quorum.contains_honest(supporters):
-                # The adopted round is the smallest in the supporting
-                # set: it is bounded by some honest member's round, and
-                # starting low merely revisits rounds the agreement
-                # layer already treats as settled.
-                round_number = min(
-                    self._recovery_logs[peer].round for peer in supporters
-                )
-                self._adopt_log(ctx, entries, round_number)
-                return
+            cand = self._recovery_logs[peer]
+            k = len(cand.entries)
+            supporters: set[int] = set()
+            for q in sorted(self._recovery_logs):
+                log = self._recovery_logs[q]
+                if len(log.entries) < k or log.entries[:k] != cand.entries:
+                    continue
+                if any(_entry_round(e) <= cand.round for e in log.entries[k:]):
+                    continue
+                supporters.add(q)
+            if not ctx.quorum.contains_honest(supporters):
+                continue
+            floor = max((_entry_round(e) for e in cand.entries), default=0)
+            round_number = max(
+                floor,
+                min(self._recovery_logs[q].round for q in supporters),
+            )
+            rank = (k, -peer)
+            if best is None or rank > best[0]:
+                best = (rank, cand.entries, supporters, round_number)
+        if best is None:
+            return None
+        return best[1], best[2], best[3]
 
     def _adopt_log(self, ctx: Context, entries: tuple, round_number: int) -> None:
         self.recovering = False
@@ -281,11 +337,13 @@ class Replica(Protocol):
                 self.abc.delivered_log.append((payload, rnd))
                 request = Request.decode(payload)
                 if request is not None:
-                    self._execute(ctx, request)
+                    self._execute(
+                        ctx, request, rnd if isinstance(rnd, int) else -1
+                    )
         finally:
             self._replaying = False
 
-    def _execute(self, ctx: Context, request: Request) -> None:
+    def _execute(self, ctx: Context, request: Request, rnd: int) -> None:
         key = (request.client, request.nonce)
         if key in self._seen_nonces:
             return  # at-most-once semantics across duplicate submissions
@@ -293,7 +351,7 @@ class Replica(Protocol):
         result = self.state_machine.apply(request)
         self.executed.append((request, result))
         if self.on_execute is not None:
-            self.on_execute(request, result)
+            self.on_execute(request, result, rnd)
         if self._replaying:
             return  # clients were answered before the crash
         digest = ("request", request.client, request.nonce, request.operation)

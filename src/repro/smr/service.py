@@ -18,6 +18,7 @@ from ..crypto.groups import SchnorrGroup, small_group
 from ..net.adversary import CorruptionController
 from ..net.scheduler import RandomScheduler, Scheduler
 from ..net.simulator import Network
+from ..core.atomic_broadcast import AbcConfig
 from ..core.runtime import ProtocolRuntime
 from .client import ServiceClient
 from .replica import Replica, service_session
@@ -90,6 +91,7 @@ def build_service(
     group: SchnorrGroup | None = None,
     signature_backend: str = "certs",
     session_tag: object = "service",
+    abc_config: AbcConfig | None = None,
 ) -> ServiceDeployment:
     """Deal keys, build the network, and start one replica per server.
 
@@ -116,7 +118,9 @@ def build_service(
             party, network, keys.public, keys.private[party], seed=seed
         )
         network.attach(party, runtime)
-        replica = Replica(state_machine_factory(), causal=causal)
+        replica = Replica(
+            state_machine_factory(), causal=causal, abc_config=abc_config
+        )
         runtime.spawn(service_session(session_tag), replica)
         runtimes[party] = runtime
         replicas[party] = replica

@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from repro.core.atomic_broadcast import AbcProposal
+from repro.core.atomic_broadcast import AbcProposal, batch_digest, proposal_statement
 from repro.crypto import deal_system, small_group
 from repro.crypto.dealer import deal_channel_keys
 from repro.net.adversary import MutatingNode, SilentNode, SpamNode
@@ -281,7 +281,7 @@ def test_equivocator_resigns_empty_batches_for_odd_peers():
     assert proposal.round == 2 and proposal.batch == ()
     # The forgery is *validly signed* — allowed adversary behavior the
     # agreement layer must neutralize, not a frame the MAC layer drops.
-    statement = ("abc-proposal", session, 2, ())
+    statement = proposal_statement(session, 2, batch_digest(()))
     assert public.verify_keys[3].verify(statement, proposal.signature)
 
     assert node.mutate(2, honest) is honest  # even peers see the truth

@@ -12,8 +12,10 @@ from repro.net.checkers import (
 )
 
 
-def entry(nonce: int, op=None, client: int = 100) -> JournalEntry:
-    return JournalEntry(client=client, nonce=nonce, op=tuple(op or ("set", "k", nonce)))
+def entry(nonce: int, op=None, client: int = 100, round: int = -1) -> JournalEntry:
+    return JournalEntry(
+        client=client, nonce=nonce, op=tuple(op or ("set", "k", nonce)), round=round
+    )
 
 
 # -- safety -------------------------------------------------------------------------
@@ -59,6 +61,34 @@ def test_committed_check_uses_the_longest_journal():
     full = [entry(1), entry(2), entry(3)]
     report = check_safety({0: full, 1: full[:1]}, committed=[entry(3)])
     assert report.ok
+
+
+def test_batched_rounds_may_share_a_round_number():
+    """Batching puts several executions in one atomic-broadcast round;
+    equal consecutive rounds are fine, decreasing ones are not."""
+    log = [entry(1, round=1), entry(2, round=1), entry(3, round=2)]
+    report = check_safety({0: log, 1: log})
+    assert report.ok and report.issues == []
+
+
+def test_round_regression_is_a_safety_violation():
+    log = [entry(1, round=2), entry(2, round=1)]
+    report = check_safety({0: log})
+    assert not report.ok
+    assert "round regression in journal of replica 0" in report.issues[0]
+    assert "position 1" in report.issues[0]
+
+
+def test_legacy_entries_without_rounds_skip_the_round_check():
+    log = [entry(1, round=3), entry(2), entry(3, round=4)]
+    report = check_safety({0: log})
+    assert report.ok
+
+
+def test_round_regression_reported_once_per_journal():
+    log = [entry(1, round=3), entry(2, round=2), entry(3, round=1)]
+    report = check_safety({0: log})
+    assert len(report.issues) == 1
 
 
 def test_safety_report_serializes():

@@ -566,3 +566,61 @@ def test_recovery_stalls_behind_partition_then_completes(tmp_path):
                 await host.close()
 
     asyncio.run(scenario())
+
+
+def test_pipelined_recovery_over_tcp(tmp_path):
+    """Batched + pipelined cluster over real sockets: crash a replica
+    under concurrent client load, restart it with recovery while rounds
+    are still deciding, and check it converges without double-executing
+    anything."""
+
+    async def scenario():
+        keys = deal_system(4, random.Random(11), t=1, clients=1, group=small_group())
+        keystore.write_deployment(keys, tmp_path)
+        addresses = allocate_addresses(list(range(4)) + [CLIENT_BASE])
+        ClusterConfig(
+            addresses, abc_max_batch=4, abc_pipeline_depth=3
+        ).save(tmp_path / CLUSTER_FILE)
+
+        hosts = {party: ReplicaHost(tmp_path, party) for party in range(4)}
+        for host in hosts.values():
+            await host.start()
+        assert hosts[0].replica.abc.config.max_batch == 4
+        assert hosts[0].replica.abc.config.pipeline_depth == 3
+        public = keystore.load_public(tmp_path / "public.json")
+        cid, channel_keys = keystore.load_client(
+            tmp_path / f"client-{CLIENT_BASE}.json"
+        )
+        net = TransportNetwork(cid, addresses, channel_keys)
+        client = ServiceClient(cid, net, public, random.Random(12))
+        net.attach(cid, client)
+        await net.start()
+        try:
+            assert await _submit(net, client, ("set", "pre", 0)) == ("ok", 1)
+            await hosts[3].close()  # crash under load
+
+            # Concurrent submissions keep several rounds in flight.
+            nonces = [client.submit(("set", f"k{i}", i)) for i in range(8)]
+            hosts[3] = ReplicaHost(tmp_path, 3)
+            await hosts[3].start(recover=True)
+            await net.wait_until(
+                lambda: all(n in client.completed for n in nonces), timeout=30
+            )
+            await _until(lambda: not hosts[3].replica.recovering, timeout=30)
+            assert await _submit(net, client, ("set", "post", 9)) == ("ok", 10)
+            await _until(
+                lambda: len(hosts[3].replica.executed) == 10, timeout=30
+            )
+            snapshot = hosts[3].replica.state_machine.snapshot()
+            expected = {f"k{i}": i for i in range(8)} | {"pre": 0, "post": 9}
+            assert dict(snapshot[1]) == expected
+            # Exactly-once delivery survived the crash/recovery.
+            for host in hosts.values():
+                payloads = [p for p, _r in host.replica.abc.delivered_log]
+                assert len(payloads) == len(set(payloads))
+        finally:
+            await net.close()
+            for host in hosts.values():
+                await host.close()
+
+    asyncio.run(scenario())

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.atomic_broadcast import AbcConfig
 from repro.core.protocol import Context
 from repro.core.runtime import ProtocolRuntime
 from repro.net.scheduler import PartitionScheduler
@@ -9,8 +10,8 @@ from repro.smr import KeyValueStore, build_service
 from repro.smr.replica import RecoverLog, Replica, service_session
 
 
-def _deploy(seed=51):
-    dep = build_service(4, KeyValueStore, t=1, seed=seed)
+def _deploy(seed=51, abc_config=None):
+    dep = build_service(4, KeyValueStore, t=1, seed=seed, abc_config=abc_config)
     client = dep.new_client()
     dep.network.start()
     return dep, client
@@ -20,12 +21,12 @@ def _drain(dep):
     dep.network.run(max_steps=600_000)
 
 
-def _fresh_rejoin(dep, party, seed=99):
+def _fresh_rejoin(dep, party, seed=99, abc_config=None):
     """Replace a crashed server with a fresh (state-less) replica."""
     runtime = ProtocolRuntime(
         party, dep.network, dep.keys.public, dep.keys.private[party], seed=seed
     )
-    replica = Replica(KeyValueStore())
+    replica = Replica(KeyValueStore(), abc_config=abc_config)
     runtime.spawn(service_session("service"), replica)
     dep.network.recover(party, runtime)
     replica.begin_recovery(Context(runtime, service_session("service")))
@@ -130,6 +131,60 @@ def test_recovery_under_active_partition_completes_after_heal():
     assert fresh.state_machine.data == {"a": 1, "b": 2, "c": 3}
     # The partition really was in force while recovery ran.
     assert dep.network.scheduler._delivered > 50
+
+
+def test_recovery_while_pipelined_rounds_in_flight():
+    """Crash and rejoin *mid-stream* under batching + pipelining: the
+    rejoined replica must adopt a vouched prefix, resume at the right
+    round, and converge — no double delivery, no stuck slot."""
+    config = AbcConfig(max_batch=2, pipeline_depth=3)
+    dep, client = _deploy(seed=57, abc_config=config)
+    prefix = [client.submit(("set", f"k{i}", i)) for i in range(2)]
+    dep.run_until_complete(client, prefix)
+    _drain(dep)
+
+    dep.network.crash(2)
+    # Enough load that several rounds overlap; run only partially so
+    # rounds are genuinely still in flight when the replica rejoins.
+    pending = [client.submit(("set", f"m{i}", i)) for i in range(6)]
+    dep.network.run(max_steps=3_000)
+    fresh = _fresh_rejoin(dep, 2, abc_config=config)
+    dep.run_until_complete(client, pending)
+    _drain(dep)
+    dep.run_until_complete(client, [client.submit(("set", "after", 1))])
+    _drain(dep)
+
+    assert not fresh.recovering
+    snapshots = {r.state_machine.snapshot() for r in dep.replicas.values()}
+    assert len(snapshots) == 1
+    assert fresh.state_machine.data.get("after") == 1
+    for replica in dep.replicas.values():
+        payloads = [p for p, _r in replica.abc.delivered_log]
+        assert len(payloads) == len(set(payloads))  # delivered exactly once
+    assert fresh.abc.round == dep.replicas[0].abc.round
+
+
+def test_inflated_round_claim_cannot_stall_recovery():
+    """A corrupt responder claiming a far-future round (with an empty
+    log) finds no honest-containing set of supporters, so the rejoiner
+    neither adopts it nor fast-forwards past live rounds."""
+    dep, client = _deploy(seed=58)
+    dep.run_until_complete(client, [client.submit(("set", "real", 1))])
+    _drain(dep)
+    dep.network.crash(2)
+    _drain(dep)
+    fresh = _fresh_rejoin(dep, 2)
+    forged = RecoverLog(entries=(), round=50)
+    dep.network.send(0, 2, (service_session("service"), forged))
+    _drain(dep)
+    # The claim was ignored: the rejoiner sits at the peers' true round
+    # and keeps executing new operations (no skipped-slot deadlock).
+    assert fresh.abc.round == dep.replicas[0].abc.round
+    dep.run_until_complete(client, [client.submit(("set", "post", 2))])
+    _drain(dep)
+    snapshots = {r.state_machine.snapshot() for r in dep.replicas.values()}
+    assert len(snapshots) == 1
+    assert fresh.state_machine.data == {"real": 1, "post": 2}
 
 
 def test_causal_replica_refuses_recovery():
