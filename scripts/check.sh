@@ -121,10 +121,20 @@ print(f"bench e2e smoke: ok "
 EOF
     fi
 
+    step "bench regression guard (fresh smoke vs committed artifacts)"
+    if ! python -m repro bench guard \
+            --crypto-fresh /tmp/repro-bench-smoke.json \
+            --e2e-fresh /tmp/repro-bench-e2e-smoke.json; then
+        echo "bench guard: FAILED (perf regression vs committed artifacts)"
+        failures=$((failures + 1))
+    fi
+
     step "chaos smoke (seeded fault injection, docs/CHAOS.md)"
     if ! python -m repro chaos run --scenario partition-heal \
-            --journal /tmp/repro-chaos-journal.json > /dev/null; then
+            --journal /tmp/repro-chaos-journal.json \
+            --failure-json /tmp/repro-chaos-failure.json > /dev/null; then
         echo "chaos smoke: FAILED (safety/liveness checker)"
+        [ -f /tmp/repro-chaos-failure.json ] && cat /tmp/repro-chaos-failure.json
         failures=$((failures + 1))
     elif ! python -m repro chaos replay \
             --journal /tmp/repro-chaos-journal.json > /dev/null; then
@@ -132,6 +142,23 @@ EOF
         failures=$((failures + 1))
     else
         echo "chaos smoke: ok"
+    fi
+
+    step "sweep smoke (grid-driven chaos campaign, docs/CHAOS.md)"
+    if ! python -m repro sweep --smoke --out /tmp/repro-sweep.json \
+            --repro-dir /tmp/repro-sweep-repro > /tmp/repro-sweep.log 2>&1; then
+        tail -40 /tmp/repro-sweep.log
+        echo "sweep smoke: FAILED (a cell mismatched its expectation)"
+        failures=$((failures + 1))
+    else
+        python - <<'EOF'
+import json
+report = json.load(open("/tmp/repro-sweep.json"))
+totals = report["totals"]
+assert totals["runs"] >= 20, f"sweep smoke ran only {totals['runs']} cells"
+print(f"sweep smoke: ok ({totals['runs']} runs: {totals['passed']} passed, "
+      f"{totals['expected_violations']} expected violation(s) fired)")
+EOF
     fi
 fi
 

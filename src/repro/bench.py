@@ -34,7 +34,7 @@ from .crypto.threshold_enc import deal_encryption
 from .crypto.threshold_sig import deal_quorum_certs, deal_shoup_rsa
 from .crypto.zkp import DleqProof
 
-__all__ = ["run_benchmarks", "main"]
+__all__ = ["run_benchmarks", "main", "guard_compare", "main_guard"]
 
 # The headline configuration from ISSUE tracking: a 16-server system
 # tolerating 5 corruptions (quorums of t+1 = 6 open the coin).
@@ -606,4 +606,127 @@ def main(seed: int, out: str, smoke: bool) -> int:
             f"({section['messages_delivered']} messages)"
         )
     print(f"wrote {out}")
+    return 0
+
+
+# -- regression guard -------------------------------------------------------------
+#
+# CI produces fresh *smoke* numbers and compares them against the
+# committed full-mode artifacts, so the catalogue records how much each
+# metric sags in smoke mode (fewer repeats, smaller keys, shorter
+# windows).  The floor for a metric is
+#
+#     committed * (1 - tolerance - smoke_slack)
+#
+# where smoke_slack applies only when the fresh and committed runs used
+# different modes.  Primitives ratios are stable across modes (tight
+# slack); quorum and end-to-end ratios are timing-noise dominated in
+# smoke mode (loose slack) — the guard still catches the catastrophic
+# regressions (an accidentally disabled fast path reads ~1.0x).
+
+# (path, smoke_slack) per artifact kind; paths are dotted keys.
+GUARD_METRICS: dict[str, tuple[tuple[str, float], ...]] = {
+    "crypto": (
+        ("primitives.multiexp_speedup", 0.15),
+        ("primitives.fixed_base_speedup", 0.15),
+        ("primitives.membership_speedup", 0.15),
+        ("coin_quorum.speedup_batch_vs_legacy", 0.45),
+        ("rsa_quorum.speedup_batch_vs_per_share", 0.45),
+    ),
+    "e2e": (
+        ("speedup_committed_ops_per_s", 0.60),
+    ),
+}
+
+
+def _dig(data: dict, path: str) -> object | None:
+    node: object = data
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def guard_compare(
+    kind: str, fresh: dict, committed: dict, tolerance: float = 0.30
+) -> tuple[list[str], list[str]]:
+    """Compare fresh bench numbers against a committed artifact.
+
+    Returns ``(failures, notes)``; empty ``failures`` means no metric
+    regressed below its floor.  Pure function over the two JSON dicts,
+    so it is unit-testable without running any benchmark.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    fresh_smoke = bool(_dig(fresh, "config.smoke"))
+    committed_smoke = bool(_dig(committed, "config.smoke"))
+    modes_differ = fresh_smoke != committed_smoke
+    for path, smoke_slack in GUARD_METRICS.get(kind, ()):
+        reference = _dig(committed, path)
+        current = _dig(fresh, path)
+        if not isinstance(reference, (int, float)):
+            notes.append(f"{kind}:{path}: not in committed artifact, skipped")
+            continue
+        if not isinstance(current, (int, float)):
+            failures.append(f"{kind}:{path}: missing from fresh results")
+            continue
+        slack = smoke_slack if modes_differ else 0.0
+        floor = reference * (1.0 - tolerance - slack)
+        if current < floor:
+            failures.append(
+                f"{kind}:{path}: {current:.3f} < floor {floor:.3f} "
+                f"(committed {reference:.3f}, tolerance {tolerance:.0%}"
+                + (f" + smoke slack {slack:.0%}" if slack else "")
+                + ")"
+            )
+        else:
+            notes.append(
+                f"{kind}:{path}: {current:.3f} vs committed {reference:.3f} "
+                f"(floor {floor:.3f}) ok"
+            )
+    return failures, notes
+
+
+def main_guard(
+    crypto_fresh: str | None,
+    e2e_fresh: str | None,
+    crypto_committed: str = "BENCH_crypto.json",
+    e2e_committed: str = "BENCH_e2e.json",
+    tolerance: float = 0.30,
+) -> int:
+    """CLI driver for ``python -m repro bench guard``."""
+    import pathlib
+
+    pairs = []
+    if crypto_fresh is not None:
+        pairs.append(("crypto", crypto_fresh, crypto_committed))
+    if e2e_fresh is not None:
+        pairs.append(("e2e", e2e_fresh, e2e_committed))
+    if not pairs:
+        print("bench guard: nothing to compare "
+              "(pass --crypto-fresh and/or --e2e-fresh)")
+        return 2
+    all_failures: list[str] = []
+    for kind, fresh_path, committed_path in pairs:
+        for label, path in (("fresh", fresh_path), ("committed", committed_path)):
+            if not pathlib.Path(path).exists():
+                print(f"bench guard: {kind} {label} file {path} not found")
+                return 2
+        with open(fresh_path, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+        with open(committed_path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+        failures, notes = guard_compare(
+            kind, fresh, committed, tolerance=tolerance
+        )
+        for note in notes:
+            print(f"bench guard: {note}")
+        for failure in failures:
+            print(f"bench guard: REGRESSION {failure}")
+        all_failures.extend(failures)
+    if all_failures:
+        print(f"bench guard: FAILED ({len(all_failures)} regression(s))")
+        return 1
+    print("bench guard: ok")
     return 0

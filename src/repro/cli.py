@@ -191,6 +191,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return chaos.run_scenario(
             scenario, directory=args.dir, keep=args.keep,
             journal_out=args.journal,
+            failure_out=args.failure_json,
+            scenario_ref=args.scenario,
         )
     return chaos.replay_journal(
         args.journal, seed=args.chaos_seed, execute=args.execute,
@@ -239,11 +241,50 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
+    if args.mode == "guard":
+        return bench.main_guard(
+            crypto_fresh=args.crypto_fresh,
+            e2e_fresh=args.e2e_fresh,
+            crypto_committed=args.crypto_committed,
+            e2e_committed=args.e2e_committed,
+            tolerance=args.tolerance,
+        )
     if args.mode == "e2e":
         out = args.out if args.out is not None else "BENCH_e2e.json"
         return bench.main_e2e(seed=args.seed, out=out, smoke=args.smoke)
     out = args.out if args.out is not None else "BENCH_crypto.json"
     return bench.main(seed=args.seed, out=out, smoke=args.smoke)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .net import sweep
+    from .net.chaos import ScenarioError
+
+    if args.grid is not None:
+        path = pathlib.Path(args.grid)
+        if not path.exists():
+            print(f"sweep: no such grid file {args.grid}", file=sys.stderr)
+            return 2
+        try:
+            spec = sweep.SweepSpec.from_json(json.loads(path.read_text()))
+        except (ScenarioError, ValueError) as exc:
+            print(f"sweep: invalid grid {args.grid}: {exc}", file=sys.stderr)
+            return 2
+    elif args.smoke:
+        spec = sweep.smoke_spec()
+    else:
+        spec = sweep.nightly_spec()
+    return sweep.run_sweep(
+        spec,
+        out=args.out,
+        markdown=args.markdown,
+        repro_dir=args.repro_dir,
+        workers=args.workers,
+        tcp_override=args.tcp,
+    )
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -428,6 +469,11 @@ def main(argv: list[str] | None = None) -> int:
                            help="keep the working directory afterwards")
     chaos_run.add_argument("--journal", default="chaos-journal.json",
                            help="where to write the run journal")
+    chaos_run.add_argument(
+        "--failure-json", default="chaos-failure.json", dest="failure_json",
+        help="where to write a machine-readable failure record (violation "
+             "kinds, seed, scenario) when a checker fires",
+    )
     chaos_run.set_defaults(func=_cmd_chaos)
     chaos_replay = chaos_sub.add_parser(
         "replay",
@@ -470,14 +516,60 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     bench.add_argument("mode", nargs="?", default="crypto",
-                       choices=["crypto", "e2e"],
-                       help="benchmark family to run (default: crypto)")
+                       choices=["crypto", "e2e", "guard"],
+                       help="benchmark family to run, or 'guard' to compare "
+                            "fresh numbers against the committed artifacts "
+                            "(default: crypto)")
     bench.add_argument("--out", default=None,
                        help="output JSON path (default: BENCH_crypto.json "
                             "or BENCH_e2e.json by mode)")
     bench.add_argument("--smoke", action="store_true",
                        help="minimal repeats/sizes; wiring check for CI")
+    bench.add_argument("--crypto-fresh", default=None, dest="crypto_fresh",
+                       help="guard: freshly produced crypto bench JSON")
+    bench.add_argument("--e2e-fresh", default=None, dest="e2e_fresh",
+                       help="guard: freshly produced e2e bench JSON")
+    bench.add_argument("--crypto-committed", default="BENCH_crypto.json",
+                       dest="crypto_committed",
+                       help="guard: committed crypto artifact to compare to")
+    bench.add_argument("--e2e-committed", default="BENCH_e2e.json",
+                       dest="e2e_committed",
+                       help="guard: committed e2e artifact to compare to")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="guard: max fractional regression before failing "
+                            "(default 0.30)")
     bench.set_defaults(func=_cmd_bench)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid-driven chaos campaign over shapes, faults, latency and load",
+        description=(
+            "Expand a declarative sweep grid into concrete chaos scenarios "
+            "and run them — in-process simulator cells for breadth plus a "
+            "sampled subset on the real subprocess TCP cluster for depth — "
+            "judging every run with the safety/liveness oracles. Writes a "
+            "schema-stable SWEEP.json, an optional markdown table, and a "
+            "self-contained repro bundle (accepted verbatim by 'chaos "
+            "replay') for every violating cell. Exits 0 iff every cell "
+            "matched its expectation. See docs/CHAOS.md."
+        ),
+    )
+    sweep.add_argument("--smoke", action="store_true",
+                       help="run the small PR-gate grid instead of the "
+                            "nightly campaign")
+    sweep.add_argument("--grid", default=None,
+                       help="path to a JSON SweepSpec (overrides --smoke)")
+    sweep.add_argument("--out", default="SWEEP.json",
+                       help="aggregated report path (default: SWEEP.json)")
+    sweep.add_argument("--markdown", default=None,
+                       help="also render a markdown table to this path")
+    sweep.add_argument("--repro-dir", default="sweep-repro", dest="repro_dir",
+                       help="directory for failing-cell repro bundles")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="simulator worker processes (<=1 runs inline)")
+    sweep.add_argument("--tcp", type=int, default=None,
+                       help="override the grid's TCP cell count (0 disables)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     lint = sub.add_parser(
         "lint",

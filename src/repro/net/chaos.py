@@ -68,6 +68,7 @@ from .checkers import (
     check_liveness,
     check_safety,
     read_journals,
+    violation_kinds,
 )
 from .runtime import (
     CLUSTER_FILE,
@@ -81,8 +82,13 @@ from .transport import FaultPlan, FrameFault, TransportNetwork
 
 __all__ = [
     "FAULTS_FILE",
+    "FAULT_TEMPLATES",
+    "LATENCY_TEMPLATES",
+    "LIFECYCLE_ACTIONS",
+    "LOAD_TEMPLATES",
     "PartitionSpec",
     "FaultSpec",
+    "ScenarioError",
     "SeededFaultPlan",
     "save_fault_plan",
     "load_fault_plan",
@@ -90,6 +96,11 @@ __all__ = [
     "LifecycleEvent",
     "Scenario",
     "builtin_scenarios",
+    "failure_record",
+    "fault_template",
+    "latency_template",
+    "load_template",
+    "parameterize_scenario",
     "plan_timeline",
     "corrupt_checkpoint",
     "run_scenario",
@@ -98,6 +109,28 @@ __all__ = [
 
 FAULTS_FILE = "faults.json"
 DEFAULT_JOURNAL = "chaos-journal.json"
+
+LIFECYCLE_ACTIONS = ("kill", "restart", "suspend", "resume", "corrupt-checkpoint")
+
+
+class ScenarioError(ValueError):
+    """A declarative spec (scenario, fault plan, sweep grid) is malformed."""
+
+
+def _reject_unknown_keys(data: dict, allowed: set[str], what: str) -> None:
+    """Specs gate CI runs, so a typo must fail loudly instead of
+    silently running a different scenario than the one written."""
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ScenarioError(
+            f"{what}: unknown key(s) {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
 
 
 # -- declarative fault plans --------------------------------------------------------
@@ -117,11 +150,22 @@ class PartitionSpec:
 
     @classmethod
     def from_json(cls, data: dict) -> "PartitionSpec":
-        return cls(
-            start=float(data["start"]),
-            stop=float(data["stop"]),
-            group=tuple(int(p) for p in data["group"]),
+        _reject_unknown_keys(data, {"start", "stop", "group"}, "partition")
+        try:
+            cut = cls(
+                start=float(data["start"]),
+                stop=float(data["stop"]),
+                group=tuple(int(p) for p in data["group"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"partition: {exc!r}") from exc
+        _require(cut.start >= 0.0, f"partition: negative start {cut.start}")
+        _require(
+            cut.stop > cut.start,
+            f"partition: stop {cut.stop} must be after start {cut.start}",
         )
+        _require(bool(cut.group), "partition: empty group cuts nothing")
+        return cut
 
 
 @dataclass(frozen=True)
@@ -156,18 +200,42 @@ class FaultSpec:
 
     @classmethod
     def from_json(cls, data: dict) -> "FaultSpec":
-        return cls(
-            reset_rate=float(data.get("reset_rate", 0.0)),
-            corrupt_rate=float(data.get("corrupt_rate", 0.0)),
-            duplicate_rate=float(data.get("duplicate_rate", 0.0)),
-            delay_rate=float(data.get("delay_rate", 0.0)),
-            max_delay=float(data.get("max_delay", 0.05)),
-            hold_rate=float(data.get("hold_rate", 0.0)),
-            max_hold=float(data.get("max_hold", 0.2)),
-            partitions=tuple(
-                PartitionSpec.from_json(cut) for cut in data.get("partitions", ())
-            ),
+        _reject_unknown_keys(
+            data,
+            {
+                "reset_rate", "corrupt_rate", "duplicate_rate", "delay_rate",
+                "max_delay", "hold_rate", "max_hold", "partitions",
+            },
+            "faults",
         )
+        try:
+            spec = cls(
+                reset_rate=float(data.get("reset_rate", 0.0)),
+                corrupt_rate=float(data.get("corrupt_rate", 0.0)),
+                duplicate_rate=float(data.get("duplicate_rate", 0.0)),
+                delay_rate=float(data.get("delay_rate", 0.0)),
+                max_delay=float(data.get("max_delay", 0.05)),
+                hold_rate=float(data.get("hold_rate", 0.0)),
+                max_hold=float(data.get("max_hold", 0.2)),
+                partitions=tuple(
+                    PartitionSpec.from_json(cut)
+                    for cut in data.get("partitions", ())
+                ),
+            )
+        except ScenarioError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"faults: {exc!r}") from exc
+        for name in ("reset_rate", "corrupt_rate", "duplicate_rate",
+                     "delay_rate", "hold_rate"):
+            rate = getattr(spec, name)
+            _require(
+                0.0 <= rate <= 1.0,
+                f"faults: {name}={rate} must be a probability in [0, 1]",
+            )
+        _require(spec.max_delay >= 0.0, f"faults: negative max_delay {spec.max_delay}")
+        _require(spec.max_hold >= 0.0, f"faults: negative max_hold {spec.max_hold}")
+        return spec
 
 
 class SeededFaultPlan(FaultPlan):
@@ -377,11 +445,23 @@ class LifecycleEvent:
 
     @classmethod
     def from_json(cls, data: dict) -> "LifecycleEvent":
-        return cls(
-            at=float(data["at"]),
-            action=str(data["action"]),
-            party=int(data["party"]),
+        _reject_unknown_keys(data, {"at", "action", "party"}, "event")
+        try:
+            event = cls(
+                at=float(data["at"]),
+                action=str(data["action"]),
+                party=int(data["party"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"event: {exc!r}") from exc
+        _require(event.at >= 0.0, f"event: negative time {event.at}")
+        _require(
+            event.action in LIFECYCLE_ACTIONS,
+            f"event: unknown action {event.action!r} "
+            f"(expected one of {', '.join(LIFECYCLE_ACTIONS)})",
         )
+        _require(event.party >= 0, f"event: negative party {event.party}")
+        return event
 
 
 @dataclass(frozen=True)
@@ -439,38 +519,124 @@ class Scenario:
 
     @classmethod
     def from_json(cls, data: dict) -> "Scenario":
-        return cls(
-            name=str(data["name"]),
-            n=int(data.get("n", 4)),
-            t=int(data.get("t", 1)),
-            seed=int(data.get("seed", 0)),
-            ops=int(data.get("ops", 6)),
-            faults=FaultSpec.from_json(data.get("faults", {})),
-            events=tuple(
-                LifecycleEvent.from_json(event) for event in data.get("events", ())
-            ),
-            byzantine=tuple(
-                (int(party), str(kind))
-                for party, kind in data.get("byzantine", ())
-            ),
-            io_timeout=float(data.get("io_timeout", 45.0)),
-            op_timeout=float(data.get("op_timeout", 30.0)),
-            liveness_bound=float(data.get("liveness_bound", 20.0)),
-            liveness_probes=int(data.get("liveness_probes", 2)),
-            checkpoint_every=int(data.get("checkpoint_every", 2)),
-            workload_start=float(data.get("workload_start", 2.0)),
-            op_concurrency=int(data.get("op_concurrency", 1)),
-            abc_max_batch=(
-                int(data["abc_max_batch"])
-                if data.get("abc_max_batch") is not None
-                else None
-            ),
-            abc_pipeline_depth=(
-                int(data["abc_pipeline_depth"])
-                if data.get("abc_pipeline_depth") is not None
-                else None
-            ),
+        _reject_unknown_keys(
+            data,
+            {
+                "name", "n", "t", "seed", "ops", "faults", "events",
+                "byzantine", "io_timeout", "op_timeout", "liveness_bound",
+                "liveness_probes", "checkpoint_every", "workload_start",
+                "op_concurrency", "abc_max_batch", "abc_pipeline_depth",
+            },
+            "scenario",
         )
+        _require("name" in data, "scenario: missing name")
+        try:
+            scenario = cls(
+                name=str(data["name"]),
+                n=int(data.get("n", 4)),
+                t=int(data.get("t", 1)),
+                seed=int(data.get("seed", 0)),
+                ops=int(data.get("ops", 6)),
+                faults=FaultSpec.from_json(data.get("faults", {})),
+                events=tuple(
+                    LifecycleEvent.from_json(event)
+                    for event in data.get("events", ())
+                ),
+                byzantine=tuple(
+                    (int(party), str(kind))
+                    for party, kind in data.get("byzantine", ())
+                ),
+                io_timeout=float(data.get("io_timeout", 45.0)),
+                op_timeout=float(data.get("op_timeout", 30.0)),
+                liveness_bound=float(data.get("liveness_bound", 20.0)),
+                liveness_probes=int(data.get("liveness_probes", 2)),
+                checkpoint_every=int(data.get("checkpoint_every", 2)),
+                workload_start=float(data.get("workload_start", 2.0)),
+                op_concurrency=int(data.get("op_concurrency", 1)),
+                abc_max_batch=(
+                    int(data["abc_max_batch"])
+                    if data.get("abc_max_batch") is not None
+                    else None
+                ),
+                abc_pipeline_depth=(
+                    int(data["abc_pipeline_depth"])
+                    if data.get("abc_pipeline_depth") is not None
+                    else None
+                ),
+            )
+        except ScenarioError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"scenario: {exc!r}") from exc
+        scenario.validate()
+        return scenario
+
+    def validate(self) -> None:
+        """Structural sanity for specs that reach the run/sweep layer;
+        raises :class:`ScenarioError` on the first violation."""
+        _require(self.n >= 1, f"scenario: n={self.n} must be at least 1")
+        _require(
+            0 <= self.t < self.n,
+            f"scenario: t={self.t} must satisfy 0 <= t < n={self.n}",
+        )
+        _require(self.ops >= 0, f"scenario: negative ops {self.ops}")
+        _require(
+            self.op_concurrency >= 1,
+            f"scenario: op_concurrency={self.op_concurrency} must be >= 1",
+        )
+        for label, value in (
+            ("io_timeout", self.io_timeout),
+            ("op_timeout", self.op_timeout),
+            ("liveness_bound", self.liveness_bound),
+        ):
+            _require(value > 0.0, f"scenario: {label}={value} must be positive")
+        _require(
+            self.liveness_probes >= 0,
+            f"scenario: negative liveness_probes {self.liveness_probes}",
+        )
+        _require(
+            self.checkpoint_every >= 1,
+            f"scenario: checkpoint_every={self.checkpoint_every} must be >= 1",
+        )
+        _require(
+            self.workload_start >= 0.0,
+            f"scenario: negative workload_start {self.workload_start}",
+        )
+        for knob, value in (
+            ("abc_max_batch", self.abc_max_batch),
+            ("abc_pipeline_depth", self.abc_pipeline_depth),
+        ):
+            _require(
+                value is None or value >= 1,
+                f"scenario: {knob}={value} must be >= 1",
+            )
+        seen: set[int] = set()
+        for party, kind in self.byzantine:
+            _require(
+                0 <= party < self.n,
+                f"scenario: byzantine party {party} outside 0..{self.n - 1}",
+            )
+            _require(
+                kind in BYZANTINE_KINDS,
+                f"scenario: unknown byzantine kind {kind!r} "
+                f"(expected one of {', '.join(BYZANTINE_KINDS)})",
+            )
+            _require(
+                party not in seen,
+                f"scenario: party {party} corrupted twice",
+            )
+            seen.add(party)
+        for event in self.events:
+            _require(
+                0 <= event.party < self.n,
+                f"scenario: event party {event.party} outside 0..{self.n - 1}",
+            )
+        for cut in self.faults.partitions:
+            for party in cut.group:
+                _require(
+                    0 <= party < self.n,
+                    f"scenario: partition party {party} outside 0..{self.n - 1}",
+                )
 
 
 def builtin_scenarios() -> dict[str, Scenario]:
@@ -546,6 +712,138 @@ def builtin_scenarios() -> dict[str, Scenario]:
             partition_heal, kill_recover, stall, torture, pipeline_load
         )
     }
+
+
+# -- scenario templating (the sweep harness's parameterization surface) -------------
+#
+# A sweep grid names a *fault mix*, a *latency distribution* and a
+# *client load* per axis value; these templates turn those names into
+# concrete FaultSpec/LifecycleEvent/workload fragments, parameterized by
+# the cluster size where that matters (partition groups, churn victims).
+
+FAULT_TEMPLATES = ("clean", "lossy", "duplicating", "partition", "churn")
+LATENCY_TEMPLATES = ("none", "jitter", "heavy")
+LOAD_TEMPLATES = ("serial", "pipelined", "heavy")
+
+
+def fault_template(
+    name: str, n: int
+) -> tuple[FaultSpec, tuple[LifecycleEvent, ...]]:
+    """A named fault mix instantiated for an ``n``-party cluster.
+
+    Returns the base :class:`FaultSpec` plus any lifecycle events the
+    mix implies (``churn`` kills and restarts the highest-numbered
+    party).  Latency overlays from :func:`latency_template` compose on
+    top of the returned spec.
+    """
+    if name == "clean":
+        return FaultSpec(), ()
+    if name == "lossy":
+        return FaultSpec(reset_rate=0.03, corrupt_rate=0.02), ()
+    if name == "duplicating":
+        return FaultSpec(duplicate_rate=0.08, hold_rate=0.1, max_hold=0.08), ()
+    if name == "partition":
+        _require(n >= 2, f"fault template 'partition' needs n >= 2, got {n}")
+        return (
+            FaultSpec(
+                duplicate_rate=0.04,
+                partitions=(
+                    PartitionSpec(start=2.6, stop=4.4, group=(n - 1,)),
+                ),
+            ),
+            (),
+        )
+    if name == "churn":
+        _require(n >= 2, f"fault template 'churn' needs n >= 2, got {n}")
+        return (
+            FaultSpec(reset_rate=0.02),
+            (
+                LifecycleEvent(at=3.0, action="kill", party=n - 1),
+                LifecycleEvent(at=4.2, action="restart", party=n - 1),
+            ),
+        )
+    raise ScenarioError(
+        f"unknown fault template {name!r} "
+        f"(expected one of {', '.join(FAULT_TEMPLATES)})"
+    )
+
+
+def latency_template(name: str) -> dict:
+    """A named latency/jitter distribution as a FaultSpec field overlay
+    (applied with :func:`dataclasses.replace` over the fault mix)."""
+    if name == "none":
+        return {}
+    if name == "jitter":
+        return {
+            "delay_rate": 0.2, "max_delay": 0.02,
+            "hold_rate": 0.1, "max_hold": 0.05,
+        }
+    if name == "heavy":
+        return {
+            "delay_rate": 0.45, "max_delay": 0.06,
+            "hold_rate": 0.25, "max_hold": 0.15,
+        }
+    raise ScenarioError(
+        f"unknown latency template {name!r} "
+        f"(expected one of {', '.join(LATENCY_TEMPLATES)})"
+    )
+
+
+def load_template(name: str) -> dict:
+    """A named client workload as Scenario field overrides (op count,
+    concurrency, atomic-broadcast batching/pipelining knobs)."""
+    if name == "serial":
+        return {"ops": 6, "op_concurrency": 1}
+    if name == "pipelined":
+        return {
+            "ops": 10, "op_concurrency": 4,
+            "abc_max_batch": 8, "abc_pipeline_depth": 3,
+        }
+    if name == "heavy":
+        return {
+            "ops": 16, "op_concurrency": 8,
+            "abc_max_batch": 16, "abc_pipeline_depth": 4,
+        }
+    raise ScenarioError(
+        f"unknown load template {name!r} "
+        f"(expected one of {', '.join(LOAD_TEMPLATES)})"
+    )
+
+
+def parameterize_scenario(
+    name: str,
+    *,
+    n: int,
+    t: int,
+    seed: int,
+    fault: str = "clean",
+    latency: str = "none",
+    load: str = "serial",
+    byzantine: tuple[tuple[int, str], ...] = (),
+) -> Scenario:
+    """Compose a concrete :class:`Scenario` from template names.
+
+    This is the sweep harness's expansion primitive: one grid cell =
+    one call.  The composed scenario is validated, so a malformed cell
+    (byzantine party out of range, t >= n, ...) fails at expansion time
+    rather than mid-campaign.
+    """
+    faults, events = fault_template(fault, n)
+    overlay = latency_template(latency)
+    if overlay:
+        faults = replace(faults, **overlay)
+    scenario = Scenario(
+        name=name,
+        n=n,
+        t=t,
+        seed=seed,
+        faults=faults,
+        events=events,
+        byzantine=tuple(byzantine),
+        **load_template(load),
+    )
+    scenario.validate()
+    return scenario
 
 
 def plan_timeline(scenario: Scenario) -> list[dict]:
@@ -858,10 +1156,33 @@ def resolve_scenario(name_or_path: str, seed: int | None = None) -> Scenario:
                 f"chaos: unknown scenario {name_or_path!r} "
                 f"(builtins: {', '.join(sorted(scenarios))})"
             )
-        scenario = Scenario.from_json(json.loads(path.read_text()))
+        try:
+            scenario = Scenario.from_json(json.loads(path.read_text()))
+        except ScenarioError as exc:
+            raise SystemExit(f"chaos: invalid scenario {name_or_path}: {exc}") from exc
     if seed is not None:
         scenario = replace(scenario, seed=seed)
     return scenario
+
+
+def failure_record(
+    report: dict, scenario_ref: str | None = None
+) -> dict:
+    """The machine-readable verdict CI jobs and the sweep gate on: the
+    violation kinds, the seed that reproduces the run, and where the
+    scenario came from."""
+    scenario = report.get("scenario", {})
+    return {
+        "failed": not report.get("ok", False),
+        "scenario": scenario.get("name"),
+        "seed": scenario.get("seed"),
+        "scenario_ref": scenario_ref,
+        "violations": violation_kinds(report),
+        "issues": (
+            (report.get("safety") or {}).get("issues", [])
+            + (report.get("liveness") or {}).get("issues", [])
+        ),
+    }
 
 
 def run_scenario(
@@ -869,12 +1190,17 @@ def run_scenario(
     directory: str | pathlib.Path | None = None,
     keep: bool = False,
     journal_out: str | pathlib.Path | None = DEFAULT_JOURNAL,
+    failure_out: str | pathlib.Path | None = None,
+    scenario_ref: str | None = None,
 ) -> int:
     """Execute a scenario end to end; returns a process exit code.
 
     Writes the run journal (scenario + derived timeline + observations
     + verdicts) to ``journal_out`` and to ``chaos-journal.json`` inside
-    the working directory.
+    the working directory.  When a checker fires and ``failure_out`` is
+    given, a machine-readable failure record (violation kinds, seed,
+    scenario reference) is written there so CI jobs and the sweep
+    harness can gate uniformly without parsing logs.
     """
     created = directory is None
     workdir = pathlib.Path(directory or tempfile.mkdtemp(prefix="repro-chaos-"))
@@ -890,6 +1216,11 @@ def run_scenario(
             print(f"chaos[{scenario.name}]: SAFETY: {issue}")
         for issue in report["liveness"]["issues"]:
             print(f"chaos[{scenario.name}]: LIVENESS: {issue}")
+        if failure_out is not None and not report["ok"]:
+            record = failure_record(report, scenario_ref=scenario_ref)
+            record["journal"] = str(journal_out) if journal_out else None
+            pathlib.Path(failure_out).write_text(json.dumps(record, indent=1))
+            print(f"chaos[{scenario.name}]: failure record written to {failure_out}")
         verdict = "ok" if report["ok"] else "FAILED"
         print(
             f"chaos[{scenario.name}]: {verdict} "

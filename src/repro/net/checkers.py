@@ -23,6 +23,7 @@ reusable against any journal source.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from dataclasses import dataclass, field
 
@@ -33,6 +34,9 @@ __all__ = [
     "read_journals",
     "check_safety",
     "check_liveness",
+    "percentile",
+    "summarize_run",
+    "violation_kinds",
 ]
 
 
@@ -90,14 +94,26 @@ def read_journals(
 
 @dataclass
 class SafetyReport:
-    """Verdict of the prefix-consistency / no-lost-commit check."""
+    """Verdict of the prefix-consistency / no-lost-commit check.
+
+    ``kinds`` classifies each issue with a stable machine-readable tag
+    (``safety.divergence``, ``safety.round-regression``,
+    ``safety.lost-commit``) so CI jobs and the sweep harness can gate
+    and aggregate on violation *kind* without parsing prose.
+    """
 
     ok: bool
     issues: list[str] = field(default_factory=list)
     longest: int = 0
+    kinds: list[str] = field(default_factory=list)
 
     def to_json(self) -> dict:
-        return {"ok": self.ok, "issues": self.issues, "longest": self.longest}
+        return {
+            "ok": self.ok,
+            "issues": self.issues,
+            "longest": self.longest,
+            "kinds": self.kinds,
+        }
 
 
 def check_safety(
@@ -113,6 +129,12 @@ def check_safety(
     logs still agree with each other.
     """
     issues: list[str] = []
+    kinds: list[str] = []
+
+    def flag(kind: str, message: str) -> None:
+        kinds.append(kind)
+        issues.append(message)
+
     parties = sorted(journals)
     # Batched rounds: several journal entries may share an ordering
     # round, but rounds must never decrease along any single journal —
@@ -124,10 +146,11 @@ def check_safety(
             if entry.round < 0:
                 continue  # legacy record without round information
             if entry.round < last_round:
-                issues.append(
+                flag(
+                    "safety.round-regression",
                     f"round regression in journal of replica {party} at "
                     f"position {position}: round {entry.round} after "
-                    f"round {last_round}"
+                    f"round {last_round}",
                 )
                 break
             last_round = entry.round
@@ -136,10 +159,11 @@ def check_safety(
             log_a, log_b = journals[a], journals[b]
             for position in range(min(len(log_a), len(log_b))):
                 if log_a[position] != log_b[position]:
-                    issues.append(
+                    flag(
+                        "safety.divergence",
                         f"divergence at position {position}: "
                         f"replica {a} executed {log_a[position]}, "
-                        f"replica {b} executed {log_b[position]}"
+                        f"replica {b} executed {log_b[position]}",
                     )
                     break  # one divergence per pair is enough evidence
     longest: list[JournalEntry] = []
@@ -150,22 +174,31 @@ def check_safety(
         executed_keys = {entry.key() for entry in longest}
         for entry in committed:
             if entry.key() not in executed_keys:
-                issues.append(
+                flag(
+                    "safety.lost-commit",
                     f"committed operation lost: client {entry.client} holds a "
                     f"signed answer for nonce {entry.nonce} ({entry.op!r}) but "
-                    f"no honest journal of maximal length contains it"
+                    f"no honest journal of maximal length contains it",
                 )
-    return SafetyReport(ok=not issues, issues=issues, longest=len(longest))
+    return SafetyReport(
+        ok=not issues, issues=issues, longest=len(longest), kinds=kinds
+    )
 
 
 @dataclass
 class LivenessReport:
-    """Verdict of the quiescent-window completion check."""
+    """Verdict of the quiescent-window completion check.
+
+    ``kinds`` carries the machine-readable violation tags
+    (``liveness.stuck`` for a probe that never completed,
+    ``liveness.slow`` for one that exceeded the bound).
+    """
 
     ok: bool
     bound: float
     probes: list[dict] = field(default_factory=list)
     issues: list[str] = field(default_factory=list)
+    kinds: list[str] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -173,22 +206,98 @@ class LivenessReport:
             "bound": self.bound,
             "probes": self.probes,
             "issues": self.issues,
+            "kinds": self.kinds,
         }
 
 
 def check_liveness(probes: list[dict], bound: float) -> LivenessReport:
     """Every probe submitted in a quiescent window must have completed
-    within ``bound`` seconds (``latency`` is ``None`` for a timeout)."""
+    within ``bound`` (seconds on the TCP backend, delivery steps on the
+    simulator; ``latency`` is ``None`` for a timeout)."""
     issues: list[str] = []
+    kinds: list[str] = []
     for probe in probes:
         latency = probe.get("latency")
         if latency is None:
+            kinds.append("liveness.stuck")
             issues.append(f"probe {probe.get('op')!r} never completed")
         elif latency > bound:
+            kinds.append("liveness.slow")
             issues.append(
                 f"probe {probe.get('op')!r} took {latency:.2f}s "
                 f"(bound {bound:.2f}s)"
             )
     return LivenessReport(
-        ok=not issues, bound=bound, probes=list(probes), issues=issues
+        ok=not issues, bound=bound, probes=list(probes), issues=issues,
+        kinds=kinds,
     )
+
+
+# -- per-run summary extraction ------------------------------------------------------
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (q in [0, 1]); ``None`` on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def violation_kinds(report: dict) -> list[str]:
+    """The machine-readable violation tags of a run report (journal
+    dict as written by ``chaos run`` or the sweep's simulator path).
+
+    Journals written before ``kinds`` existed fall back to a generic
+    per-checker tag so old artifacts still aggregate.
+    """
+    kinds: list[str] = []
+    for checker in ("safety", "liveness"):
+        verdict = report.get(checker) or {}
+        tags = verdict.get("kinds")
+        if tags is None:
+            tags = [f"{checker}.violation"] if verdict.get("issues") else []
+        kinds.extend(tags)
+    return kinds
+
+
+def summarize_run(report: dict) -> dict:
+    """Schema-stable summary of one chaos/sweep run report.
+
+    Extracts what the sweep aggregates per grid cell: commit counts,
+    workload-op and probe latency percentiles, and committed ops/sec.
+    Latencies are in the report's ``latency_unit`` (``seconds`` for TCP
+    runs, ``steps`` for simulator runs — ops/sec is only computed for
+    wall-clock units).  Pure function over the report dict, so it works
+    on journals from disk as well as in-process results.
+    """
+    events = report.get("events", [])
+    op_events = [e for e in events if e.get("kind") == "op"]
+    op_latencies = [
+        e["latency"] for e in op_events if e.get("latency") is not None
+    ]
+    probes = (report.get("liveness") or {}).get("probes", [])
+    probe_latencies = [
+        p["latency"] for p in probes if p.get("latency") is not None
+    ]
+    unit = report.get("latency_unit", "seconds")
+    committed = int(report.get("committed", 0))
+    ops_per_s: float | None = None
+    if unit == "seconds":
+        stamps = [e["at_actual"] for e in events if "at_actual" in e]
+        span = max(stamps) - min(stamps) if len(stamps) >= 2 else 0.0
+        if committed and span > 0:
+            ops_per_s = committed / span
+    return {
+        "ok": bool(report.get("ok")),
+        "committed": committed,
+        "ops": len(op_events),
+        "probes": len(probes),
+        "latency_unit": unit,
+        "latency_p50": percentile(op_latencies, 0.5),
+        "latency_p99": percentile(op_latencies, 0.99),
+        "probe_p50": percentile(probe_latencies, 0.5),
+        "ops_per_s": ops_per_s,
+        "violations": violation_kinds(report),
+    }

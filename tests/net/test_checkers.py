@@ -8,7 +8,10 @@ from repro.net.checkers import (
     JournalEntry,
     check_liveness,
     check_safety,
+    percentile,
     read_journals,
+    summarize_run,
+    violation_kinds,
 )
 
 
@@ -94,7 +97,7 @@ def test_round_regression_reported_once_per_journal():
 def test_safety_report_serializes():
     report = check_safety({0: [entry(1)], 1: [entry(1)]}, committed=[entry(1)])
     data = json.loads(json.dumps(report.to_json()))
-    assert data == {"ok": True, "issues": [], "longest": 1}
+    assert data == {"ok": True, "issues": [], "longest": 1, "kinds": []}
 
 
 # -- journal files ------------------------------------------------------------------
@@ -145,3 +148,95 @@ def test_slow_probe_fails_liveness():
     report = check_liveness([{"op": ["set", "p", 0], "latency": 9.5}], bound=5.0)
     assert not report.ok
     assert "bound" in report.issues[0]
+
+
+# -- violation tags -----------------------------------------------------------------
+
+
+def test_checkers_tag_their_violations():
+    divergent = check_safety(
+        {0: [entry(1)], 1: [entry(9, op=("set", "evil", 9))]}
+    )
+    assert divergent.kinds == ["safety.divergence"]
+    lost = check_safety({0: [entry(1)]}, committed=[entry(3)])
+    assert lost.kinds == ["safety.lost-commit"]
+    regressed = check_safety({0: [entry(1, round=2), entry(2, round=1)]})
+    assert regressed.kinds == ["safety.round-regression"]
+    stuck = check_liveness([{"op": ["get", "x"], "latency": None}], bound=5.0)
+    assert stuck.kinds == ["liveness.stuck"]
+    slow = check_liveness([{"op": ["get", "x"], "latency": 9.0}], bound=5.0)
+    assert slow.kinds == ["liveness.slow"]
+
+
+def test_violation_kinds_collects_both_checkers():
+    report = {
+        "safety": {"issues": ["boom"], "kinds": ["safety.divergence"]},
+        "liveness": {"issues": ["stuck"], "kinds": ["liveness.stuck"]},
+    }
+    assert violation_kinds(report) == ["safety.divergence", "liveness.stuck"]
+    assert violation_kinds({"safety": {"issues": [], "kinds": []}}) == []
+
+
+def test_violation_kinds_falls_back_for_legacy_journals():
+    # Journals written before `kinds` existed carry only prose issues.
+    legacy = {
+        "safety": {"issues": ["divergence at position 0: ..."]},
+        "liveness": {"issues": []},
+    }
+    assert violation_kinds(legacy) == ["safety.violation"]
+
+
+# -- summaries ----------------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) is None
+    assert percentile([7.0], 0.5) == 7.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.99) == 4.0
+    assert percentile([4.0, 1.0, 3.0, 2.0], 0.25) == 1.0  # sorts first
+
+
+def test_summarize_run_extracts_latencies_and_throughput():
+    report = {
+        "ok": True,
+        "committed": 4,
+        "latency_unit": "seconds",
+        "events": [
+            {"kind": "op", "latency": 0.1, "at_actual": 0.0},
+            {"kind": "op", "latency": 0.3, "at_actual": 1.0},
+            {"kind": "op", "latency": None, "at_actual": 2.0},
+            {"kind": "partition", "at_actual": 0.5},
+        ],
+        "safety": {"issues": [], "kinds": []},
+        "liveness": {
+            "probes": [{"op": ["get", "p"], "latency": 0.2}],
+            "issues": [],
+            "kinds": [],
+        },
+    }
+    summary = summarize_run(report)
+    assert summary["ok"] and summary["committed"] == 4
+    assert summary["ops"] == 3 and summary["probes"] == 1
+    assert summary["latency_p50"] == 0.1  # None latency excluded
+    assert summary["probe_p50"] == 0.2
+    assert summary["ops_per_s"] == 2.0  # 4 committed over a 2s span
+    assert summary["violations"] == []
+
+
+def test_summarize_run_skips_throughput_for_step_latencies():
+    report = {
+        "ok": False,
+        "committed": 0,
+        "latency_unit": "steps",
+        "events": [{"kind": "op", "latency": None}],
+        "liveness": {
+            "probes": [{"op": ["get", "p"], "latency": None}],
+            "issues": ["probe never completed"],
+            "kinds": ["liveness.stuck"],
+        },
+    }
+    summary = summarize_run(report)
+    assert summary["ops_per_s"] is None
+    assert summary["latency_p50"] is None
+    assert summary["violations"] == ["liveness.stuck"]
