@@ -20,7 +20,13 @@ step() {
     echo "== $1"
 }
 
-step "repro lint (protocol-invariant rules RL001-RL007)"
+# Lint wall-time budget (seconds).  The incremental cache
+# (.lint-cache.json) should keep warm runs far under this; blowing the
+# budget means the cache regressed or a rule got pathologically slow.
+LINT_BUDGET="${LINT_BUDGET:-30}"
+
+step "repro lint (protocol-invariant rules RL001-RL009)"
+lint_start=$(date +%s.%N)
 if ! python -m repro lint src/repro --format json > /tmp/repro-lint.json; then
     cat /tmp/repro-lint.json
     if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
@@ -46,6 +52,20 @@ print(f"repro lint: ok ({report['files_scanned']} files, "
       f"{report['baselined']} baselined, {report['suppressed']} suppressed)")
 EOF
 fi
+lint_wall=$(date +%s.%N | awk -v s="$lint_start" '{printf "%.2f", $1 - s}')
+python - "$lint_wall" "$LINT_BUDGET" <<'EOF'
+import json, sys
+wall, budget = float(sys.argv[1]), float(sys.argv[2])
+report = json.load(open("/tmp/repro-lint.json"))
+timings = report.get("timings", {})
+for rule, secs in sorted(timings.items(), key=lambda kv: -kv[1]):
+    print(f"  {rule}: {secs:.3f}s")
+ruled = sum(timings.values())
+print(f"  wall: {wall:.2f}s, in-rule: {ruled:.2f}s (budget {budget:.0f}s)")
+if wall > budget:
+    print(f"::warning::repro lint took {wall:.2f}s, over the "
+          f"{budget:.0f}s budget — is .lint-cache.json being invalidated?")
+EOF
 
 step "repro lint self-check (the analysis package lints itself)"
 if ! python -m repro lint src/repro/analysis --format json \

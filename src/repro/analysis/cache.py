@@ -1,0 +1,211 @@
+"""Incremental-lint result cache (``.lint-cache.json``).
+
+``repro lint`` re-runs on every commit and in CI; most runs see a tree
+where almost nothing changed since the last one.  The cache keys each
+file's *finished* per-file outcome — post-suppression diagnostics,
+suppression count, unknown-noqa warnings, parse errors — by a SHA-256
+digest of the file's bytes, and the project-wide outcome (RL004,
+RL006–RL009 need every tree at once) by a digest of the whole file set,
+so any single-file change invalidates exactly the project entry plus
+that file's entry.
+
+Correctness guards:
+
+* the whole cache is salted with a digest of the analysis package's own
+  sources plus the active rule ids — editing the linter, or linting
+  with a different ``--rules`` selection, starts from a cold cache;
+* only *pre-baseline* results are cached; the baseline split always
+  runs fresh so editing ``lint-baseline.json`` takes effect immediately;
+* a corrupt or version-skewed cache file is silently treated as empty.
+
+The file is gitignored scratch state — deleting it is always safe, and
+``--no-cache`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["LintCache", "compute_salt", "content_digest", "tree_key"]
+
+_CACHE_VERSION = 1
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def compute_salt(rule_ids: list[str] | None) -> str:
+    """Digest of the analysis package's own sources + the rule selection.
+
+    Any edit to the linter itself (a rule, the engine, this module)
+    yields different results for identical inputs, so it must flush the
+    cache; so must running with a different ``--rules`` subset.
+    """
+    digest = hashlib.sha256()
+    package = Path(__file__).resolve().parent
+    for path in sorted(package.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(str(path.relative_to(package)).encode())
+        digest.update(path.read_bytes())
+    normalized = (
+        sorted(r.strip().upper() for r in rule_ids) if rule_ids is not None else None
+    )
+    digest.update(repr(normalized).encode())
+    return digest.hexdigest()
+
+
+def tree_key(digests: dict[str, str]) -> str:
+    """One digest for the whole file set (project-wide rule cache key)."""
+    digest = hashlib.sha256()
+    for key in sorted(digests):
+        digest.update(key.encode())
+        digest.update(digests[key].encode())
+    return digest.hexdigest()
+
+
+def _dump_diags(diags: list[Diagnostic]) -> list[dict]:
+    return [diag.to_dict() for diag in diags]
+
+
+def _load_diags(data: list[dict]) -> list[Diagnostic]:
+    return [Diagnostic.from_dict(item) for item in data]
+
+
+class LintCache:
+    """Per-file and project-wide lint results keyed by content digests."""
+
+    def __init__(self, path: Path, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self.files: dict[str, dict] = {}
+        self.project: dict | None = None
+        self.dirty = False
+
+    @classmethod
+    def load(cls, path: Path, salt: str) -> "LintCache":
+        cache = cls(path, salt)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _CACHE_VERSION
+            or data.get("salt") != salt
+        ):
+            cache.dirty = True  # stale shell: overwrite on save
+            return cache
+        files = data.get("files")
+        if isinstance(files, dict):
+            cache.files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            cache.project = project
+        return cache
+
+    # -- per-file entries ---------------------------------------------------
+
+    def get_file(self, key: str, digest: str) -> dict | None:
+        entry = self.files.get(key)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return entry
+
+    def put_file(
+        self,
+        key: str,
+        digest: str,
+        *,
+        kept: list[Diagnostic],
+        suppressed: int,
+        noqa: list[Diagnostic],
+        timings: dict[str, float],
+        error: str | None,
+    ) -> None:
+        self.files[key] = {
+            "digest": digest,
+            "kept": _dump_diags(kept),
+            "suppressed": suppressed,
+            "noqa": _dump_diags(noqa),
+            "timings": timings,
+            "error": error,
+        }
+        self.dirty = True
+
+    @staticmethod
+    def file_result(
+        entry: dict,
+    ) -> tuple[list[Diagnostic], int, list[Diagnostic], dict[str, float], str | None]:
+        return (
+            _load_diags(entry.get("kept", [])),
+            int(entry.get("suppressed", 0)),
+            _load_diags(entry.get("noqa", [])),
+            dict(entry.get("timings", {})),
+            entry.get("error"),
+        )
+
+    # -- the project-wide entry ---------------------------------------------
+
+    def get_project(self, key: str) -> dict | None:
+        if self.project is None or self.project.get("key") != key:
+            return None
+        return self.project
+
+    def put_project(
+        self,
+        key: str,
+        *,
+        kept: list[Diagnostic],
+        suppressed: int,
+        timings: dict[str, float],
+    ) -> None:
+        self.project = {
+            "key": key,
+            "kept": _dump_diags(kept),
+            "suppressed": suppressed,
+            "timings": timings,
+        }
+        self.dirty = True
+
+    @staticmethod
+    def project_result(
+        entry: dict,
+    ) -> tuple[list[Diagnostic], int, dict[str, float]]:
+        return (
+            _load_diags(entry.get("kept", [])),
+            int(entry.get("suppressed", 0)),
+            dict(entry.get("timings", {})),
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def prune(self, live_keys: set[str]) -> None:
+        """Drop entries for files no longer in the scanned set."""
+        dead = [key for key in self.files if key not in live_keys]
+        for key in dead:
+            del self.files[key]
+            self.dirty = True
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "salt": self.salt,
+            "files": self.files,
+            "project": self.project,
+        }
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            # Scratch state on a read-only checkout: caching is best-effort.
+            return
+        self.dirty = False

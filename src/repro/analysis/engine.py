@@ -230,12 +230,55 @@ def _scan_one(args: tuple[str, list[str] | None]) -> tuple[
     return source, raw, timings, None
 
 
+def _finish_file(
+    source: SourceFile, raw: list[Diagnostic]
+) -> tuple[list[Diagnostic], int, list[Diagnostic]]:
+    """One file's finished per-file outcome: the post-suppression
+    diagnostics, the suppression count, and the unknown-noqa warnings.
+    This is the unit the incremental cache stores — everything about a
+    file that does not depend on any other file."""
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in raw:
+        if source.is_suppressed(diag.line, diag.rule):
+            suppressed += 1
+        else:
+            kept.append(diag)
+    return kept, suppressed, source.unknown_noqa_diagnostics()
+
+
+def _split_and_report(
+    kept: list[Diagnostic],
+    baseline: Baseline | None,
+    *,
+    suppressed: int,
+    files_scanned: int,
+    timings: dict[str, float],
+    errors: list[str],
+) -> LintReport:
+    kept = sorted(kept, key=Diagnostic.sort_key)
+    if baseline is None:
+        new, matched, stale = kept, [], []
+    else:
+        new, matched, stale = baseline.split(kept)
+    return LintReport(
+        diagnostics=new,
+        baselined=matched,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=files_scanned,
+        errors=errors,
+        timings=timings,
+    )
+
+
 def run_lint(
     paths: list[Path],
     *,
     rule_ids: list[str] | None = None,
     baseline_path: Path | None = None,
     jobs: int | None = None,
+    cache_path: Path | None = None,
 ) -> LintReport:
     """Discover, parse and lint ``paths``; the CLI entry point's core.
 
@@ -243,6 +286,13 @@ def run_lint(
     project-wide rules (which need every tree at once) and the baseline
     split always run in the parent.  Falls back to serial on any pool
     failure — sandboxes without working ``fork``/semaphores are real.
+
+    ``cache_path`` enables the incremental cache (``.lint-cache.json``):
+    per-file results are reused when the file's content digest is
+    unchanged, and the project-wide rules' results are reused when *no*
+    file changed.  On a fully-unchanged tree nothing is even parsed.
+    The baseline split always runs fresh, so results are byte-identical
+    with and without the cache.
     """
     files = discover_files(paths)
     baseline = None
@@ -250,10 +300,70 @@ def run_lint(
         baseline = Baseline.load(baseline_path)
     active = rules_by_id(rule_ids)
 
+    cache = None
+    digests: dict[str, str] = {}
+    hits: dict[str, dict] = {}
+    if cache_path is not None:
+        from .cache import LintCache, compute_salt, content_digest, tree_key
+
+        cache = LintCache.load(cache_path, compute_salt(rule_ids))
+        for file in files:
+            key = str(file.resolve())
+            try:
+                digests[key] = content_digest(file.read_bytes())
+            except OSError:
+                continue  # unreadable: handled as a miss below
+            entry = cache.get_file(key, digests[key])
+            if entry is not None:
+                hits[key] = entry
+        project_key = tree_key(digests)
+        project_entry = (
+            cache.get_project(project_key) if len(hits) == len(files) else None
+        )
+
+        if project_entry is not None and len(hits) == len(files):
+            # Fully-unchanged tree: assemble the report from the cache
+            # without parsing a single file.
+            kept: list[Diagnostic] = []
+            suppressed = 0
+            errors: list[str] = []
+            timings: dict[str, float] = {}
+            files_scanned = 0
+            for file in files:
+                file_kept, file_supp, noqa, file_timings, error = (
+                    LintCache.file_result(hits[str(file.resolve())])
+                )
+                if error is not None:
+                    errors.append(error)
+                    continue
+                files_scanned += 1
+                kept.extend(file_kept)
+                kept.extend(noqa)
+                suppressed += file_supp
+                for rule_id, secs in file_timings.items():
+                    timings[rule_id] = timings.get(rule_id, 0.0) + secs
+            proj_kept, proj_supp, proj_timings = LintCache.project_result(
+                project_entry
+            )
+            kept.extend(proj_kept)
+            suppressed += proj_supp
+            timings.update(proj_timings)
+            return _split_and_report(
+                kept,
+                baseline,
+                suppressed=suppressed,
+                files_scanned=files_scanned,
+                timings=timings,
+                errors=errors,
+            )
+
+    miss_files = [
+        file for file in files if cache is None or str(file.resolve()) not in hits
+    ]
     scanned: list[
         tuple[SourceFile | None, list[Diagnostic], dict[str, float], str | None]
     ] | None = None
-    if jobs is not None and jobs > 1 and len(files) >= _PARALLEL_THRESHOLD:
+    if jobs is not None and jobs > 1 and len(miss_files) >= _PARALLEL_THRESHOLD:
         try:
             import concurrent.futures
 
@@ -261,36 +371,91 @@ def run_lint(
                 scanned = list(
                     pool.map(
                         _scan_one,
-                        [(str(file), rule_ids) for file in files],
-                        chunksize=max(1, len(files) // (jobs * 4)),
+                        [(str(file), rule_ids) for file in miss_files],
+                        chunksize=max(1, len(miss_files) // (jobs * 4)),
                     )
                 )
         except (OSError, ImportError, concurrent.futures.process.BrokenProcessPool):
             scanned = None
     if scanned is None:
-        scanned = [_scan_one((str(file), rule_ids)) for file in files]
+        scanned = [_scan_one((str(file), rule_ids)) for file in miss_files]
+    miss_results = dict(zip((str(file) for file in miss_files), scanned))
 
     sources: list[SourceFile] = []
-    raw: list[Diagnostic] = []
-    timings: dict[str, float] = {}
-    errors: list[str] = []
-    for source, file_raw, file_timings, error in scanned:
-        if error is not None:
-            errors.append(error)
-            continue
-        if source is not None:
+    kept = []
+    suppressed = 0
+    errors = []
+    timings = {}
+    for file in files:
+        key = str(file.resolve())
+        if cache is not None and key in hits:
+            # Unchanged file: reuse its finished per-file outcome, but
+            # re-parse it — the project-wide rules need every tree.
+            file_kept, file_supp, noqa, file_timings, error = (
+                LintCache.file_result(hits[key])
+            )
+            if error is not None:
+                errors.append(error)
+                continue
+            try:
+                sources.append(SourceFile.from_path(file))
+            except (LintSyntaxError, OSError, UnicodeDecodeError) as exc:
+                errors.append(str(exc))  # raced edit since the digest read
+                continue
+        else:
+            source, raw, file_timings, error = miss_results[str(file)]
+            if error is not None:
+                errors.append(error)
+                if cache is not None and key in digests:
+                    cache.put_file(
+                        key, digests[key], kept=[], suppressed=0, noqa=[],
+                        timings={}, error=error,
+                    )
+                continue
+            assert source is not None
             sources.append(source)
-            raw.extend(file_raw)
-            for rule_id, secs in file_timings.items():
-                timings[rule_id] = timings.get(rule_id, 0.0) + secs
+            file_kept, file_supp, noqa = _finish_file(source, raw)
+            if cache is not None and key in digests:
+                cache.put_file(
+                    key, digests[key], kept=file_kept, suppressed=file_supp,
+                    noqa=noqa, timings=file_timings, error=None,
+                )
+        kept.extend(file_kept)
+        kept.extend(noqa)
+        suppressed += file_supp
+        for rule_id, secs in file_timings.items():
+            timings[rule_id] = timings.get(rule_id, 0.0) + secs
 
     project_raw, project_timings = _check_project(sources, active)
-    raw.extend(project_raw)
+    by_relpath = {source.relpath: source for source in sources}
+    proj_kept = []
+    proj_supp = 0
+    for diag in project_raw:
+        source = by_relpath.get(diag.path)
+        if source is not None and source.is_suppressed(diag.line, diag.rule):
+            proj_supp += 1
+        else:
+            proj_kept.append(diag)
+    kept.extend(proj_kept)
+    suppressed += proj_supp
     timings.update(project_timings)
 
-    report = _finish(sources, raw, baseline, timings)
-    report.errors.extend(errors)
-    return report
+    if cache is not None:
+        cache.put_project(
+            project_key, kept=proj_kept, suppressed=proj_supp,
+            timings=project_timings,
+        )
+        cache.prune(set(digests))
+        cache.save()
+
+    return _split_and_report(
+        kept,
+        baseline,
+        suppressed=suppressed,
+        files_scanned=len(sources),
+        timings=timings,
+        errors=errors,
+    )
 
 
 def write_baseline(report: LintReport, path: Path) -> Baseline:

@@ -71,6 +71,7 @@ class Rule:
 
 def _build_registry() -> dict[str, Rule]:
     from .async_hygiene import AsyncHygieneRule
+    from .concurrency import StaleReadAcrossAwaitRule, UnownedMutableHandoffRule
     from .determinism import DeterminismRule
     from .messages import MessageRegistrationRule
     from .quorum import QuorumArithmeticRule
@@ -85,6 +86,8 @@ def _build_registry() -> dict[str, Rule]:
         AsyncHygieneRule(),
         TaintFlowRule(),
         HandlerReachabilityRule(),
+        StaleReadAcrossAwaitRule(),
+        UnownedMutableHandoffRule(),
     ]
     return {rule.rule_id: rule for rule in rules}
 

@@ -706,10 +706,29 @@ def builtin_scenarios() -> dict[str, Scenario]:
             LifecycleEvent(at=4.0, action="restart", party=2),
         ),
     )
+    # Regression scenario for superseded inbound channels: back-to-back
+    # kill/restart cycles under a steady reset_rate force every peer to
+    # accept a *new* connection from the restarted replica while the
+    # read on the old one may still be suspended.  The transport must
+    # drop the stale connection (not feed its frames through orphaned
+    # replay bookkeeping) for replies to keep flowing.
+    reconnect_churn = Scenario(
+        name="reconnect-churn",
+        seed=6606,
+        ops=8,
+        faults=FaultSpec(reset_rate=0.06),
+        events=(
+            LifecycleEvent(at=2.8, action="kill", party=2),
+            LifecycleEvent(at=3.2, action="restart", party=2),
+            LifecycleEvent(at=4.2, action="kill", party=2),
+            LifecycleEvent(at=4.6, action="restart", party=2),
+        ),
+    )
     return {
         scenario.name: scenario
         for scenario in (
-            partition_heal, kill_recover, stall, torture, pipeline_load
+            partition_heal, kill_recover, stall, torture, pipeline_load,
+            reconnect_churn,
         )
     }
 

@@ -637,6 +637,12 @@ class TransportNetwork:
                 self._inbound[peer] = inbound
             while True:
                 body = await self._read_frame(reader)
+                if self._inbound.get(peer) is not inbound:
+                    # A newer connection from a restarted peer replaced
+                    # this channel while we were suspended in the read;
+                    # updating the orphaned object would silently drop
+                    # its replay bookkeeping.  Drop the old connection.
+                    raise ConnectionResetError("superseded inbound channel")
                 if self._closed:
                     return
                 if not self.faults.link_up(peer, self.party):

@@ -166,6 +166,14 @@ class ServiceClient(Node):
         while True:
             remaining = deadline - loop.time()
             if remaining <= 0:
+                # Re-validate completion before declaring failure: the
+                # signed answer may have landed during the final
+                # suspension (wait_until times out and completion races
+                # its TimeoutError), and reporting a completed —
+                # possibly state-mutating — operation as timed out
+                # would make the caller retry it under a *new* nonce.
+                if nonce in self.completed:
+                    return self.completed[nonce]
                 raise asyncio.TimeoutError(
                     f"operation {operation!r} (nonce {nonce}) did not complete "
                     f"within {timeout}s after {self.resubmissions} resubmission(s)"

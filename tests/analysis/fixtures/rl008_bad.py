@@ -1,0 +1,42 @@
+"""RL008 positives: stale reads across awaits, one per hazard kind."""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.count = 0
+        self.slots = {}
+        self.pending = {}
+
+    async def lost_update(self):
+        # kind "write": classic read / suspend / write-back.
+        current = self.count
+        await asyncio.sleep(0)
+        self.count = current + 1  # RL008 here
+
+    async def single_statement_rmw(self):
+        # kind "write", single-statement form: the read happens before
+        # the await inside the same expression.
+        self.count = self.count + await self._increment()  # RL008 here
+
+    async def helper_write(self):
+        # kind "helper": the stale value reaches the cell through a
+        # sync helper's parameter.
+        snapshot = self.count
+        await asyncio.sleep(0)
+        self._store(snapshot)  # RL008 here
+
+    async def alias_mutation(self):
+        # kind "alias": an object obtained from a cell is mutated after
+        # the suspension; the container may have been repopulated.
+        slot = self.slots.get("a")
+        await asyncio.sleep(0)
+        slot.value = 1  # RL008 here
+
+    async def _increment(self):
+        await asyncio.sleep(0)
+        return 1
+
+    def _store(self, value):
+        self.count = value

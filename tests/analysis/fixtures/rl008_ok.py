@@ -1,0 +1,53 @@
+"""RL008 negatives: every span is re-validated, re-read, or never stale."""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.count = 0
+        self.slots = {}
+        self.epoch = 0
+
+    async def revalidated(self):
+        # The `if` test re-reads the cell after the suspension, so the
+        # write is guarded (the fall-through path is validated because
+        # the mismatch branch terminates).
+        current = self.count
+        await asyncio.sleep(0)
+        if current != self.count:
+            return
+        self.count = current + 1
+
+    async def reread(self):
+        # Re-reading after the await makes the write fresh.
+        await asyncio.sleep(0)
+        current = self.count
+        self.count = current + 1
+
+    async def no_suspension_between(self):
+        # The write precedes the await: nothing is stale yet.
+        current = self.count
+        self.count = current + 1
+        await asyncio.sleep(0)
+
+    async def alias_revalidated(self):
+        # Alias re-checked against the container after the suspension.
+        slot = self.slots.get("a")
+        await asyncio.sleep(0)
+        if self.slots.get("a") is not slot:
+            return
+        slot.value = 1
+
+    async def unrelated_write(self):
+        # The post-await write does not derive from the stale read.
+        current = self.count
+        await asyncio.sleep(0)
+        self.epoch = 1
+        del current
+
+    async def asserted(self):
+        snapshot = self.count
+        await asyncio.sleep(0)
+        assert snapshot == self.count
+        self.count = snapshot + 1

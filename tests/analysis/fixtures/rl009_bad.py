@@ -1,0 +1,40 @@
+"""RL009 positives: mutate-after-handoff and un-keyed round state."""
+
+import asyncio
+
+
+class Spawner:
+    async def mutate_after_create_task(self):
+        work = [1, 2, 3]
+        asyncio.create_task(self._consume(work))
+        work.append(4)  # RL009 here
+
+    async def mutate_after_ensure_future(self):
+        options = {"fast": True}
+        asyncio.ensure_future(self._consume(options))
+        options["fast"] = False  # RL009 here
+
+    def mutate_after_pool_submit(self, pool):
+        batch = list(range(8))
+        pool.submit(self._consume, batch)
+        batch.append(9)  # RL009 here
+
+    async def _consume(self, payload):
+        await asyncio.sleep(0)
+        return payload
+
+
+class PipelinedProtocol:
+    """Consults pipeline_depth, so rounds run concurrently."""
+
+    def __init__(self, depth):
+        self.pipeline_depth = depth
+        self.round = 0
+        self.current_proposal = None
+        self.proposals = {}
+
+    def on_propose(self, sender, message):
+        r = message.round
+        if r >= self.round + self.pipeline_depth:
+            return
+        self.current_proposal = message.value  # RL009 here (un-keyed)

@@ -1,0 +1,43 @@
+"""RL009 negatives: ownership transferred or state properly keyed."""
+
+import asyncio
+
+
+class Spawner:
+    async def copy_at_handoff(self):
+        work = [1, 2, 3]
+        asyncio.create_task(self._consume(list(work)))
+        work.append(4)  # caller kept ownership: a copy was handed off
+
+    async def handoff_then_release(self):
+        work = [1, 2, 3]
+        asyncio.create_task(self._consume(work))
+        work = [5]  # rebinding releases the handed-off object
+        work.append(6)
+
+    async def mutate_before_handoff(self):
+        work = [1, 2, 3]
+        work.append(4)
+        asyncio.create_task(self._consume(work))
+
+    async def _consume(self, payload):
+        await asyncio.sleep(0)
+        return payload
+
+
+class PipelinedProtocol:
+    """Keys every piece of round-scoped state by round number."""
+
+    def __init__(self, depth):
+        self.pipeline_depth = depth
+        self.round = 0
+        self.highest_started = 0
+        self.proposals = {}
+
+    def on_propose(self, sender, message):
+        r = message.round
+        if r >= self.round + self.pipeline_depth:
+            return
+        self.proposals.setdefault(r, {})[sender] = message.value
+        if r > self.highest_started:
+            self.highest_started = r  # allowlisted monotone cursor

@@ -1,0 +1,110 @@
+"""The incremental lint cache: hits skip work, results stay identical."""
+
+import json
+
+import pytest
+
+from repro.analysis import engine
+from repro.analysis.cache import LintCache, compute_salt
+from repro.analysis.source import SourceFile
+
+BAD = "import random\n\n\ndef pick(xs):\n    return random.choice(xs)\n"
+OK = "def double(x):\n    return 2 * x\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    # Under a `repro/` directory so package_relative_path puts the
+    # files in the rules' core/ scope.
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD)
+    (pkg / "ok.py").write_text(OK)
+    return tmp_path / "repro"
+
+
+def _run(tree, cache_path, **kwargs):
+    return engine.run_lint([tree], cache_path=cache_path, **kwargs)
+
+
+def _findings(report):
+    return [d.to_dict() for d in report.diagnostics]
+
+
+def test_cached_rerun_is_identical_and_skips_all_work(tree, tmp_path, monkeypatch):
+    cache_path = tmp_path / ".lint-cache.json"
+    first = _run(tree, cache_path)
+    assert any(d.rule == "RL003" for d in first.diagnostics)
+    assert cache_path.exists()
+
+    # A fully-unchanged tree must not be parsed, let alone re-checked.
+    def boom(*args, **kwargs):
+        raise AssertionError("cache miss on an unchanged tree")
+
+    monkeypatch.setattr(engine, "_scan_one", boom)
+    monkeypatch.setattr(SourceFile, "from_path", boom)
+    second = _run(tree, cache_path)
+    assert _findings(second) == _findings(first)
+    assert second.suppressed == first.suppressed
+    assert second.files_scanned == first.files_scanned
+
+
+def test_no_cache_path_matches_cached_results(tree, tmp_path):
+    cached = _run(tree, tmp_path / ".lint-cache.json")
+    uncached = _run(tree, None)
+    assert _findings(cached) == _findings(uncached)
+
+
+def test_single_file_change_invalidates_exactly_that_file(tree, tmp_path):
+    cache_path = tmp_path / ".lint-cache.json"
+    _run(tree, cache_path)
+    (tree / "core" / "ok.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n"
+    )
+    report = _run(tree, cache_path)
+    assert any(d.path == "core/ok.py" and d.rule == "RL003" for d in report.diagnostics)
+    fresh = _run(tree, None)
+    assert _findings(report) == _findings(fresh)
+
+
+def test_rule_selection_salts_the_cache(tree, tmp_path):
+    cache_path = tmp_path / ".lint-cache.json"
+    subset = _run(tree, cache_path, rule_ids=["RL001"])
+    assert subset.diagnostics == []
+    full = _run(tree, cache_path)
+    assert any(d.rule == "RL003" for d in full.diagnostics)
+
+
+def test_corrupt_cache_is_treated_as_empty(tree, tmp_path):
+    cache_path = tmp_path / ".lint-cache.json"
+    cache_path.write_text("{not json")
+    report = _run(tree, cache_path)
+    fresh = _run(tree, None)
+    assert _findings(report) == _findings(fresh)
+    # And the bad file was replaced with a valid cache.
+    data = json.loads(cache_path.read_text())
+    assert data["salt"] == compute_salt(None)
+
+
+def test_linter_edit_invalidates_via_salt(tree, tmp_path):
+    cache_path = tmp_path / ".lint-cache.json"
+    _run(tree, cache_path)
+    loaded = LintCache.load(cache_path, compute_salt(None))
+    assert loaded.files  # real salt: entries visible
+    skewed = LintCache.load(cache_path, "different-salt")
+    assert skewed.files == {}  # skewed salt: cold cache
+
+
+def test_baseline_split_is_never_cached(tree, tmp_path):
+    from repro.analysis.baseline import Baseline
+
+    cache_path = tmp_path / ".lint-cache.json"
+    first = _run(tree, cache_path)
+    assert first.diagnostics
+    # Write a baseline *after* the cache was populated: the cached
+    # second run must still apply it.
+    baseline_path = tmp_path / "lint-baseline.json"
+    Baseline.from_diagnostics(first.diagnostics, reason="known").write(baseline_path)
+    second = _run(tree, cache_path, baseline_path=baseline_path)
+    assert second.diagnostics == []
+    assert len(second.baselined) == len(first.diagnostics)

@@ -1,0 +1,192 @@
+"""Unit tests for the concurrency-effect summary layer (analysis/effects.py)."""
+
+from repro.analysis.effects import EffectAnalysis, format_cell
+from repro.analysis.project import ProjectGraph
+from repro.analysis.source import SourceFile
+
+
+def analyze(text: str, relpath: str = "core/mod.py") -> EffectAnalysis:
+    graph = ProjectGraph.build([SourceFile.from_source(text, relpath=relpath)])
+    return EffectAnalysis.run(graph)
+
+
+def test_direct_reads_writes_and_suspension():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def bump(self):\n"
+        "        v = self.count\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.count = v + 1\n"
+        "    def peek(self):\n"
+        "        return self.count\n"
+    )
+    bump = analysis.summaries["core/mod.py::C.bump"]
+    assert ("C", "count") in bump.reads
+    assert ("C", "count") in bump.writes
+    assert bump.is_async and bump.suspends
+    peek = analysis.summaries["core/mod.py::C.peek"]
+    assert not peek.suspends
+    assert ("C", "count") in peek.return_cells
+
+
+def test_transitive_suspension_and_effects_through_calls():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def outer(self):\n"
+        "        await self.inner()\n"
+        "    async def inner(self):\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.state = 1\n"
+        "    async def caller(self):\n"
+        "        self.sync_helper()\n"
+        "    def sync_helper(self):\n"
+        "        self.other = self.state\n"
+    )
+    outer = analysis.summaries["core/mod.py::C.outer"]
+    assert outer.transitively_suspends
+    assert ("C", "state") in outer.all_writes
+    caller = analysis.summaries["core/mod.py::C.caller"]
+    assert ("C", "state") in caller.all_reads
+    assert ("C", "other") in caller.all_writes
+
+
+def test_param_writes_propagate_through_helper_chain():
+    analysis = analyze(
+        "class C:\n"
+        "    def store(self, value):\n"
+        "        self.slot = value\n"
+        "    def forward(self, item):\n"
+        "        self.store(item)\n"
+    )
+    store = analysis.summaries["core/mod.py::C.store"]
+    assert store.param_writes.get(1) == {("C", "slot")}
+    forward = analysis.summaries["core/mod.py::C.forward"]
+    assert ("C", "slot") in forward.param_writes.get(1, set())
+
+
+def test_return_cells_through_sync_helper():
+    analysis = analyze(
+        "class C:\n"
+        "    def snapshot(self):\n"
+        "        return self.count\n"
+        "    def indirect(self):\n"
+        "        return self.snapshot()\n"
+    )
+    indirect = analysis.summaries["core/mod.py::C.indirect"]
+    assert ("C", "count") in indirect.return_cells
+
+
+def test_method_access_is_not_a_cell_read():
+    analysis = analyze(
+        "class C:\n"
+        "    def run(self):\n"
+        "        return self.helper()\n"
+        "    def helper(self):\n"
+        "        return 1\n"
+    )
+    run = analysis.summaries["core/mod.py::C.run"]
+    assert ("C", "helper") not in run.return_cells
+
+
+def test_global_cells_are_module_scoped():
+    analysis = analyze(
+        "import asyncio\n"
+        "counter = 0\n"
+        "async def bump():\n"
+        "    global counter\n"
+        "    v = counter\n"
+        "    await asyncio.sleep(0)\n"
+        "    counter = v + 1\n"
+    )
+    hazards = analysis.stale_write_hazards()
+    assert len(hazards) == 1
+    assert hazards[0].cell == ("module:core/mod.py", "counter")
+    assert format_cell(hazards[0].cell) == "core/mod.py::counter"
+
+
+def test_hazard_kinds_and_spans():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def lost_update(self):\n"
+        "        v = self.count\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.count = v + 1\n"
+        "    async def via_helper(self):\n"
+        "        v = self.count\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.put(v)\n"
+        "    def put(self, value):\n"
+        "        self.count = value\n"
+        "    async def alias(self):\n"
+        "        entry = self.table.get('k')\n"
+        "        await asyncio.sleep(0)\n"
+        "        entry.field = 1\n"
+    )
+    kinds = {h.kind: h for h in analysis.stale_write_hazards()}
+    assert set(kinds) == {"write", "helper", "alias"}
+    write = kinds["write"]
+    assert (write.read_line, write.suspend_line, write.write_line) == (4, 5, 6)
+    assert kinds["helper"].detail == "put"
+    assert kinds["alias"].cell == ("C", "table")
+
+
+def test_revalidation_clears_the_hazard():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def guarded(self):\n"
+        "        v = self.count\n"
+        "        await asyncio.sleep(0)\n"
+        "        if v != self.count:\n"
+        "            return\n"
+        "        self.count = v + 1\n"
+    )
+    assert analysis.stale_write_hazards() == []
+
+
+def test_validation_expires_at_the_next_suspension():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def stale_again(self):\n"
+        "        v = self.count\n"
+        "        await asyncio.sleep(0)\n"
+        "        if v != self.count:\n"
+        "            return\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.count = v + 1\n"
+    )
+    hazards = analysis.stale_write_hazards()
+    assert [h.kind for h in hazards] == ["write"]
+    assert hazards[0].suspend_line == 8  # the *second* suspension
+
+
+def test_loop_carried_staleness_is_detected():
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def pump(self):\n"
+        "        v = self.count\n"
+        "        while True:\n"
+        "            await asyncio.sleep(0)\n"
+        "            self.count = v + 1\n"
+    )
+    assert [h.kind for h in analysis.stale_write_hazards()] == ["write"]
+
+
+def test_branch_merge_keeps_the_stale_path():
+    # One branch suspends, the other does not: the merged state must
+    # still treat the capture as stale (the suspension may have run).
+    analysis = analyze(
+        "import asyncio\n"
+        "class C:\n"
+        "    async def maybe(self, flag):\n"
+        "        v = self.count\n"
+        "        if flag:\n"
+        "            await asyncio.sleep(0)\n"
+        "        self.count = v + 1\n"
+    )
+    assert [h.kind for h in analysis.stale_write_hazards()] == ["write"]

@@ -271,3 +271,126 @@ def test_noqa_for_other_rule_does_not_suppress():
     )
     report = lint_sources([source], rules=rules_by_id(["RL001"]))
     assert locations(report) == [("RL001", 2)]
+
+
+# -- RL008: stale read across await (project-wide) -------------------------------
+
+
+def test_rl008_fires_on_each_hazard_kind():
+    report = findings("rl008_bad.py", "RL008", relpath="core/rl008_bad.py")
+    assert locations(report) == [
+        ("RL008", 16),  # read / suspend / write-back
+        ("RL008", 21),  # single-statement RMW around an await
+        ("RL008", 28),  # stale value written via sync helper
+        ("RL008", 35),  # alias of a container entry mutated post-await
+    ]
+    assert all(d.severity == "error" for d in report.diagnostics)
+    messages = [d.message for d in report.diagnostics]
+    assert "without re-validation" in messages[0]
+    assert "_store" in messages[2]  # interprocedural: names the helper
+    assert "orphaned object" in messages[3]
+
+
+def test_rl008_clean_fixture_is_clean():
+    report = findings("rl008_ok.py", "RL008", relpath="core/rl008_ok.py")
+    assert report.diagnostics == []
+
+
+def test_rl008_scope_is_core_smr_net():
+    report = findings("rl008_bad.py", "RL008", relpath="apps/rl008_bad.py")
+    assert report.diagnostics == []
+
+
+def test_rl008_noqa_suppresses():
+    text = load("rl008_bad.py", "core/rl008_bad.py").text
+    text = text.replace(
+        "self.count = current + 1  # RL008 here",
+        "self.count = current + 1  # repro: noqa-RL008 -- test justification",
+    )
+    source = SourceFile.from_source(text, relpath="core/rl008_bad.py")
+    report = lint_sources([source], rules=rules_by_id(["RL008"]))
+    assert [line for _, line in locations(report)] == [21, 28, 35]
+    assert report.suppressed == 1
+
+
+def test_rl008_baseline_round_trip():
+    from repro.analysis.baseline import Baseline
+
+    source = load("rl008_bad.py", "core/rl008_bad.py")
+    first = lint_sources([source], rules=rules_by_id(["RL008"]))
+    baseline = Baseline.from_diagnostics(first.diagnostics, reason="known")
+    second = lint_sources(
+        [source], rules=rules_by_id(["RL008"]), baseline=baseline
+    )
+    assert second.diagnostics == []
+    assert len(second.baselined) == len(first.diagnostics)
+    assert second.stale_baseline == []
+
+
+def test_rl008_catches_seeded_guard_removal_in_the_real_transport():
+    # The acceptance regression, mirroring the RL006 verify-removal
+    # test: strip the superseded-channel re-validation this PR added to
+    # _handle_connection and RL008 must start firing on the alias write.
+    real = (
+        Path(__file__).parent.parent.parent
+        / "src" / "repro" / "net" / "transport.py"
+    )
+    text = real.read_text(encoding="utf-8")
+    guard_start = text.index("if self._inbound.get(peer) is not inbound:")
+    guard_end = text.index('raise ConnectionResetError("superseded inbound channel")')
+    guard_end = text.index("\n", guard_end) + 1
+    line_start = text.rindex("\n", 0, guard_start) + 1
+    stripped_text = text[:line_start] + text[guard_end:]
+
+    intact = SourceFile.from_source(text, relpath="net/transport.py")
+    stripped = SourceFile.from_source(stripped_text, relpath="net/transport.py")
+    intact_report = lint_sources([intact], rules=rules_by_id(["RL008"]))
+    stripped_report = lint_sources([stripped], rules=rules_by_id(["RL008"]))
+
+    def alias_findings(report):
+        return [d for d in report.diagnostics if "orphaned object" in d.message]
+
+    assert alias_findings(intact_report) == []
+    fired = alias_findings(stripped_report)
+    assert fired, "removing the re-validation guard must be caught"
+    assert "_inbound" in fired[0].message
+
+
+# -- RL009: unowned mutable handoff (project-wide) -------------------------------
+
+
+def test_rl009_fires_on_handoffs_and_unkeyed_round_state():
+    report = findings("rl009_bad.py", "RL009", relpath="core/rl009_bad.py")
+    assert locations(report) == [
+        ("RL009", 10),  # create_task then append
+        ("RL009", 15),  # ensure_future then item assignment
+        ("RL009", 20),  # pool.submit then append
+        ("RL009", 40),  # un-keyed round-scoped attribute
+    ]
+    assert all(d.severity == "error" for d in report.diagnostics)
+    assert "handed to a concurrent task" in report.diagnostics[0].message
+    assert "pipeline_depth" in report.diagnostics[3].message
+
+
+def test_rl009_clean_fixture_is_clean():
+    report = findings("rl009_ok.py", "RL009", relpath="core/rl009_ok.py")
+    assert report.diagnostics == []
+
+
+def test_rl009_noqa_and_baseline_round_trip():
+    from repro.analysis.baseline import Baseline
+
+    text = load("rl009_bad.py", "core/rl009_bad.py").text
+    text = text.replace(
+        'work.append(4)  # RL009 here',
+        'work.append(4)  # repro: noqa-RL009 -- test justification',
+    )
+    source = SourceFile.from_source(text, relpath="core/rl009_bad.py")
+    report = lint_sources([source], rules=rules_by_id(["RL009"]))
+    assert report.suppressed == 1
+    baseline = Baseline.from_diagnostics(report.diagnostics, reason="known")
+    again = lint_sources(
+        [source], rules=rules_by_id(["RL009"]), baseline=baseline
+    )
+    assert again.diagnostics == []
+    assert again.stale_baseline == []

@@ -624,3 +624,49 @@ def test_pipelined_recovery_over_tcp(tmp_path):
                 await host.close()
 
     asyncio.run(scenario())
+
+
+def test_superseded_inbound_connection_is_dropped():
+    """Once a restarted peer's fresh connection installs a new inbound
+    channel, a frame arriving on the *old* connection must drop that
+    connection — not deliver through (or mutate) the orphaned channel's
+    replay bookkeeping."""
+
+    async def scenario():
+        nets, nodes = await _start_nets([0, 1])
+        try:
+            key = nets[1].channel_keys[0]
+            # Old connection: incarnation 7, one delivered frame.
+            _, old_writer = await _raw_connect(nets[0])
+            old_writer.write(encode_hello(key, 1, 0, incarnation=7))
+            old_writer.write(encode_data(key, 1, 0, 7, 1, wire.dumps("first")))
+            await old_writer.drain()
+            await _until(lambda: nodes[0].received == [(1, "first")])
+            # The peer "restarts": a second connection with a fresh
+            # incarnation replaces the inbound channel.
+            _, new_writer = await _raw_connect(nets[0])
+            new_writer.write(encode_hello(key, 1, 0, incarnation=8))
+            await new_writer.drain()
+            await _until(
+                lambda: nets[0]._inbound.get(1) is not None
+                and nets[0]._inbound[1].incarnation == 8
+            )
+            # A late frame on the superseded connection is rejected.
+            before = nets[0].trace.counters.get("transport.disconnects", 0)
+            old_writer.write(encode_data(key, 1, 0, 7, 2, wire.dumps("stale")))
+            await old_writer.drain()
+            await _until(
+                lambda: nets[0].trace.counters.get("transport.disconnects", 0)
+                > before
+            )
+            assert nodes[0].received == [(1, "first")]
+            # The fresh channel's replay namespace was never touched by
+            # the old connection.
+            assert nets[0]._inbound[1].incarnation == 8
+            assert nets[0]._inbound[1].last_seq == 0
+            old_writer.close()
+            new_writer.close()
+        finally:
+            await _close_all(nets)
+
+    asyncio.run(scenario())

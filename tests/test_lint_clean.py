@@ -1,6 +1,6 @@
 """Tier-1 guard: the repository itself stays lint-clean.
 
-Fails when a new RL001-RL005 violation lands outside the committed
+Fails when a new RL001-RL009 violation lands outside the committed
 baseline, and also when a baseline entry goes stale (the violation was
 fixed but the entry kept) — that is the ratchet: the baseline can only
 shrink.
@@ -34,3 +34,27 @@ def test_every_baseline_entry_is_justified():
     baseline = Baseline.load(BASELINE)
     unjustified = [e.to_dict() for e in baseline.entries if not e.reason.strip()]
     assert not unjustified, f"baseline entries need a justifying reason: {unjustified}"
+
+
+def test_interleaving_rules_are_active_in_the_gate():
+    """The ratchet covers RL008/RL009: both registered, and the gate
+    run above actually executed them (a silently dropped registration
+    would let new interleaving races land unnoticed)."""
+    from repro.analysis.rules import rules_by_id
+
+    ids = {rule.rule_id for rule in rules_by_id()}
+    assert {"RL008", "RL009"} <= ids
+    report = run_lint([PACKAGE], baseline_path=BASELINE)
+    assert {"RL008", "RL009"} <= set(report.timings)
+
+
+def test_concurrency_baseline_entries_cite_the_single_writer():
+    """RL008/RL009 baseline entries carry real justifications, not
+    placeholders: each must explain why the interleaving is benign."""
+    from repro.analysis import Baseline
+
+    baseline = Baseline.load(BASELINE)
+    entries = [e for e in baseline.entries if e.rule in ("RL008", "RL009")]
+    assert entries, "expected at least the justified RL008 start() entry"
+    thin = [e.to_dict() for e in entries if len(e.reason.strip()) < 40]
+    assert not thin, f"concurrency baseline entries need a real argument: {thin}"
