@@ -311,6 +311,87 @@ def _bench_agreement(n: int, seed: int, instances: int) -> dict:
     }
 
 
+def _bench_dkg(n: int, t: int, seed: int, repeats: int) -> dict:
+    """Wall time for a complete dealerless key generation on the
+    simulated network: ``n`` parties deal Feldman-committed sharings,
+    cross-verify subshares, agree on the qualified set, and assemble
+    dealer-compatible keys.
+
+    Besides the absolute wall time per (n, t), the section records
+    ``dealer_to_dkg_ratio`` — the centralized dealer's wall time over
+    the DKG's on the same shape.  Both sides are dominated by the same
+    group exponentiations on the same machine, so the ratio is stable
+    across hosts and is what the regression guard tracks: a pessimized
+    DKG hot path (tree commitments, subshare verification) shrinks it.
+    """
+    from .adversary.quorums import quorum_system_for
+    from .core.runtime import ProtocolRuntime
+    from .crypto.dealer import deal_system
+    from .crypto.dkg import (
+        BootstrapPublic,
+        DistributedKeyGeneration,
+        build_party_keys,
+        build_public_keys,
+        dkg_session,
+        provision_bootstrap,
+    )
+    from .net.scheduler import RandomScheduler
+    from .net.simulator import Network
+
+    group = default_group()
+    scheme = threshold_scheme(n, t, group.q)
+    quorum = quorum_system_for(n, t=t)
+    bundles = provision_bootstrap(list(range(n)), random.Random(seed), group)
+
+    best = float("inf")
+    messages = 0
+    for attempt in range(repeats):
+        network = Network(RandomScheduler(), random.Random(seed + attempt))
+        public = BootstrapPublic(n=n, quorum=quorum)
+        runtimes = {}
+        for party in range(n):
+            runtime = ProtocolRuntime(
+                party, network, public, bundles[party], seed=seed + attempt
+            )
+            network.attach(party, runtime)
+            runtimes[party] = runtime
+        session = dkg_session(("bench", attempt))
+
+        start = time.perf_counter()
+        for party in range(n):
+            runtimes[party].spawn(
+                session, DistributedKeyGeneration(group, scheme)
+            )
+        network.run(
+            max_steps=5_000_000,
+            until=lambda: all(
+                r.result(session) is not None for r in runtimes.values()
+            ),
+        )
+        outputs = {p: runtimes[p].result(session) for p in range(n)}
+        assert all(out is not None for out in outputs.values())
+        assembled = build_public_keys(group, scheme, quorum, n, outputs[0])
+        build_party_keys(0, assembled, bundles[0].signing_key, outputs[0])
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            messages = network.delivered_count
+
+    dealer_s = _time(
+        lambda: deal_system(n, random.Random(seed), t=t, group=group),
+        repeats,
+    )
+    return {
+        "n": n,
+        "t": t,
+        "wall_s": best,
+        "per_party_ms": best / n * 1e3,
+        "dealer_s": dealer_s,
+        "dealer_to_dkg_ratio": dealer_s / best,
+        "messages_delivered": messages,
+    }
+
+
 # -- end-to-end replicated-service throughput (``bench e2e``) --------------------
 #
 # Spins up a real n=4 TCP cluster (the same replica subprocesses the
@@ -566,6 +647,8 @@ def run_benchmarks(seed: int = 0, smoke: bool = False) -> dict:
     rsa_bits = 256 if smoke else 512
     agreement_sizes = [4] if smoke else [4, 7, 16]
     agreement_instances = 1 if smoke else 3
+    dkg_shapes = [(4, 1)] if smoke else [(4, 1), (7, 2), (10, 3)]
+    dkg_repeats = 1 if smoke else 3
 
     results: dict = {
         "config": {
@@ -582,6 +665,10 @@ def run_benchmarks(seed: int = 0, smoke: bool = False) -> dict:
         "agreement": {
             f"n{n}": _bench_agreement(n, seed, agreement_instances)
             for n in agreement_sizes
+        },
+        "dkg": {
+            f"n{n}t{t}": _bench_dkg(n, t, seed, dkg_repeats)
+            for n, t in dkg_shapes
         },
     }
     return results
@@ -604,6 +691,12 @@ def main(seed: int, out: str, smoke: bool) -> int:
         print(
             f"agreement {label}: {section['per_instance_ms']:.0f}ms/instance "
             f"({section['messages_delivered']} messages)"
+        )
+    for label, section in results["dkg"].items():
+        print(
+            f"dkg {label}: {section['wall_s'] * 1e3:.0f}ms wall "
+            f"({section['messages_delivered']} messages, "
+            f"dealer/dkg {section['dealer_to_dkg_ratio']:.3f})"
         )
     print(f"wrote {out}")
     return 0
@@ -632,6 +725,7 @@ GUARD_METRICS: dict[str, tuple[tuple[str, float], ...]] = {
         ("primitives.membership_speedup", 0.15),
         ("coin_quorum.speedup_batch_vs_legacy", 0.45),
         ("rsa_quorum.speedup_batch_vs_per_share", 0.45),
+        ("dkg.n4t1.dealer_to_dkg_ratio", 0.45),
     ),
     "e2e": (
         ("speedup_committed_ops_per_s", 0.60),

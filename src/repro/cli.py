@@ -136,8 +136,25 @@ def _cmd_run_replica(args: argparse.Namespace) -> int:
             args.dir, args.party, recover=args.recover,
             byzantine=args.byzantine, journal=args.journal,
             checkpoint_every=args.checkpoint_every,
+            dkg_boot=args.dkg, join=args.join,
         )
     )
+
+
+def _cmd_reconfig(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .net.runtime import submit_reconfigure
+
+    result = asyncio.run(
+        submit_reconfigure(
+            args.dir, args.action, signer=args.signer, party=args.party,
+            verify_key=args.verify_key, host=args.host, port=args.port,
+            timeout=args.timeout,
+        )
+    )
+    print(f"reconfigure {args.action}: {result!r}")
+    return 0 if isinstance(result, tuple) and "accepted" in result else 1
 
 
 def _cmd_run_client(args: argparse.Namespace) -> int:
@@ -172,6 +189,7 @@ def _cmd_demo_cluster(args: argparse.Namespace) -> int:
         directory=args.dir,
         keep=args.keep,
         timeout=args.timeout,
+        dkg=args.dkg,
     )
 
 
@@ -418,7 +436,41 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint-every", type=int, default=0,
         help="persist an authenticated checkpoint every N executions",
     )
+    run_replica.add_argument(
+        "--dkg", action="store_true",
+        help="boot dealerless: run distributed key generation from "
+             "bootstrap-<party>.json, then serve",
+    )
+    run_replica.add_argument(
+        "--join", action="store_true",
+        help="join a live cluster as a new member: wait for the ordered "
+             "Reconfigure(add) and the verifiable resharing",
+    )
     run_replica.set_defaults(func=_cmd_run_replica)
+
+    reconfig_cmd = sub.add_parser(
+        "reconfig",
+        help="submit a signed membership change to a live cluster",
+        description=(
+            "Sign a Reconfigure operation with a current member's identity "
+            "key (server-<signer>.json) and order it through the running "
+            "cluster's atomic broadcast. On commit the cluster reshares to "
+            "the new membership and opens the next epoch."
+        ),
+    )
+    reconfig_cmd.add_argument("--dir", required=True, help="deployment directory")
+    reconfig_cmd.add_argument("action", choices=["add", "remove", "refresh"])
+    reconfig_cmd.add_argument("--signer", type=int, default=0,
+                              help="member whose key signs the change")
+    reconfig_cmd.add_argument("--party", type=int, default=-1,
+                              help="joining/leaving replica id")
+    reconfig_cmd.add_argument("--verify-key", type=int, default=0,
+                              help="joiner's identity verify key (add only)")
+    reconfig_cmd.add_argument("--host", default="", help="joiner's host (add only)")
+    reconfig_cmd.add_argument("--port", type=int, default=0,
+                              help="joiner's port (add only)")
+    reconfig_cmd.add_argument("--timeout", type=float, default=60.0)
+    reconfig_cmd.set_defaults(func=_cmd_reconfig)
 
     run_client = sub.add_parser(
         "run-client",
@@ -450,6 +502,11 @@ def main(argv: list[str] | None = None) -> int:
                               help="keep the deployment directory afterwards")
     demo_cluster.add_argument("--timeout", type=float, default=60.0,
                               help="per-request completion timeout")
+    demo_cluster.add_argument(
+        "--dkg", action="store_true",
+        help="dealerless variant: boot via DKG, then add and remove a "
+             "member on the live cluster (epochs 0 -> 1 -> 2)",
+    )
     demo_cluster.set_defaults(func=_cmd_demo_cluster)
 
     chaos = sub.add_parser(

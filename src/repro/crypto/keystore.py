@@ -22,6 +22,7 @@ Typical flow::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 from ..adversary.formulas import Formula, Leaf, Threshold
@@ -53,6 +54,7 @@ __all__ = [
     "party_from_dict",
     "client_to_dict",
     "client_from_dict",
+    "atomic_write_text",
     "write_deployment",
     "load_public",
     "load_party",
@@ -392,21 +394,54 @@ def client_from_dict(data: dict) -> tuple[int, dict[int, bytes]]:
 # -- file helpers ------------------------------------------------------------------
 
 
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Crash-safe file write: temp file + fsync + atomic rename.
+
+    Key files are rewritten at every epoch change, and the chaos engine
+    kills replicas at arbitrary instants — a plain ``write_text`` could
+    leave a truncated ``server-i.json`` that bricks the replica on
+    restart.  Writing to a sibling temp file, fsyncing it, and
+    ``os.replace``-ing over the target means any observer (including a
+    post-kill restart) sees either the complete old file or the
+    complete new one, never a prefix.
+    """
+    path = pathlib.Path(path)
+    # Per-process temp name: cluster-mates legitimately write the same
+    # public.json/epoch.json concurrently and must not clobber each
+    # other's half-written temp file.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        # The target is untouched; only the temp file may be partial.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
+    return path
+
+
 def write_deployment(keys: SystemKeys, directory: str | pathlib.Path) -> list[pathlib.Path]:
     """Write ``public.json`` plus one ``server-<i>.json`` per server."""
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     public_path = directory / "public.json"
-    public_path.write_text(json.dumps(public_to_dict(keys.public), indent=1))
+    atomic_write_text(public_path, json.dumps(public_to_dict(keys.public), indent=1))
     written.append(public_path)
     for party, bundle in sorted(keys.private.items()):
         path = directory / f"server-{party}.json"
-        path.write_text(json.dumps(party_to_dict(bundle), indent=1))
+        atomic_write_text(path, json.dumps(party_to_dict(bundle), indent=1))
         written.append(path)
     for client, channel_keys in sorted(keys.client_channels.items()):
         path = directory / f"client-{client}.json"
-        path.write_text(json.dumps(client_to_dict(client, channel_keys), indent=1))
+        atomic_write_text(path, json.dumps(client_to_dict(client, channel_keys), indent=1))
         written.append(path)
     return written
 

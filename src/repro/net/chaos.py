@@ -58,6 +58,7 @@ from ..core.runtime import ProtocolRuntime
 from ..crypto import keystore
 from ..crypto.dealer import CLIENT_BASE, PartyKeys, PublicKeys, deal_system
 from ..crypto.groups import small_group
+from ..smr import reconfig
 from ..smr.client import ServiceClient
 from ..smr.replica import Replica, service_session
 from ..smr.state_machine import KeyValueStore, StateMachine
@@ -76,6 +77,7 @@ from .runtime import (
     _spawn_replica,
     allocate_addresses,
     checkpoint_path,
+    load_epoch,
 )
 from .simulator import Node
 from .transport import FaultPlan, FrameFault, TransportNetwork
@@ -495,6 +497,12 @@ class Scenario:
     # defaults); see docs/PERFORMANCE.md.
     abc_max_batch: int | None = None
     abc_pipeline_depth: int | None = None
+    # Times at which a signed Reconfigure(refresh) is ordered through
+    # the live cluster: each one reshapes every threshold key and opens
+    # the next epoch mid-workload, so lifecycle events scheduled around
+    # these instants exercise kills *during* resharing and restarts
+    # into a configuration the crashed replica has never seen.
+    reconfigs: tuple[float, ...] = ()
 
     def to_json(self) -> dict:
         return {
@@ -515,6 +523,7 @@ class Scenario:
             "op_concurrency": self.op_concurrency,
             "abc_max_batch": self.abc_max_batch,
             "abc_pipeline_depth": self.abc_pipeline_depth,
+            "reconfigs": list(self.reconfigs),
         }
 
     @classmethod
@@ -526,6 +535,7 @@ class Scenario:
                 "byzantine", "io_timeout", "op_timeout", "liveness_bound",
                 "liveness_probes", "checkpoint_every", "workload_start",
                 "op_concurrency", "abc_max_batch", "abc_pipeline_depth",
+                "reconfigs",
             },
             "scenario",
         )
@@ -562,6 +572,9 @@ class Scenario:
                     int(data["abc_pipeline_depth"])
                     if data.get("abc_pipeline_depth") is not None
                     else None
+                ),
+                reconfigs=tuple(
+                    float(at) for at in data.get("reconfigs", ())
                 ),
             )
         except ScenarioError:
@@ -630,6 +643,11 @@ class Scenario:
             _require(
                 0 <= event.party < self.n,
                 f"scenario: event party {event.party} outside 0..{self.n - 1}",
+            )
+        for at in self.reconfigs:
+            _require(
+                at >= 0.0,
+                f"scenario: negative reconfig time {at}",
             )
         for cut in self.faults.partitions:
             for party in cut.group:
@@ -724,11 +742,28 @@ def builtin_scenarios() -> dict[str, Scenario]:
             LifecycleEvent(at=4.6, action="restart", party=2),
         ),
     )
+    # Live reconfiguration under churn: a Reconfigure(refresh) is
+    # ordered mid-workload, party 2 is killed while the resharing it
+    # triggers is in flight and restarted before the epoch boundary
+    # (recovery replays the committed reconfig op, which re-joins the
+    # reshare), then a second refresh steps the cluster to epoch 2.
+    # The client must follow both epoch hops by resubmitting pending
+    # ops under their original nonces.
+    reconfig_churn = Scenario(
+        name="reconfig-churn",
+        seed=7707,
+        ops=8,
+        reconfigs=(3.0, 8.0),
+        events=(
+            LifecycleEvent(at=3.2, action="kill", party=2),
+            LifecycleEvent(at=4.6, action="restart", party=2),
+        ),
+    )
     return {
         scenario.name: scenario
         for scenario in (
             partition_heal, kill_recover, stall, torture, pipeline_load,
-            reconnect_churn,
+            reconnect_churn, reconfig_churn,
         )
     }
 
@@ -889,6 +924,8 @@ def plan_timeline(scenario: Scenario) -> list[dict]:
         timeline.append(
             {"at": event.at, "kind": event.action, "party": event.party}
         )
+    for at in scenario.reconfigs:
+        timeline.append({"at": float(at), "kind": "reconfig"})
     at = scenario.workload_start
     for i in range(scenario.ops):
         at += 0.15 + rng.random() * 0.35
@@ -975,6 +1012,16 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
     network.attach(cid, client)
     await network.start()
 
+    # Reconfigure(refresh) ops are signed with party 0's identity key;
+    # identity keys persist across epochs, so one load at boot covers
+    # every epoch the run steps through.
+    reconfig_signer = (
+        keystore.load_party(workdir / "server-0.json", public).signing_key
+        if scenario.reconfigs
+        else None
+    )
+    reconfig_rng = random.Random(scenario.seed ^ 0x5EC0)
+
     loop = asyncio.get_running_loop()
     # Convert the shared wall-clock epoch into this loop's clock so the
     # orchestrator and every replica process agree on event times.
@@ -1015,6 +1062,33 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
             # checker only requires *committed* ops to survive.
             note({"kind": "op", "op": entry["op"], "latency": None})
 
+    async def run_reconfig() -> None:
+        # The replicas persist epoch.json atomically at every switch, and
+        # the orchestrator shares their working directory — reading it
+        # here targets the *cluster's* current epoch even when the client
+        # has not yet tripped over a tombstone and caught up.
+        target = max(load_epoch(workdir), client.epoch) + 1
+        operation = reconfig.reconfigure_operation(
+            "refresh", target, 0, reconfig_signer, reconfig_rng
+        )
+        started = loop.time()
+        try:
+            completed = await client.call(
+                operation,
+                timeout=scenario.op_timeout,
+                attempt_timeout=2.0,
+            )
+            note(
+                {
+                    "kind": "reconfig",
+                    "epoch": target,
+                    "result": list(completed.result),
+                    "latency": round(loop.time() - started, 3),
+                }
+            )
+        except asyncio.TimeoutError:
+            note({"kind": "reconfig", "epoch": target, "latency": None})
+
     pending_ops: list[asyncio.Task] = []
 
     try:
@@ -1041,6 +1115,12 @@ async def _run_scenario(scenario: Scenario, workdir: pathlib.Path) -> dict:
                     pending_ops.append(loop.create_task(run_op(entry)))
                 else:
                     await run_op(entry)
+            elif kind == "reconfig":
+                # Submitted open-loop: the interesting failure modes are
+                # kills landing *during* the resharing the op triggers,
+                # so later timeline entries must not wait on the call.
+                pending_ops = [t for t in pending_ops if not t.done()]
+                pending_ops.append(loop.create_task(run_reconfig()))
             elif kind == "partition":
                 note(
                     {

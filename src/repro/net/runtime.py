@@ -36,13 +36,19 @@ import sys
 import tempfile
 from dataclasses import dataclass
 
+from ..adversary.quorums import ThresholdQuorumSystem
 from ..core.atomic_broadcast import AbcConfig
-from ..core.protocol import Context
+from ..core.protocol import Context, SessionId
 from ..core.runtime import ProtocolRuntime
-from ..crypto import keystore
-from ..crypto.dealer import CLIENT_BASE, deal_system
-from ..crypto.groups import small_group
+from ..crypto import dkg, keystore
+from ..crypto.dealer import CLIENT_BASE, deal_channel_keys, deal_system
+from ..crypto.groups import SchnorrGroup, small_group
+from ..crypto.hashing import hash_bytes
+from ..crypto.lsss import threshold_scheme
+from ..crypto.schnorr import SigningKey, keygen
+from ..smr import reconfig
 from ..smr.client import ServiceClient
+from ..smr.reconfig import EpochTombstone, epoch_service_session
 from ..smr.replica import Replica, service_session
 from ..smr.state_machine import KeyValueStore, StateMachine
 from .transport import FaultPlan, TransportError, TransportNetwork
@@ -50,18 +56,28 @@ from .transport import FaultPlan, TransportError, TransportNetwork
 __all__ = [
     "CLUSTER_FILE",
     "DEFAULT_IO_TIMEOUT",
+    "EPOCH_FILE",
+    "BootstrapFile",
     "ClusterConfig",
     "ReplicaHost",
     "allocate_addresses",
     "checkpoint_path",
     "demo_cluster",
+    "dh_channel_key",
+    "load_bootstrap",
     "load_checkpoint",
+    "load_epoch",
+    "provision_dkg_deployment",
+    "provision_joiner",
     "run_client_ops",
+    "save_epoch",
     "serve_replica",
+    "submit_reconfigure",
     "write_checkpoint",
 ]
 
 CLUSTER_FILE = "cluster.json"
+EPOCH_FILE = "epoch.json"
 
 # Default bound on every "wait for the cluster to say something" loop.
 # Configurable per deployment through ``ClusterConfig.io_timeout`` (and
@@ -236,6 +252,184 @@ def load_checkpoint(
     return entries, round_number
 
 
+# -- dealerless bootstrap and epochs ------------------------------------------------
+#
+# A DKG deployment has no dealer output to distribute.  The operator
+# instead provisions each party a *bootstrap* bundle — identity signing
+# key + pairwise channel keys, the authenticated-channel assumption of
+# the model and nothing more — and the cluster generates its threshold
+# keys itself (crypto/dkg.py).  The epoch file records which committed
+# `Reconfigure` generation the on-disk keystore belongs to.
+
+
+def epoch_file_path(directory: str | pathlib.Path) -> pathlib.Path:
+    return pathlib.Path(directory) / EPOCH_FILE
+
+
+def load_epoch(directory: str | pathlib.Path) -> int:
+    """The keystore's epoch; 0 when absent (dealer-era deployments)."""
+    try:
+        return int(json.loads(epoch_file_path(directory).read_text())["epoch"])
+    except (OSError, ValueError, TypeError, KeyError):
+        return 0
+
+
+def save_epoch(directory: str | pathlib.Path, epoch: int) -> None:
+    keystore.atomic_write_text(
+        epoch_file_path(directory), json.dumps({"epoch": epoch})
+    )
+
+
+@dataclass(frozen=True)
+class BootstrapFile:
+    """One party's on-disk pre-key identity (``bootstrap-<i>.json``)."""
+
+    party: int
+    n: int
+    t: int
+    group: SchnorrGroup
+    signing_key: SigningKey
+    channel_keys: dict[int, bytes]
+
+
+def bootstrap_path(directory: str | pathlib.Path, party: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"bootstrap-{party}.json"
+
+
+def save_bootstrap(directory: str | pathlib.Path, bundle: BootstrapFile) -> pathlib.Path:
+    data = {
+        "version": 1,
+        "party": bundle.party,
+        "n": bundle.n,
+        "t": bundle.t,
+        "group": {
+            "p": str(bundle.group.p),
+            "q": str(bundle.group.q),
+            "g": str(bundle.group.g),
+        },
+        "signing_key": str(bundle.signing_key.x),
+        "channel_keys": {
+            str(peer): key.hex() for peer, key in sorted(bundle.channel_keys.items())
+        },
+    }
+    path = bootstrap_path(directory, bundle.party)
+    keystore.atomic_write_text(path, json.dumps(data, indent=1))
+    return path
+
+
+def load_bootstrap(directory: str | pathlib.Path, party: int) -> BootstrapFile:
+    try:
+        data = json.loads(bootstrap_path(directory, party).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise keystore.KeystoreError(f"cannot read bootstrap bundle: {exc}") from exc
+    group = SchnorrGroup(
+        p=int(data["group"]["p"]),
+        q=int(data["group"]["q"]),
+        g=int(data["group"]["g"]),
+    )
+    return BootstrapFile(
+        party=int(data["party"]),
+        n=int(data["n"]),
+        t=int(data["t"]),
+        group=group,
+        signing_key=SigningKey(group=group, x=int(data["signing_key"])),
+        channel_keys={
+            int(peer): bytes.fromhex(key)
+            for peer, key in data.get("channel_keys", {}).items()
+        },
+    )
+
+
+def provision_dkg_deployment(
+    n: int,
+    t: int,
+    rng: random.Random,
+    directory: str | pathlib.Path,
+    clients: int = 1,
+    group: SchnorrGroup | None = None,
+) -> list[pathlib.Path]:
+    """Operator-side provisioning for a dealerless cluster.
+
+    Writes one ``bootstrap-<i>.json`` per server and the usual
+    ``client-<id>.json`` channel bundles.  Unlike :func:`deal_system`,
+    no threshold secret exists anywhere — compromising one bundle
+    corrupts exactly one party.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    grp = group or small_group()
+    parties = list(range(n))
+    client_ids = [CLIENT_BASE + i for i in range(clients)]
+    keyring = deal_channel_keys(parties + client_ids, rng)
+    written = []
+    for party in parties:
+        bundle = BootstrapFile(
+            party=party,
+            n=n,
+            t=t,
+            group=grp,
+            signing_key=keygen(rng, grp),
+            channel_keys=keyring[party],
+        )
+        written.append(save_bootstrap(directory, bundle))
+    for cid in client_ids:
+        path = directory / f"client-{cid}.json"
+        keystore.atomic_write_text(
+            path, json.dumps(keystore.client_to_dict(cid, keyring[cid]), indent=1)
+        )
+        written.append(path)
+    return written
+
+
+def provision_joiner(
+    directory: str | pathlib.Path, party: int, rng: random.Random
+) -> BootstrapFile:
+    """Provision a replica that will *join* a running cluster.
+
+    The joiner gets an identity key (its verify key rides inside the
+    signed ``Reconfigure`` op) and fresh channel keys with every known
+    client — the existing client bundles are updated in place.  Channel
+    keys with the current *members* need no provisioning at all: both
+    sides derive them Diffie-Hellman style from identity keys
+    (:func:`dh_channel_key`).
+    """
+    directory = pathlib.Path(directory)
+    public = keystore.load_public(directory / "public.json")
+    signing_key = keygen(rng, public.group)
+    channel_keys: dict[int, bytes] = {}
+    for path in sorted(directory.glob("client-*.json")):
+        try:
+            cid, existing = keystore.load_client(path)
+        except keystore.KeystoreError:
+            continue
+        key = bytes(rng.getrandbits(8) for _ in range(32))
+        channel_keys[cid] = key
+        existing[party] = key
+        keystore.atomic_write_text(
+            path, json.dumps(keystore.client_to_dict(cid, existing), indent=1)
+        )
+    bundle = BootstrapFile(
+        party=party,
+        n=public.n + 1,
+        t=getattr(public.quorum, "t", 0),
+        group=public.group,
+        signing_key=signing_key,
+        channel_keys=channel_keys,
+    )
+    save_bootstrap(directory, bundle)
+    return bundle
+
+
+def dh_channel_key(group: SchnorrGroup, secret_x: int, peer_h: int) -> bytes:
+    """Pairwise channel key from identity keys (hashed Diffie-Hellman).
+
+    Both endpoints compute ``H(g^{xy})`` — the joiner from its secret
+    and a member's public verify key, the member from its secret and
+    the joiner's verify key carried in the ordered ``Reconfigure`` op.
+    """
+    return hash_bytes("dh-channel", pow(peer_h, secret_x, group.p))
+
+
 # -- one server process -------------------------------------------------------------
 
 
@@ -270,14 +464,58 @@ class ReplicaHost:
         byzantine: str | None = None,
         journal: bool = False,
         checkpoint_every: int = 0,
+        dkg_boot: bool = False,
+        join: bool = False,
     ) -> None:
         directory = pathlib.Path(directory)
         self.directory = directory
         self.party = party
-        self.public = keystore.load_public(directory / "public.json")
-        self.keys = keystore.load_party(directory / f"server-{party}.json", self.public)
+        self.mode = "dkg" if dkg_boot else "join" if join else "serve"
+        if self.mode != "serve" and (byzantine is not None or causal):
+            raise ValueError("dkg/join hosts must be honest, non-causal replicas")
         cluster = ClusterConfig.load(directory / CLUSTER_FILE)
         self.io_timeout = cluster.io_timeout
+        self._abc_config = cluster.abc_config()
+        self._state_machine = state_machine or KeyValueStore()
+        self._causal = causal
+        self.epoch = 0
+        self._reshare_target: int | None = None
+        self._bootstrap: BootstrapFile | None = None
+        # Signed membership votes for an epoch newer than ours, keyed
+        # like the client's: (epoch, canonical public json) -> voters.
+        self._stale_votes: dict[tuple[int, str], set[int]] = {}
+        if self.mode == "serve":
+            self.public = keystore.load_public(directory / "public.json")
+            self.keys = keystore.load_party(
+                directory / f"server-{party}.json", self.public
+            )
+            self.epoch = load_epoch(directory)
+        elif self.mode == "dkg":
+            bundle = load_bootstrap(directory, party)
+            self._bootstrap = bundle
+            self.public = dkg.BootstrapPublic(
+                n=bundle.n, quorum=ThresholdQuorumSystem(n=bundle.n, t=bundle.t)
+            )
+            self.keys = dkg.BootstrapKeys(
+                party=party,
+                signing_key=bundle.signing_key,
+                channel_keys=dict(bundle.channel_keys),
+            )
+        else:  # join a live cluster: previous epoch's public bundle
+            bundle = load_bootstrap(directory, party)
+            self._bootstrap = bundle
+            self.public = keystore.load_public(directory / "public.json")
+            self.epoch = load_epoch(directory)
+            channel_keys = dict(bundle.channel_keys)
+            for member, verify_key in self.public.verify_keys.items():
+                channel_keys[member] = dh_channel_key(
+                    self.public.group, bundle.signing_key.x, verify_key.h
+                )
+            self.keys = dkg.BootstrapKeys(
+                party=party,
+                signing_key=bundle.signing_key,
+                channel_keys=channel_keys,
+            )
         if faults is None:
             from .chaos import load_fault_plan  # lazy: chaos imports us
 
@@ -296,23 +534,26 @@ class ReplicaHost:
                 party, self.network, self.public, self.keys, seed=seed
             )
             self.network.attach(party, self.runtime)
-            self.replica: Replica | None = Replica(
-                state_machine or KeyValueStore(),
-                causal=causal,
-                abc_config=cluster.abc_config(),
-            )
-            self.runtime.spawn(service_session(), self.replica)
+            self.replica: Replica | None = None
+            if self.mode == "serve":
+                self.replica = Replica(
+                    self._state_machine,
+                    causal=causal,
+                    abc_config=self._abc_config,
+                )
+                self._install_replica_hooks()
+                self.runtime.spawn(epoch_service_session(self.epoch), self.replica)
         else:
             from .chaos import byzantine_node  # lazy: chaos imports us
 
             node, self.runtime, self.replica = byzantine_node(
                 byzantine, self.network, party, self.public, self.keys,
-                seed=seed, state_machine=state_machine or KeyValueStore(),
+                seed=seed, state_machine=self._state_machine,
                 causal=causal,
             )
             self.network.attach(party, node)
-        if self.replica is not None:
-            self.replica.on_execute = self._on_execute
+            if self.replica is not None:
+                self.replica.on_execute = self._on_execute
         if journal and byzantine is None:
             journal_dir = directory / "journal"
             journal_dir.mkdir(exist_ok=True)
@@ -322,6 +563,23 @@ class ReplicaHost:
             self._journal = open(
                 journal_dir / f"exec-{party}.jsonl", "w", encoding="utf-8"
             )
+
+    def _install_replica_hooks(self) -> None:
+        """Wire the host's observation and reconfiguration hooks into
+        the (honest) replica instance."""
+        assert self.replica is not None
+        self.replica.on_execute = self._on_execute
+        if self._causal:
+            return  # reconfiguration requires the ordered plaintext path
+        self.replica.intercept = self._intercept
+        self.replica.on_membership_info = self._on_stale_info
+        self.replica.membership_info = reconfig.signed_membership_info(
+            self.party,
+            self.epoch,
+            keystore.public_to_dict(self.public),
+            self.keys.signing_key,
+            self.runtime.rng,
+        )
 
     def _on_execute(self, request, result, rnd) -> None:
         self._executions += 1
@@ -356,8 +614,14 @@ class ReplicaHost:
 
     async def start(self, recover: bool = False) -> None:
         await self.network.start()
+        if self.mode == "dkg":
+            self._start_dkg()
+            return
+        if self.mode == "join":
+            self._start_join()
+            return
         if recover and self.replica is not None:
-            ctx = Context(self.runtime, service_session())
+            ctx = Context(self.runtime, epoch_service_session(self.epoch))
             loaded = load_checkpoint(
                 self.directory, self.party, self.keys.channel_keys
             )
@@ -372,6 +636,392 @@ class ReplicaHost:
                 self.checkpoint_status = "rejected"  # repro: noqa-RL005 single-owner startup state
                 self.network.trace.bump("chaos.checkpoint_rejected")
             self.replica.begin_recovery(ctx)
+
+    # -- dealerless bootstrap (DKG) ------------------------------------------------
+
+    def _start_dkg(self) -> None:
+        """Run the key-generation session; the replica spawns once the
+        cluster's threshold keys exist."""
+        bundle = self._bootstrap
+        assert bundle is not None
+        self._dkg_scheme = threshold_scheme(bundle.n, bundle.t, bundle.group.q)
+        session = dkg.dkg_session()
+        self.runtime.spawn(
+            session,
+            dkg.DistributedKeyGeneration(bundle.group, self._dkg_scheme),
+            on_output=self._finish_dkg,
+        )
+        self._watch_flush(session)
+
+    def _finish_dkg(self, output: object) -> None:
+        if not isinstance(output, dkg.DkgOutput):
+            return
+        bundle = self._bootstrap
+        assert bundle is not None
+        quorum = ThresholdQuorumSystem(n=bundle.n, t=bundle.t)
+        public = dkg.build_public_keys(
+            bundle.group, self._dkg_scheme, quorum, bundle.n, output
+        )
+        keys = dkg.build_party_keys(
+            self.party,
+            public,
+            bundle.signing_key,
+            output,
+            channel_keys=dict(bundle.channel_keys),
+        )
+        # Every qualified party writes the identical canonical public
+        # bundle (atomic replace makes the concurrent writes safe) and
+        # its own secret bundle; from here on the deployment directory
+        # is indistinguishable from a dealer-provisioned one.
+        keystore.atomic_write_text(
+            self.directory / "public.json",
+            json.dumps(keystore.public_to_dict(public), indent=1),
+        )
+        keystore.atomic_write_text(
+            self.directory / f"server-{self.party}.json",
+            json.dumps(keystore.party_to_dict(keys), indent=1),
+        )
+        save_epoch(self.directory, 0)
+        self.public = public
+        self.keys = keys
+        self.runtime.public = public
+        self.runtime.keys = keys
+        self.replica = Replica(self._state_machine, abc_config=self._abc_config)
+        self._install_replica_hooks()
+        self.runtime.spawn(epoch_service_session(0), self.replica)
+        qualified = ",".join(str(p) for p in output.qualified)
+        print(f"replica-dkg party={self.party} qualified={qualified}", flush=True)
+
+    # -- epoch-based reconfiguration -----------------------------------------------
+
+    def _start_join(self) -> None:
+        """A joining replica participates in the resharing for the next
+        epoch as a pure receiver; its replica spawns at the new epoch's
+        session once the resharing completes."""
+        public = self.public
+        tolerance = getattr(public.quorum, "t", None)
+        if tolerance is None:
+            raise ValueError("joining requires a threshold quorum deployment")
+        if self.party != public.n:
+            raise ValueError(f"joiner must take the next free id {public.n}")
+        target = self.epoch + 1
+        new_n = public.n + 1
+        new_scheme = threshold_scheme(new_n, tolerance, public.group.q)
+        new_quorum = ThresholdQuorumSystem(n=new_n, t=tolerance)
+        new_verify_keys = {
+            member: key.h
+            for member, key in public.verify_keys.items()
+            if member < new_n
+        }
+        new_verify_keys[self.party] = self.keys.signing_key.verify_key.h
+        protocol = dkg.VerifiableResharing(
+            public.group,
+            public.access_scheme,
+            new_scheme,
+            public.coin.verification,
+            public.encryption.verification,
+            tuple(range(new_n)),
+            new_quorum,
+            new_verify_keys,
+        )
+        session = dkg.reshare_session(target)
+        self.runtime.spawn(
+            session,
+            protocol,
+            on_output=lambda out: self._adopt_epoch(
+                out, target, new_n, new_scheme, new_quorum
+            ),
+        )
+        self._watch_flush(session)
+
+    def _intercept(self, request, rnd: int, replaying: bool) -> object | None:
+        """Replica hook: consume ``Reconfigure`` operations.
+
+        Validation runs post-ordering against state every honest
+        replica shares (current public keys + epoch), so the
+        accept/reject result is part of the agreed history and the
+        application state machine never sees the operation.
+        """
+        operation = request.operation
+        parsed = reconfig.parse_reconfigure(operation)
+        if parsed is None:
+            return None  # an ordinary application operation
+        validated = reconfig.validate_reconfigure(operation, self.public, self.epoch)
+        if validated is None:
+            if replaying and parsed[0].epoch <= self.epoch:
+                # Historic change replayed during recovery; the on-disk
+                # keystore already reflects this (or a later) epoch.
+                return ("reconfig", "accepted", parsed[0].epoch)
+            return ("reconfig", "rejected", self.epoch)
+        if self._reshare_target is not None:
+            return ("reconfig", "rejected", self.epoch)
+        # Valid for the *next* epoch — start (or, when replaying after a
+        # kill mid-resharing, rejoin) the resharing session.  Peer
+        # contributions sent while we were down are retransmitted by the
+        # transport and buffered by the runtime, so a late spawn still
+        # completes.
+        self._reshare_target = validated.epoch
+        self._start_reshare(validated)
+        return ("reconfig", "accepted", validated.epoch)
+
+    def _start_reshare(self, request: "reconfig.ReconfigureRequest") -> None:
+        public = self.public
+        group = public.group
+        tolerance = getattr(public.quorum, "t", None)
+        if tolerance is None:
+            print(
+                f"replica-reconfig-unsupported party={self.party} "
+                "(non-threshold quorum)",
+                flush=True,
+            )
+            return
+        target = request.epoch
+        new_n = reconfig.new_member_count(public, request)
+        new_scheme = threshold_scheme(new_n, tolerance, group.q)
+        new_quorum = ThresholdQuorumSystem(n=new_n, t=tolerance)
+        new_verify_keys = {
+            member: key.h
+            for member, key in public.verify_keys.items()
+            if member < new_n
+        }
+        if request.action == "add":
+            new_verify_keys[request.party] = request.verify_key
+            # The joiner becomes reachable: address from the ordered op,
+            # channel key derived Diffie-Hellman style from identities.
+            self.network.addresses.setdefault(
+                request.party, (request.host, request.port)
+            )
+            joiner_key = dh_channel_key(
+                group, self.keys.signing_key.x, request.verify_key
+            )
+            self.network.channel_keys[request.party] = joiner_key
+            # The reshare protocol masks the joiner's subshares with the
+            # same pairwise key, so the keystore bundle needs it too.
+            self.keys.channel_keys[request.party] = joiner_key
+        protocol = dkg.VerifiableResharing(
+            group,
+            public.access_scheme,
+            new_scheme,
+            public.coin.verification,
+            public.encryption.verification,
+            tuple(range(new_n)),
+            new_quorum,
+            new_verify_keys,
+            self.keys.coin.subshares,
+            self.keys.decryption.subshares,
+        )
+        session = dkg.reshare_session(target)
+        if request.action == "remove" and request.party == self.party:
+            # We are being retired: deal our contribution so the others
+            # can reshare, but take no new keys.  We keep answering the
+            # old epoch's session until the operator stops us; after the
+            # switch our shares are useless against the re-randomized
+            # verification values (tests/crypto/test_dkg.py proves it).
+            self.runtime.spawn(session, protocol)
+            print(f"replica-departed party={self.party} epoch={target}", flush=True)
+        else:
+            self.runtime.spawn(
+                session,
+                protocol,
+                on_output=lambda out: self._adopt_epoch(
+                    out, target, new_n, new_scheme, new_quorum
+                ),
+            )
+        self._watch_flush(session)
+
+    def _adopt_epoch(
+        self,
+        output: object,
+        target: int,
+        new_n: int,
+        new_scheme,
+        new_quorum,
+    ) -> None:
+        """Switch this replica to the new epoch's keys and session."""
+        if not isinstance(output, dkg.DkgOutput):
+            return
+        group = (
+            self.public.group
+            if not isinstance(self.public, dkg.BootstrapPublic)
+            else self._bootstrap.group
+        )
+        new_public = dkg.build_public_keys(group, new_scheme, new_quorum, new_n, output)
+        # Probe: a coin share from the *pre-switch* keys must fail under
+        # the freshly randomized verification values (this is what makes
+        # a departed replica's shares useless).
+        stale_note = ""
+        old_coin = getattr(self.keys, "coin", None)
+        if old_coin is not None:
+            try:
+                stale = old_coin.share_for(("epoch-probe", target), self.runtime.rng)
+                stale_note = (
+                    f" stale_shares_valid={new_public.coin.verify_share(stale)}"
+                )
+            except (KeyError, ValueError):
+                stale_note = " stale_shares_valid=False"
+        new_keys = dkg.build_party_keys(
+            self.party,
+            new_public,
+            self.keys.signing_key,
+            output,
+            channel_keys=dict(self.keys.channel_keys),
+        )
+        keystore.atomic_write_text(
+            self.directory / "public.json",
+            json.dumps(keystore.public_to_dict(new_public), indent=1),
+        )
+        keystore.atomic_write_text(
+            self.directory / f"server-{self.party}.json",
+            json.dumps(keystore.party_to_dict(new_keys), indent=1),
+        )
+        save_epoch(self.directory, target)
+        old_epoch = self.epoch
+        old_session = epoch_service_session(old_epoch)
+        info = reconfig.signed_membership_info(
+            self.party,
+            target,
+            keystore.public_to_dict(new_public),
+            self.keys.signing_key,
+            self.runtime.rng,
+        )
+        self.public = new_public
+        self.keys = new_keys
+        self.runtime.public = new_public
+        self.runtime.keys = new_keys
+        self.epoch = target
+        self._reshare_target = None
+        # Close every prior epoch: the current session's replica becomes
+        # a tombstone, and older tombstones learn the newest record.
+        joined = self.replica is None
+        self.runtime.instances.pop(old_session, None)
+        self.runtime.spawn(old_session, EpochTombstone(info))
+        for epoch in range(old_epoch):
+            stale_session = epoch_service_session(epoch)
+            instance = self.runtime.instances.get(stale_session)
+            if isinstance(instance, EpochTombstone):
+                instance.info = info
+        if joined:
+            self.replica = Replica(self._state_machine, abc_config=self._abc_config)
+        self._install_replica_hooks()
+        new_session = epoch_service_session(target)
+        self.runtime.spawn(new_session, self.replica)
+        print(
+            f"replica-epoch party={self.party} epoch={target} n={new_n}{stale_note}",
+            flush=True,
+        )
+        if joined:
+            # State transfer from the checkpointed history (Section 6)
+            # on the new epoch's session.
+            self.replica.begin_recovery(Context(self.runtime, new_session))
+            task = asyncio.get_running_loop().create_task(_announce_recovery(self))
+            task.add_done_callback(lambda t: t.cancelled() or t.exception())
+
+    def _on_stale_info(self, sender: int, info: object) -> None:
+        """A RecoverQuery we sent came back with the signed membership
+        record of a newer epoch: the cluster moved on while this replica
+        was down.  Adopt once an honest-containing set of *currently
+        trusted* members signed the identical record — the same trust
+        chain clients use (identity keys persist across epochs)."""
+        if self.replica is None or self._reshare_target is not None:
+            return
+        if not reconfig.verify_membership_info(info, self.public):
+            return
+        if info.epoch <= self.epoch:
+            return
+        votes = self._stale_votes.setdefault(
+            (info.epoch, info.public_json), set()
+        )
+        votes.add(sender)
+        if not self.public.quorum.contains_honest(frozenset(votes)):
+            return
+        try:
+            new_public = keystore.public_from_dict(json.loads(info.public_json))
+        except (ValueError, KeyError, TypeError):
+            return
+        self._stale_votes.clear()
+        self._adopt_stale(info.epoch, new_public)
+
+    def _adopt_stale(self, target: int, new_public) -> None:
+        """Rejoin at a newer epoch whose resharing we missed entirely.
+
+        Our threshold share material predates the re-randomization, so
+        it stays useless until the next refresh epoch; identity and
+        channel keys persist, though, so the replica still
+        authenticates, orders, executes and state-transfers — degraded
+        but consistent rather than stalled at a dead session.
+        """
+        if self.party >= new_public.n:
+            print(f"replica-retired party={self.party} epoch={target}", flush=True)
+            return
+        # Channel keys for members admitted while we were down derive
+        # from identity keys, Diffie-Hellman style (same construction
+        # the resharing used).
+        for member, verify_key in new_public.verify_keys.items():
+            if member not in self.keys.channel_keys and member != self.party:
+                key = dh_channel_key(
+                    new_public.group, self.keys.signing_key.x, verify_key.h
+                )
+                self.keys.channel_keys[member] = key
+                self.network.channel_keys[member] = key
+        new_keys = keystore.party_from_dict(
+            keystore.party_to_dict(self.keys), new_public
+        )
+        keystore.atomic_write_text(
+            self.directory / "public.json",
+            json.dumps(keystore.public_to_dict(new_public), indent=1),
+        )
+        save_epoch(self.directory, target)
+        old_epoch = self.epoch
+        old_session = epoch_service_session(old_epoch)
+        info = reconfig.signed_membership_info(
+            self.party,
+            target,
+            keystore.public_to_dict(new_public),
+            self.keys.signing_key,
+            self.runtime.rng,
+        )
+        self.public = new_public
+        self.keys = new_keys
+        self.runtime.public = new_public
+        self.runtime.keys = new_keys
+        self.epoch = target
+        self.runtime.instances.pop(old_session, None)
+        self.runtime.spawn(old_session, EpochTombstone(info))
+        for epoch in range(old_epoch):
+            stale_session = epoch_service_session(epoch)
+            instance = self.runtime.instances.get(stale_session)
+            if isinstance(instance, EpochTombstone):
+                instance.info = info
+        self._install_replica_hooks()
+        new_session = epoch_service_session(target)
+        self.runtime.spawn(new_session, self.replica)
+        print(
+            f"replica-stale-epoch party={self.party} epoch={target} "
+            f"n={new_public.n}",
+            flush=True,
+        )
+        # State transfer on the new session fills in everything ordered
+        # while we were away.
+        self.replica.begin_recovery(Context(self.runtime, new_session))
+        task = asyncio.get_running_loop().create_task(_announce_recovery(self))
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+
+    def _watch_flush(self, session: SessionId) -> None:
+        """Liveness hatch: if a bootstrap/resharing session has not
+        completed within half the deployment I/O budget, flush it so
+        crashed contributors are excluded instead of stalling it."""
+
+        async def watch() -> None:
+            await asyncio.sleep(min(self.io_timeout / 2, 10.0))
+            if self.runtime is None or self.runtime.result(session) is not None:
+                return
+            instance = self.runtime.instances.get(session)
+            flush = getattr(instance, "flush", None)
+            if flush is not None:
+                flush(Context(self.runtime, session))
+
+        task = asyncio.get_running_loop().create_task(watch())
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
 
     async def close(self) -> None:
         await self.network.close()
@@ -388,12 +1038,15 @@ async def serve_replica(
     byzantine: str | None = None,
     journal: bool = False,
     checkpoint_every: int = 0,
+    dkg_boot: bool = False,
+    join: bool = False,
 ) -> int:
     """Run one replica until SIGTERM/SIGINT; prints a parseable final
     state line (the demo cluster checks it to verify recovery)."""
     host = ReplicaHost(
         directory, party, causal=causal, byzantine=byzantine,
         journal=journal, checkpoint_every=checkpoint_every,
+        dkg_boot=dkg_boot, join=join,
     )
     await host.start(recover=recover)
     stop = asyncio.Event()
@@ -468,7 +1121,9 @@ async def run_client_ops(
     cid, channel_keys = keystore.load_client(directory / f"client-{client_id}.json")
     cluster = ClusterConfig.load(directory / CLUSTER_FILE)
     network = TransportNetwork(cid, cluster.addresses, channel_keys)
-    client = ServiceClient(cid, network, public, random.Random())
+    client = ServiceClient(
+        cid, network, public, random.Random(), epoch=load_epoch(directory)
+    )
     network.attach(cid, client)
     await network.start()
     try:
@@ -482,6 +1137,47 @@ async def run_client_ops(
         return results
     finally:
         await network.close()
+
+
+async def submit_reconfigure(
+    directory: str | pathlib.Path,
+    action: str,
+    signer: int = 0,
+    party: int = -1,
+    verify_key: int = 0,
+    host: str = "",
+    port: int = 0,
+    client_id: int = CLIENT_BASE,
+    timeout: float = 60.0,
+    rng: random.Random | None = None,
+) -> object:
+    """Operator entry point: sign a ``Reconfigure`` op with a member's
+    identity key from the deployment directory and order it through the
+    live cluster.  Returns the agreed result tuple."""
+    directory = pathlib.Path(directory)
+    rng = rng or random.Random()
+    public = keystore.load_public(directory / "public.json")
+    signing_key = keystore.load_party(
+        directory / f"server-{signer}.json", public
+    ).signing_key
+    epoch = load_epoch(directory) + 1
+    if action == "remove" and party < 0:
+        party = public.n - 1
+    operation = reconfig.reconfigure_operation(
+        action,
+        epoch,
+        signer,
+        signing_key,
+        rng,
+        party=party,
+        verify_key=verify_key,
+        host=host,
+        port=port,
+    )
+    results = await run_client_ops(
+        directory, [operation], client_id=client_id, timeout=timeout
+    )
+    return results[0]
 
 
 # -- the demo cluster ---------------------------------------------------------------
@@ -586,6 +1282,8 @@ async def _spawn_replica(
     journal: bool = False,
     checkpoint_every: int = 0,
     io_timeout: float = DEFAULT_IO_TIMEOUT,
+    dkg_boot: bool = False,
+    join: bool = False,
 ) -> _ReplicaProcess:
     command = [
         sys.executable, "-m", "repro", "run-replica",
@@ -593,6 +1291,10 @@ async def _spawn_replica(
     ]
     if recover:
         command.append("--recover")
+    if dkg_boot:
+        command.append("--dkg")
+    if join:
+        command.append("--join")
     if byzantine:
         command.extend(["--byzantine", byzantine])
     if journal:
@@ -700,6 +1402,152 @@ async def _demo_cluster(
         await network.close()
 
 
+async def _demo_cluster_dkg(
+    n: int, t: int, seed: int, directory: pathlib.Path, timeout: float
+) -> int:
+    """Dealerless demo: boot via DKG, then reconfigure the live cluster
+    n -> n+1 -> n (add a member, then remove it) without stopping."""
+    rng = random.Random(seed)
+    joiner = n
+    print(f"provisioning bootstrap identities for n={n}, t={t} (NO dealer)",
+          flush=True)
+    provision_dkg_deployment(n, t, rng, directory, clients=1, group=small_group())
+    addresses = allocate_addresses(list(range(n + 1)) + [CLIENT_BASE])
+    joiner_addr = addresses.pop(joiner)
+    ClusterConfig(dict(addresses), io_timeout=timeout).save(
+        directory / CLUSTER_FILE
+    )
+
+    print(f"spawning {n} replicas with --dkg (distributed key generation)",
+          flush=True)
+    replicas = {
+        party: await _spawn_replica(
+            directory, party, dkg_boot=True, io_timeout=timeout
+        )
+        for party in range(n)
+    }
+    for party in range(n):
+        line = await replicas[party].wait_for_line("replica-dkg", timeout)
+        print(f"  {line}", flush=True)
+
+    public = keystore.load_public(directory / "public.json")
+    cid, channel_keys = keystore.load_client(
+        directory / f"client-{CLIENT_BASE}.json"
+    )
+    network = TransportNetwork(cid, dict(addresses), channel_keys)
+    client = ServiceClient(cid, network, public, random.Random(seed + 99))
+    network.attach(cid, client)
+    await network.start()
+    operator_rng = random.Random(seed + 7)
+    try:
+        print("phase A: 3 writes against the DKG-generated keys", flush=True)
+        phase_a = [("set", f"key-{i}", i) for i in range(3)]
+        await _submit_and_await(network, client, phase_a, timeout)
+
+        print(f"provisioning joiner {joiner} and spawning it with --join",
+              flush=True)
+        bundle = provision_joiner(directory, joiner, operator_rng)
+        addresses[joiner] = joiner_addr
+        ClusterConfig(dict(addresses), io_timeout=timeout).save(
+            directory / CLUSTER_FILE
+        )
+        # The running client learns the joiner's address and its fresh
+        # channel key (provision_joiner rewrote the client bundle).
+        _, refreshed_keys = keystore.load_client(
+            directory / f"client-{CLIENT_BASE}.json"
+        )
+        network.addresses[joiner] = joiner_addr
+        network.channel_keys[joiner] = refreshed_keys[joiner]
+        replicas[joiner] = await _spawn_replica(
+            directory, joiner, join=True, io_timeout=timeout
+        )
+
+        print(f"submitting ordered Reconfigure(add, party={joiner}) -> epoch 1",
+              flush=True)
+        signer_keys = keystore.load_party(directory / "server-0.json", public)
+        add_op = reconfig.reconfigure_operation(
+            "add", 1, 0, signer_keys.signing_key, operator_rng,
+            party=joiner,
+            verify_key=bundle.signing_key.verify_key.h,
+            host=joiner_addr[0], port=joiner_addr[1],
+        )
+        results = await _submit_and_await(network, client, [add_op], timeout)
+        if results[0] != ("reconfig", "accepted", 1):
+            print("demo-cluster: FAILED (add operation rejected)")
+            return 1
+        for party in range(n + 1):
+            line = await replicas[party].wait_for_line("replica-epoch", timeout)
+            print(f"  {line}", flush=True)
+        await replicas[joiner].wait_for_line("replica-recovered", timeout)
+        print(f"  replica {joiner} joined epoch 1 and state-transferred",
+              flush=True)
+
+        print(f"phase B: 2 writes with n={n + 1} (client refetches membership)",
+              flush=True)
+        phase_b = [("set", f"key-{i}", i) for i in range(3, 5)]
+        await _submit_and_await(network, client, phase_b, timeout)
+        if client.epoch != 1:
+            print("demo-cluster: FAILED (client never adopted epoch 1)")
+            return 1
+
+        print(f"submitting ordered Reconfigure(remove, party={joiner}) -> epoch 2",
+              flush=True)
+        public = keystore.load_public(directory / "public.json")
+        signer_keys = keystore.load_party(directory / "server-0.json", public)
+        remove_op = reconfig.reconfigure_operation(
+            "remove", 2, 0, signer_keys.signing_key, operator_rng, party=joiner
+        )
+        results = await _submit_and_await(network, client, [remove_op], timeout)
+        if results[0] != ("reconfig", "accepted", 2):
+            print("demo-cluster: FAILED (remove operation rejected)")
+            return 1
+        stale_ok = True
+        for party in range(n):
+            line = await replicas[party].wait_for_line(
+                f"replica-epoch party={party} epoch=2", timeout
+            )
+            print(f"  {line}", flush=True)
+            stale_ok = stale_ok and "stale_shares_valid=False" in line
+        if not stale_ok:
+            print("demo-cluster: FAILED (departed replica's shares still "
+                  "verify in epoch 2)")
+            return 1
+        line = await replicas[joiner].wait_for_line("replica-departed", timeout)
+        print(f"  {line}", flush=True)
+        print(f"stopping departed replica {joiner}", flush=True)
+        await replicas[joiner].stop()
+
+        print(f"phase C: 1 write + 1 read back at n={n} (epoch 2)", flush=True)
+        phase_c = [("set", "key-5", 5), ("get", "key-0")]
+        results = await _submit_and_await(network, client, phase_c, timeout)
+        if results[-1] != ("value", 0):
+            print("demo-cluster: FAILED (read returned the wrong value)")
+            return 1
+        if client.epoch != 2 or client.epoch_refreshes < 2:
+            print("demo-cluster: FAILED (client did not follow both epochs)")
+            return 1
+
+        print("stopping the cluster (SIGTERM)", flush=True)
+        for party in range(n):
+            await replicas[party].stop()
+        for party in range(n):
+            final = next(
+                (l for l in replicas[party].lines if "replica-final" in l), ""
+            )
+            missing = [f"key-{i}" for i in range(6) if f"key-{i}" not in final]
+            if not final or missing:
+                print(f"demo-cluster: FAILED (replica {party} final state "
+                      f"missing {missing or 'everything'})")
+                return 1
+        print(f"demo-cluster: ok (dealerless boot, live {n}->{n + 1}->{n} "
+              f"reconfiguration, epochs 0..2)")
+        return 0
+    finally:
+        for process in replicas.values():
+            await process.kill()
+        await network.close()
+
+
 def demo_cluster(
     n: int = 4,
     t: int = 1,
@@ -707,13 +1555,15 @@ def demo_cluster(
     directory: str | pathlib.Path | None = None,
     keep: bool = False,
     timeout: float = 60.0,
+    dkg: bool = False,
 ) -> int:
     """Run the end-to-end TCP cluster demo; returns a process exit code."""
     created = directory is None
     workdir = pathlib.Path(directory or tempfile.mkdtemp(prefix="repro-cluster-"))
     workdir.mkdir(parents=True, exist_ok=True)
+    runner = _demo_cluster_dkg if dkg else _demo_cluster
     try:
-        return asyncio.run(_demo_cluster(n, t, seed, workdir, timeout))
+        return asyncio.run(runner(n, t, seed, workdir, timeout))
     finally:
         if created and not keep:
             shutil.rmtree(workdir, ignore_errors=True)

@@ -41,7 +41,9 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import hmac
+import os
 import random
+import traceback
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
@@ -699,6 +701,8 @@ class TransportNetwork:
         except Exception as exc:  # a handler bug must not kill the link
             self.errors.append(exc)
             self.trace.bump("transport.handler_errors")
+            if os.environ.get("REPRO_DEBUG"):
+                traceback.print_exception(exc)
         self._delivery_event.set()
 
     # -- waiting -----------------------------------------------------------

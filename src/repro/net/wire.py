@@ -69,8 +69,8 @@ def _ensure_registry() -> None:
         reliable_broadcast,
         secure_causal,
     )
-    from ..crypto import coin, schnorr, threshold_enc, threshold_sig, zkp
-    from ..smr import replica, state_machine
+    from ..crypto import coin, dkg, schnorr, threshold_enc, threshold_sig, zkp
+    from ..smr import reconfig, replica, state_machine
 
     classes = [
         schnorr.Signature,
@@ -124,6 +124,15 @@ def _ensure_registry() -> None:
         replica.RecoverLog,
         state_machine.Request,
         state_machine.Reply,
+        dkg.FeldmanTree,
+        dkg.DkgCommit,
+        dkg.ReshareCommit,
+        dkg.DkgStatus,
+        dkg.DkgDefense,
+        dkg.DkgReady,
+        reconfig.EpochError,
+        reconfig.MembershipQuery,
+        reconfig.MembershipInfo,
     ]
     for cls in classes:
         register(cls)

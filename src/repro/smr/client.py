@@ -12,6 +12,7 @@ combines their signature shares into one service-signed reply.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 from dataclasses import dataclass
 
@@ -20,7 +21,14 @@ from ..crypto.threshold_sig import QuorumCertScheme, ShoupRsaScheme
 from ..net.base import NetworkBackend
 from ..net.simulator import Node
 from . import codec
-from .replica import SubmitEncrypted, SubmitRequest, reply_statement, service_session
+from .reconfig import (
+    EpochError,
+    MembershipInfo,
+    MembershipQuery,
+    epoch_service_session,
+    verify_membership_info,
+)
+from .replica import SubmitEncrypted, SubmitRequest, reply_statement
 from .state_machine import Reply, Request
 
 __all__ = ["CompletedRequest", "ServiceClient"]
@@ -54,18 +62,25 @@ class ServiceClient(Node):
         public: PublicKeys,
         rng: random.Random,
         session_tag: object = "service",
+        epoch: int = 0,
     ) -> None:
         self.client_id = client_id
         self.network = network
         self.public = public
         self.rng = rng
-        self.session = service_session(session_tag)
+        self.session_tag = session_tag
+        self.epoch = epoch
+        self.session = epoch_service_session(epoch, session_tag)
         self._nonce = 0
         self._operations: dict[int, tuple] = {}
         self._replies: dict[int, dict[int, Reply]] = {}
         self.completed: dict[int, CompletedRequest] = {}
         self.resubmissions = 0
         self.duplicate_replies = 0
+        self.epoch_refreshes = 0
+        # Signed MembershipInfo votes collected after an EpochError,
+        # grouped by the configuration they attest to.
+        self._membership_votes: dict[tuple[int, str], set[int]] = {}
 
     # -- submission --------------------------------------------------------------
 
@@ -200,7 +215,16 @@ class ServiceClient(Node):
     def _targets(self, servers: list[int] | None) -> list[int]:
         if servers is not None:
             return servers
-        return list(range(self.public.n))
+        targets = list(range(self.public.n))
+        # On an authenticated transport we can only reach replicas we
+        # share a channel key with; a joiner admitted after this client
+        # was provisioned stays out of the target set (the remaining
+        # members still form an honest-containing set).  The simulator
+        # backend has no channel keys and is unaffected.
+        known = getattr(self.network, "channel_keys", None)
+        if known is None:
+            return targets
+        return [server for server in targets if server in known]
 
     # -- replies ---------------------------------------------------------------------
 
@@ -208,7 +232,15 @@ class ServiceClient(Node):
         if not (isinstance(payload, tuple) and len(payload) == 2):
             return
         session, message = payload
-        if session != self.session or not isinstance(message, Reply):
+        if session != self.session:
+            return
+        if isinstance(message, EpochError):
+            self._on_epoch_error(sender, message)
+            return
+        if isinstance(message, MembershipInfo):
+            self._on_membership_info(sender, message)
+            return
+        if not isinstance(message, Reply):
             return
         if message.replica != sender or message.client != self.client_id:
             return
@@ -229,6 +261,59 @@ class ServiceClient(Node):
             return
         bucket[sender] = message
         self._maybe_complete(nonce)
+
+    # -- epoch refresh (online reconfiguration) --------------------------------
+
+    def _on_epoch_error(self, sender: int, message: EpochError) -> None:
+        """A replica told us our session's epoch is closed: fetch the
+        signed membership record instead of burning the retry budget
+        against a configuration that no longer exists."""
+        if not isinstance(message.epoch, int) or message.epoch <= self.epoch:
+            return
+        query = (self.session, MembershipQuery(known_epoch=self.epoch))
+        for server in self._targets(None):
+            self.network.send(self.client_id, server, query)
+
+    def _on_membership_info(self, sender: int, message: MembershipInfo) -> None:
+        """Adopt a newer configuration once an honest-containing set of
+        *currently trusted* replicas signed the identical record.
+
+        Continuing members keep their identity keys across epochs, so
+        verifying against the current epoch's verify keys chains trust
+        from the configuration this client already believes to the new
+        one — no single replica (and no departed replica) can feed the
+        client a fake membership.
+        """
+        if message.replica != sender:
+            return
+        if not verify_membership_info(message, self.public):
+            return
+        if message.epoch <= self.epoch:
+            return
+        votes = self._membership_votes.setdefault(
+            (message.epoch, message.public_json), set()
+        )
+        votes.add(sender)
+        if not self.public.quorum.contains_honest(frozenset(votes)):
+            return
+        try:
+            from ..crypto import keystore
+
+            public = keystore.public_from_dict(json.loads(message.public_json))
+        except (ValueError, KeyError, TypeError):
+            return
+        self.public = public
+        self.epoch = message.epoch
+        self.session = epoch_service_session(message.epoch, self.session_tag)
+        self.epoch_refreshes += 1
+        self._membership_votes.clear()
+        # Replies collected under the old configuration mix signature
+        # shares from two key generations; drop them and re-send every
+        # pending request — same nonce, so execution stays at-most-once
+        # even if the old epoch already ordered it.
+        self._replies.clear()
+        for nonce in sorted(self._operations):
+            self.resubmit(nonce)
 
     def _statement(self, nonce: int, result: object) -> tuple:
         operation = self._operations[nonce]

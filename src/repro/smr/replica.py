@@ -28,6 +28,7 @@ from ..core.protocol import Context, Protocol, SessionId
 from ..core.secure_causal import SecureCausalBroadcast
 from ..crypto.threshold_enc import Ciphertext
 from . import codec
+from .reconfig import MembershipInfo, MembershipQuery
 from .state_machine import Reply, Request, StateMachine
 
 __all__ = ["SubmitRequest", "SubmitEncrypted", "RecoverQuery", "RecoverLog",
@@ -114,6 +115,13 @@ class Replica(Protocol):
         self.sc_abc = SecureCausalBroadcast()
         self.executed: list[tuple[Request, object]] = []
         self._seen_nonces: set[tuple[int, int]] = set()
+        # (client, nonce) -> result, so a duplicate submission can be
+        # re-answered instead of silently swallowed by the at-most-once
+        # dedup.  Matters across an epoch switch: a request ordered at
+        # the boundary may have been answered on a session the client
+        # no longer listens on, and the client's same-nonce resubmission
+        # must still produce a signed reply.
+        self._results: dict[tuple[int, int], object] = {}
         self.recovering = False
         self._recovery_logs: dict[int, RecoverLog] = {}
         self._replaying = False
@@ -123,6 +131,28 @@ class Replica(Protocol):
         # safety checker reads, and for periodic checkpointing.  Never
         # part of the protocol itself.
         self.on_execute: Callable[[Request, object, int], None] | None = None
+        # Interception hook: called for every ordered request *before*
+        # the application state machine.  Returning a non-None result
+        # consumes the request — the replica signs and replies with that
+        # result and the state machine never sees the operation.  The
+        # deployment host uses it for ``Reconfigure`` operations, which
+        # are agreed through the same total order as writes but drive
+        # the key/membership layer instead of the application.  The
+        # callable receives ``(request, round, replaying)`` so a replay
+        # from a checkpoint can acknowledge historic reconfigurations
+        # without re-triggering a resharing.
+        self.intercept: Callable[[Request, int, bool], object | None] | None = None
+        # The host's signed statement of the current configuration
+        # (see smr/reconfig.py); answered to MembershipQuery so clients
+        # can refresh against the live session too, not only against
+        # tombstones of closed epochs.
+        self.membership_info: object | None = None
+        # Host callback for a *received* MembershipInfo: a RecoverQuery
+        # we sent to peers can come back with the signed record of a
+        # newer epoch instead of log entries (the peers left our epoch
+        # behind while we were down) — the host verifies a quorum of
+        # such votes and re-adopts.
+        self.on_membership_info: Callable[[int, object], None] | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -144,6 +174,12 @@ class Replica(Protocol):
         elif isinstance(message, SubmitEncrypted):
             if self.causal and isinstance(message.ciphertext, Ciphertext):
                 self.sc_abc.submit(ctx, message.ciphertext)
+        elif isinstance(message, MembershipQuery):
+            if self.membership_info is not None:
+                ctx.send(sender, self.membership_info)
+        elif isinstance(message, MembershipInfo):
+            if self.on_membership_info is not None:
+                self.on_membership_info(sender, message)
         elif isinstance(message, RecoverQuery):
             self._on_recover_query(ctx, sender)
         elif isinstance(message, RecoverLog):
@@ -160,6 +196,10 @@ class Replica(Protocol):
         if self.causal:
             # A confidential service refuses plaintext submissions: they
             # would break input causality for everyone.
+            return
+        key = (request.client, request.nonce)
+        if key in self._results:
+            self._reply(ctx, request, self._results[key])
             return
         self.abc.submit(ctx, request.encode())
 
@@ -348,12 +388,20 @@ class Replica(Protocol):
         if key in self._seen_nonces:
             return  # at-most-once semantics across duplicate submissions
         self._seen_nonces.add(key)
-        result = self.state_machine.apply(request)
+        result = None
+        if self.intercept is not None:
+            result = self.intercept(request, rnd, self._replaying)
+        if result is None:
+            result = self.state_machine.apply(request)
+        self._results[key] = result
         self.executed.append((request, result))
         if self.on_execute is not None:
             self.on_execute(request, result, rnd)
         if self._replaying:
             return  # clients were answered before the crash
+        self._reply(ctx, request, result)
+
+    def _reply(self, ctx: Context, request: Request, result: object) -> None:
         digest = ("request", request.client, request.nonce, request.operation)
         share = ctx.keys.service_signer.sign_share(
             reply_statement(digest, result), ctx.rng

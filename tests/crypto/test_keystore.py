@@ -222,3 +222,86 @@ class TestChannelKeys:
         for value in data["channel_keys"].values():
             assert bytes.fromhex(value)  # plain hex strings, 32 bytes
             assert len(value) == 64
+
+
+class TestAtomicWrites:
+    """Crash-safe key file writes: a kill at any instant leaves either
+    the complete old file or the complete new one, never a prefix."""
+
+    def test_atomic_write_roundtrip(self, tmp_path):
+        from repro.crypto.keystore import atomic_write_text
+
+        target = tmp_path / "public.json"
+        atomic_write_text(target, '{"v": 1}')
+        assert json.loads(target.read_text()) == {"v": 1}
+        atomic_write_text(target, '{"v": 2}')
+        assert json.loads(target.read_text()) == {"v": 2}
+        # No temp litter after a clean write.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_kill_during_write_preserves_old_file(self, tmp_path, monkeypatch):
+        """Simulate SIGKILL mid-write (the chaos engine does this for
+        real): fsync raises, the target must still hold the old epoch's
+        complete keys and the temp file must be cleaned up."""
+        import os as os_module
+
+        from repro.crypto import keystore as ks
+
+        target = tmp_path / "server-0.json"
+        ks.atomic_write_text(target, '{"epoch": 0, "complete": true}')
+
+        def exploding_fsync(fd):
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(os_module, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            ks.atomic_write_text(target, '{"epoch": 1, "truncat')
+        monkeypatch.undo()
+        assert json.loads(target.read_text()) == {"epoch": 0, "complete": True}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_kill_before_rename_preserves_old_file(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        from repro.crypto import keystore as ks
+
+        target = tmp_path / "server-1.json"
+        ks.atomic_write_text(target, '{"epoch": 0}')
+
+        def exploding_replace(src, dst):
+            raise OSError("killed before rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            ks.atomic_write_text(target, '{"epoch": 1}')
+        monkeypatch.undo()
+        assert json.loads(target.read_text()) == {"epoch": 0}
+
+    def test_leftover_temp_does_not_confuse_loads(self, tmp_path):
+        """A temp file orphaned by a true SIGKILL (no cleanup ran) must
+        not shadow the real key files."""
+        keys = deal_system(4, random.Random(41), t=1, group=small_group())
+        write_deployment(keys, tmp_path)
+        (tmp_path / "public.json.12345.tmp").write_text('{"garbage": tru')
+        public = load_public(tmp_path / "public.json")
+        assert public.n == 4
+
+    def test_write_deployment_is_atomic(self, tmp_path, monkeypatch):
+        """write_deployment goes through the atomic path for every file."""
+        import os as os_module
+
+        keys = deal_system(4, random.Random(42), t=1, group=small_group())
+        write_deployment(keys, tmp_path)
+        before = {p.name: p.read_text() for p in tmp_path.glob("*.json")}
+
+        calls = {"n": 0}
+        real_replace = os_module.replace
+
+        def counting_replace(src, dst):
+            calls["n"] += 1
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", counting_replace)
+        keys2 = deal_system(4, random.Random(43), t=1, group=small_group())
+        write_deployment(keys2, tmp_path)
+        assert calls["n"] >= len(before)

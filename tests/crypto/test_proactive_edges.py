@@ -1,0 +1,109 @@
+"""Proactive refresh under partial participation and non-threshold
+structures — the edge cases a live reconfiguring cluster actually hits."""
+
+import random
+
+from repro.adversary.attributes import (
+    example1_access_formula,
+    example2_access_formula,
+    example2_structure,
+)
+from repro.crypto.groups import small_group
+from repro.crypto.lsss import LsssScheme, threshold_scheme
+from repro.crypto.proactive import (
+    apply_refresh,
+    deal_zero_sharing,
+    refresh_lsss,
+    verify_zero_sharing,
+)
+from repro.crypto.shamir import reconstruct, share_secret
+
+GROUP = small_group()
+
+
+def test_refresh_survives_crashed_dealer():
+    """A party that crashes before dealing its zero-sharing simply
+    drops out of the update set; the others' updates still refresh."""
+    rng = random.Random(31)
+    n, t, secret = 5, 2, 424242
+    shares, _ = share_secret(secret, n, t, GROUP.q, rng)
+    # Parties 0..3 deal; party 4 crashed mid-round and dealt nothing.
+    updates = [deal_zero_sharing(GROUP, n, t, dealer=d, rng=rng) for d in range(4)]
+    refreshed = [apply_refresh(GROUP, s, updates) for s in shares]
+    assert reconstruct(refreshed[:3], GROUP.q) == secret
+    assert all(old.value != new.value for old, new in zip(shares, refreshed))
+
+
+def test_crashed_receiver_catches_up_from_stored_updates():
+    """A party that crashes *during* the update round holds a stale
+    share: it no longer interpolates with the new epoch, but replaying
+    the (verifiable, hence storable) updates on restart repairs it."""
+    rng = random.Random(32)
+    n, t, secret = 5, 2, 31337
+    shares, _ = share_secret(secret, n, t, GROUP.q, rng)
+    updates = [deal_zero_sharing(GROUP, n, t, dealer=d, rng=rng) for d in range(3)]
+    refreshed = [apply_refresh(GROUP, s, updates) for s in shares]
+    # Party 0 crashed before applying: its stale share poisons any
+    # reconstruction attempt with new-epoch shares.
+    assert reconstruct([shares[0], refreshed[1], refreshed[2]], GROUP.q) != secret
+    # On restart it verifies and applies the same updates — catch-up
+    # needs no extra protocol round, just the stored zero-sharings.
+    repaired = apply_refresh(GROUP, shares[0], updates)
+    assert repaired.value == refreshed[0].value
+    assert reconstruct([repaired, refreshed[1], refreshed[2]], GROUP.q) == secret
+
+
+def test_zero_sharing_missing_point_rejected():
+    rng = random.Random(33)
+    sharing = deal_zero_sharing(GROUP, 4, 1, dealer=0, rng=rng)
+    # A point outside the dealt set (e.g. a joiner probing an old
+    # epoch's update) has no subshare and must not verify.
+    assert not verify_zero_sharing(GROUP, sharing, 9)
+    from dataclasses import replace
+
+    assert not verify_zero_sharing(GROUP, replace(sharing, commitments=[]), 1)
+
+
+def test_refresh_lsss_example2_structure():
+    """Refresh along the paper's Example 2 formula (two-attribute grid,
+    16 parties): every qualified set still reconstructs, no corruptible
+    coalition gains anything."""
+    rng = random.Random(34)
+    scheme = LsssScheme(formula=example2_access_formula(), modulus=GROUP.q)
+    sharing = scheme.deal(2001, rng)
+    refreshed = refresh_lsss(scheme, sharing, rng)
+    structure = example2_structure()
+    worst = max(structure.maximal_sets, key=len)
+    rest = set(range(16)) - worst
+    assert scheme.reconstruct(refreshed, rest) == 2001
+    for bad in structure.maximal_sets[:4]:
+        assert scheme.recombination(set(bad)) is None
+    # The refresh rerandomized at least part of the sharing.
+    before, after = sharing.all_slots(), refreshed.all_slots()
+    assert any(after[slot] != value for slot, value in before.items())
+
+
+def test_refresh_lsss_nested_formula_slots_stable():
+    """The refresh must preserve the slot *structure* (same leaves, same
+    parties) for Example 1's nested formula — only values change."""
+    rng = random.Random(35)
+    scheme = LsssScheme(formula=example1_access_formula(), modulus=GROUP.q)
+    sharing = scheme.deal(99, rng)
+    refreshed = refresh_lsss(scheme, sharing, rng)
+    assert set(sharing.all_slots()) == set(refreshed.all_slots())
+    assert set(sharing.shares) == set(refreshed.shares)
+    assert scheme.reconstruct(refreshed, {0, 4, 6}) == 99
+
+
+def test_refreshed_key_keeps_public_key():
+    """The epoch's defining property: shares change, the public key
+    (g^secret — what clients pin) does not."""
+    rng = random.Random(36)
+    scheme = threshold_scheme(4, 1, GROUP.q)
+    secret = rng.randrange(GROUP.q)
+    public_key = GROUP.power_of_g(secret)
+    sharing = scheme.deal(secret, rng)
+    refreshed = refresh_lsss(scheme, sharing, rng)
+    recovered = scheme.reconstruct(refreshed, {0, 2})
+    assert GROUP.power_of_g(recovered) == public_key
+    assert sharing.all_slots() != refreshed.all_slots()

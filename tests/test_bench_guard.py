@@ -16,6 +16,7 @@ def _crypto(multiexp=6.0, coin=5.4, smoke=False) -> dict:
         },
         "coin_quorum": {"speedup_batch_vs_legacy": coin},
         "rsa_quorum": {"speedup_batch_vs_per_share": 4.4},
+        "dkg": {"n4t1": {"dealer_to_dkg_ratio": 0.015}},
     }
 
 
@@ -29,7 +30,7 @@ def _e2e(speedup=9.0, smoke=False) -> dict:
 def test_matching_numbers_pass():
     failures, notes = guard_compare("crypto", _crypto(), _crypto())
     assert failures == []
-    assert len(notes) == 5  # every catalogued metric compared
+    assert len(notes) == 6  # every catalogued metric compared
 
 
 def test_regression_beyond_tolerance_fails():
