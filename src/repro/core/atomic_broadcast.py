@@ -170,6 +170,11 @@ class AtomicBroadcast(Protocol):
         # batches for the same round number, even across recovery.
         self.highest_started = 0
         self.in_flight: set[Hashable] = set()
+        # Bumped by rebase(): agreements spawned for an earlier
+        # generation (a closed session) are ignored when they complete,
+        # so an old-session round can never collide with the round of
+        # the same number restarted under the successor session.
+        self.generation = 0
         # Our own proposals by round: (batch, digest, signature).
         # Recently delivered rounds are retained (buffer_slack deep) so
         # rejoining parties can ask for an exact re-send.
@@ -287,6 +292,41 @@ class AtomicBroadcast(Protocol):
         ctx.broadcast(AbcRejoin(self.round))
         self._maybe_start_rounds(ctx)
 
+    def rebase(self, ctx: Context) -> None:
+        """Carry this broadcast onto a successor session (epoch switch).
+
+        The session that hosted it was closed and replaced by a
+        tombstone, so protocol traffic for any round still in flight —
+        proposal exchange, agreement sub-protocols — now lands on the
+        tombstone and those rounds can never decide.  Abandon
+        everything above the last *delivered* round and re-propose the
+        undelivered payloads under ``ctx``'s (new) session.  Delivered
+        history is untouched and round numbering continues where it
+        left off, so journal rounds stay monotone across the switch.
+        Restarting a round number this party already signed for is not
+        equivocation: proposal statements bind the session id, so the
+        same round under a different session is a different statement.
+        A straggler agreement from the closed session that completes
+        after the switch is discarded by the generation check in
+        :meth:`_on_decision` rather than racing the restarted round.
+        """
+        base = self.round
+        self.generation += 1
+        self.highest_started = base
+        for stale in [r for r in self.proposals if r > base]:
+            del self.proposals[stale]
+        for stale in [r for r in self.decisions if r > base]:
+            del self.decisions[stale]
+        for stale in [r for r in self.proposed if r > base]:
+            del self.proposed[stale]
+        self.agreement_started = {
+            r for r in self.agreement_started if r <= base
+        }
+        self._sync_in_flight()
+        self._gc_batches()
+        self._refresh_lag()
+        self._maybe_start_rounds(ctx)
+
     # -- message handling ---------------------------------------------------------
 
     def on_message(self, ctx: Context, sender: int, message: object) -> None:
@@ -391,10 +431,13 @@ class AtomicBroadcast(Protocol):
             sorted((j, digest, sig) for j, (digest, sig) in collected.items())
         )
         predicate = self._list_predicate(ctx, r)
+        generation = self.generation
         ctx.spawn(
             ("mvba", (ctx.session, r)),
             MultiValuedAgreement(candidate, predicate=predicate),
-            on_output=lambda decision, rr=r: self._on_decision(ctx, rr, decision),
+            on_output=lambda decision, rr=r, g=generation: self._on_decision(
+                ctx, rr, decision, g
+            ),
         )
 
     def _list_predicate(self, ctx: Context, r: int) -> Callable[[object], bool]:
@@ -464,7 +507,15 @@ class AtomicBroadcast(Protocol):
 
     # -- delivery ----------------------------------------------------------------
 
-    def _on_decision(self, ctx: Context, r: int, decision: object) -> None:
+    def _on_decision(
+        self,
+        ctx: Context,
+        r: int,
+        decision: object,
+        generation: int | None = None,
+    ) -> None:
+        if generation is not None and generation != self.generation:
+            return  # agreement of a closed session (see rebase())
         if not isinstance(decision, MvbaDecision):
             return
         if r <= self.round or r in self.decisions:

@@ -34,6 +34,7 @@ import signal
 import socket
 import sys
 import tempfile
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..adversary.quorums import ThresholdQuorumSystem
@@ -480,6 +481,19 @@ class ReplicaHost:
         self._causal = causal
         self.epoch = 0
         self._reshare_target: int | None = None
+        # Set by the flush watchdog when a resharing neither completes
+        # nor settles after retries: unlocks the stale-membership rescue
+        # path (peers may have finished the epoch without us).
+        self._reshare_stalled = False
+        # The epoch as of this replica incarnation's *executed* history
+        # (every replica replays from genesis, so this starts at 0 and
+        # advances with each accepted Reconfigure, replayed or live).
+        # During replay it lags self.epoch and selects the archived
+        # configuration a historic op must be re-validated against.
+        self._executed_epoch = 0
+        # Set once this replica learns it was removed by an epoch it
+        # missed: stops the resharing retry ladder from respawning.
+        self._retired = False
         self._bootstrap: BootstrapFile | None = None
         # Signed membership votes for an epoch newer than ours, keyed
         # like the client's: (epoch, canonical public json) -> voters.
@@ -639,23 +653,41 @@ class ReplicaHost:
 
     # -- dealerless bootstrap (DKG) ------------------------------------------------
 
-    def _start_dkg(self) -> None:
+    def _start_dkg(self, attempt: int = 0) -> None:
         """Run the key-generation session; the replica spawns once the
-        cluster's threshold keys exist."""
+        cluster's threshold keys exist.
+
+        ``attempt`` indexes the retry ladder: a session that neither
+        completes nor settles after its flush (the conditional-agreement
+        stall of :mod:`repro.crypto.dkg`) is respawned under a fresh
+        tag.  Every host walks the same ladder on the same
+        ``io_timeout``-derived schedule, so attempts line up; earlier
+        attempts stay spawned so a session that completed at *any* party
+        can still complete late at the others.
+        """
         bundle = self._bootstrap
         assert bundle is not None
         self._dkg_scheme = threshold_scheme(bundle.n, bundle.t, bundle.group.q)
-        session = dkg.dkg_session()
+        session = dkg.dkg_session("boot" if attempt == 0 else ("boot", attempt))
+        if attempt:
+            print(
+                f"replica-dkg-retry party={self.party} attempt={attempt}",
+                flush=True,
+            )
         self.runtime.spawn(
             session,
             dkg.DistributedKeyGeneration(bundle.group, self._dkg_scheme),
             on_output=self._finish_dkg,
         )
-        self._watch_flush(session)
+        self._watch_flush(
+            session,
+            settled=lambda: self.replica is not None,
+            retry=lambda: self._start_dkg(attempt + 1),
+        )
 
     def _finish_dkg(self, output: object) -> None:
-        if not isinstance(output, dkg.DkgOutput):
-            return
+        if not isinstance(output, dkg.DkgOutput) or self.replica is not None:
+            return  # malformed, or a slower retry attempt finishing late
         bundle = self._bootstrap
         assert bundle is not None
         quorum = ThresholdQuorumSystem(n=bundle.n, t=bundle.t)
@@ -694,7 +726,12 @@ class ReplicaHost:
 
     # -- epoch-based reconfiguration -----------------------------------------------
 
-    def _start_join(self) -> None:
+    def _reshare_tag(self, attempt: int) -> object:
+        """The session tag of one resharing attempt — identical at every
+        participant (members and joiner walk the same retry ladder)."""
+        return "reshare" if attempt == 0 else ("reshare", attempt)
+
+    def _start_join(self, attempt: int = 0) -> None:
         """A joining replica participates in the resharing for the next
         epoch as a pure receiver; its replica spawns at the new epoch's
         session once the resharing completes."""
@@ -724,7 +761,12 @@ class ReplicaHost:
             new_quorum,
             new_verify_keys,
         )
-        session = dkg.reshare_session(target)
+        session = dkg.reshare_session(target, self._reshare_tag(attempt))
+        if attempt:
+            print(
+                f"replica-join-retry party={self.party} attempt={attempt}",
+                flush=True,
+            )
         self.runtime.spawn(
             session,
             protocol,
@@ -732,39 +774,100 @@ class ReplicaHost:
                 out, target, new_n, new_scheme, new_quorum
             ),
         )
-        self._watch_flush(session)
+        self._watch_flush(
+            session,
+            settled=lambda: self.epoch >= target or self._retired,
+            retry=lambda: self._start_join(attempt + 1),
+        )
+
+    def _epoch_public(self, epoch: int):
+        """The configuration of ``epoch``: the live one, or the archive
+        written at the switch (``public-epoch-<e>.json``); ``None`` when
+        the archive is unavailable (fresh disk / pre-archive history)."""
+        if epoch == self.epoch:
+            return self.public
+        try:
+            return keystore.load_public(
+                self.directory / f"public-epoch-{epoch}.json"
+            )
+        except (keystore.KeystoreError, OSError):
+            return None
+
+    def _archive_epoch_public(self) -> None:
+        """Persist the closing epoch's configuration before the keystore
+        is overwritten, so a replay can re-validate that epoch's ordered
+        ``Reconfigure`` operations exactly as they were validated live."""
+        if isinstance(self.public, dkg.BootstrapPublic):
+            return
+        keystore.atomic_write_text(
+            self.directory / f"public-epoch-{self.epoch}.json",
+            json.dumps(keystore.public_to_dict(self.public), indent=1),
+        )
 
     def _intercept(self, request, rnd: int, replaying: bool) -> object | None:
         """Replica hook: consume ``Reconfigure`` operations.
 
-        Validation runs post-ordering against state every honest
-        replica shares (current public keys + epoch), so the
-        accept/reject result is part of the agreed history and the
-        application state machine never sees the operation.
+        The verdict must be a pure function of the agreed history,
+        never of local timing, so that every honest replica records the
+        same accept/reject result for the same ordered operation:
+
+        * while a resharing is in flight, the replica's execution is
+          *paused* (ordered requests queue in delivery order), so every
+          operation behind an accepted ``Reconfigure`` executes at the
+          new epoch on every replica — no replica ever validates it
+          against an epoch another replica has already left;
+        * a historic operation replayed during recovery is re-validated
+          in full against the archived configuration of the epoch it
+          was originally executed in, so an op that was rejected (bad
+          signature, wrong party id, stale epoch) replays as rejected.
+
+        The application state machine never sees the operation.
         """
         operation = request.operation
         parsed = reconfig.parse_reconfigure(operation)
         if parsed is None:
             return None  # an ordinary application operation
+        if replaying and self._executed_epoch < self.epoch:
+            # Historic change: recompute the original verdict against
+            # that epoch's configuration.  The on-disk keystore already
+            # reflects a later epoch, so accepting never re-triggers a
+            # resharing.
+            historic = self._epoch_public(self._executed_epoch)
+            if historic is not None:
+                accepted = (
+                    reconfig.validate_reconfigure(
+                        operation, historic, self._executed_epoch
+                    )
+                    is not None
+                )
+            else:
+                # Archive lost (fresh disk, pre-archive history): fall
+                # back to epoch ordinality — each accepted op opened
+                # exactly the next epoch.
+                accepted = parsed[0].epoch == self._executed_epoch + 1
+            if not accepted:
+                return ("reconfig", "rejected", self._executed_epoch)
+            self._executed_epoch += 1
+            return ("reconfig", "accepted", parsed[0].epoch)
         validated = reconfig.validate_reconfigure(operation, self.public, self.epoch)
         if validated is None:
-            if replaying and parsed[0].epoch <= self.epoch:
-                # Historic change replayed during recovery; the on-disk
-                # keystore already reflects this (or a later) epoch.
-                return ("reconfig", "accepted", parsed[0].epoch)
-            return ("reconfig", "rejected", self.epoch)
-        if self._reshare_target is not None:
             return ("reconfig", "rejected", self.epoch)
         # Valid for the *next* epoch — start (or, when replaying after a
-        # kill mid-resharing, rejoin) the resharing session.  Peer
-        # contributions sent while we were down are retransmitted by the
-        # transport and buffered by the runtime, so a late spawn still
-        # completes.
-        self._reshare_target = validated.epoch
-        self._start_reshare(validated)
+        # kill mid-resharing, rejoin) the resharing session, and pause
+        # ordered execution until the switch.  Peer contributions sent
+        # while we were down are retransmitted by the transport and
+        # buffered by the runtime, so a late spawn still completes.
+        if self._start_reshare(validated):
+            self._executed_epoch = validated.epoch
+            self._reshare_target = validated.epoch
+            self.replica.pause_execution()
         return ("reconfig", "accepted", validated.epoch)
 
-    def _start_reshare(self, request: "reconfig.ReconfigureRequest") -> None:
+    def _start_reshare(
+        self, request: "reconfig.ReconfigureRequest", attempt: int = 0
+    ) -> bool:
+        """Spawn one resharing attempt for an accepted ``Reconfigure``;
+        True when a session was actually started."""
         public = self.public
         group = public.group
         tolerance = getattr(public.quorum, "t", None)
@@ -774,7 +877,7 @@ class ReplicaHost:
                 "(non-threshold quorum)",
                 flush=True,
             )
-            return
+            return False
         target = request.epoch
         new_n = reconfig.new_member_count(public, request)
         new_scheme = threshold_scheme(new_n, tolerance, group.q)
@@ -786,18 +889,20 @@ class ReplicaHost:
         }
         if request.action == "add":
             new_verify_keys[request.party] = request.verify_key
-            # The joiner becomes reachable: address from the ordered op,
-            # channel key derived Diffie-Hellman style from identities.
-            self.network.addresses.setdefault(
-                request.party, (request.host, request.port)
-            )
+            # The joiner becomes reachable: address from the ordered op
+            # (authoritative — an add that reuses a previously removed
+            # id must not keep that id's stale address), channel key
+            # derived Diffie-Hellman style from identities.
             joiner_key = dh_channel_key(
                 group, self.keys.signing_key.x, request.verify_key
             )
-            self.network.channel_keys[request.party] = joiner_key
+            self.network.admit_peer(
+                request.party, (request.host, request.port), joiner_key
+            )
             # The reshare protocol masks the joiner's subshares with the
             # same pairwise key, so the keystore bundle needs it too.
             self.keys.channel_keys[request.party] = joiner_key
+        removed = request.party if request.action == "remove" else None
         protocol = dkg.VerifiableResharing(
             group,
             public.access_scheme,
@@ -810,7 +915,20 @@ class ReplicaHost:
             self.keys.coin.subshares,
             self.keys.decryption.subshares,
         )
-        session = dkg.reshare_session(target)
+        session = dkg.reshare_session(target, self._reshare_tag(attempt))
+        if attempt:
+            print(
+                f"replica-reshare-retry party={self.party} epoch={target} "
+                f"attempt={attempt}",
+                flush=True,
+            )
+            # Peers may have completed this epoch without us (divergent
+            # flush): probe for their signed membership record so the
+            # stale-adoption path can rescue this replica if so.
+            self._reshare_stalled = True
+            Context(self.runtime, epoch_service_session(self.epoch)).broadcast(
+                reconfig.MembershipQuery(known_epoch=self.epoch)
+            )
         if request.action == "remove" and request.party == self.party:
             # We are being retired: deal our contribution so the others
             # can reshare, but take no new keys.  We keep answering the
@@ -818,16 +936,27 @@ class ReplicaHost:
             # switch our shares are useless against the re-randomized
             # verification values (tests/crypto/test_dkg.py proves it).
             self.runtime.spawn(session, protocol)
-            print(f"replica-departed party={self.party} epoch={target}", flush=True)
+            if attempt == 0:
+                print(
+                    f"replica-departed party={self.party} epoch={target}",
+                    flush=True,
+                )
         else:
             self.runtime.spawn(
                 session,
                 protocol,
                 on_output=lambda out: self._adopt_epoch(
-                    out, target, new_n, new_scheme, new_quorum
+                    out, target, new_n, new_scheme, new_quorum, removed=removed
                 ),
             )
-        self._watch_flush(session)
+        self._watch_flush(
+            session,
+            # A departed replica never adopts ``target``; it settles by
+            # learning (via the stale-membership probe) that it retired.
+            settled=lambda: self.epoch >= target or self._retired,
+            retry=lambda: self._start_reshare(request, attempt + 1),
+        )
+        return True
 
     def _adopt_epoch(
         self,
@@ -836,10 +965,11 @@ class ReplicaHost:
         new_n: int,
         new_scheme,
         new_quorum,
+        removed: int | None = None,
     ) -> None:
         """Switch this replica to the new epoch's keys and session."""
-        if not isinstance(output, dkg.DkgOutput):
-            return
+        if not isinstance(output, dkg.DkgOutput) or self.epoch >= target:
+            return  # malformed, or a slower retry attempt finishing late
         group = (
             self.public.group
             if not isinstance(self.public, dkg.BootstrapPublic)
@@ -866,6 +996,7 @@ class ReplicaHost:
             output,
             channel_keys=dict(self.keys.channel_keys),
         )
+        self._archive_epoch_public()
         keystore.atomic_write_text(
             self.directory / "public.json",
             json.dumps(keystore.public_to_dict(new_public), indent=1),
@@ -890,6 +1021,13 @@ class ReplicaHost:
         self.runtime.keys = new_keys
         self.epoch = target
         self._reshare_target = None
+        self._reshare_stalled = False
+        if removed is not None and removed != self.party:
+            # The ordered remove is final: drop the departed peer's
+            # address, channel key and connection state so a later add
+            # reusing the id starts clean (and broadcasts stop dialing
+            # a dead replica).
+            self.network.forget_peer(removed)
         # Close every prior epoch: the current session's replica becomes
         # a tombstone, and older tombstones learn the newest record.
         joined = self.replica is None
@@ -905,6 +1043,15 @@ class ReplicaHost:
         self._install_replica_hooks()
         new_session = epoch_service_session(target)
         self.runtime.spawn(new_session, self.replica)
+        if not joined:
+            # Rounds in flight when the old session was tombstoned can
+            # never decide there; re-propose their payloads here so the
+            # broadcast does not wedge behind a dead round.
+            self.replica.rebase_broadcast(Context(self.runtime, new_session))
+        # Release everything ordered behind the Reconfigure: it executes
+        # now, at the new epoch, in delivery order — the same point of
+        # the history at every replica.
+        self.replica.resume_execution(Context(self.runtime, new_session))
         print(
             f"replica-epoch party={self.party} epoch={target} n={new_n}{stale_note}",
             flush=True,
@@ -921,8 +1068,15 @@ class ReplicaHost:
         record of a newer epoch: the cluster moved on while this replica
         was down.  Adopt once an honest-containing set of *currently
         trusted* members signed the identical record — the same trust
-        chain clients use (identity keys persist across epochs)."""
-        if self.replica is None or self._reshare_target is not None:
+        chain clients use (identity keys persist across epochs).
+
+        While a resharing is in flight the votes are ignored — unless
+        the flush watchdog marked it stalled, in which case the peers
+        may have completed the epoch without us and this is the way
+        back in (degraded: our share material missed the refresh)."""
+        if self.replica is None:
+            return
+        if self._reshare_target is not None and not self._reshare_stalled:
             return
         if not reconfig.verify_membership_info(info, self.public):
             return
@@ -951,6 +1105,11 @@ class ReplicaHost:
         but consistent rather than stalled at a dead session.
         """
         if self.party >= new_public.n:
+            # The epoch we missed removed us.  Stop the retry ladder —
+            # the peers will never spawn our resharing session.
+            self._retired = True
+            self._reshare_target = None
+            self._reshare_stalled = False
             print(f"replica-retired party={self.party} epoch={target}", flush=True)
             return
         # Channel keys for members admitted while we were down derive
@@ -966,6 +1125,10 @@ class ReplicaHost:
         new_keys = keystore.party_from_dict(
             keystore.party_to_dict(self.keys), new_public
         )
+        # Keep the superseded configuration for journal-replay
+        # re-validation (epochs we skipped have no archive; replay
+        # falls back to ordinal checking for those).
+        self._archive_epoch_public()
         keystore.atomic_write_text(
             self.directory / "public.json",
             json.dumps(keystore.public_to_dict(new_public), indent=1),
@@ -985,6 +1148,13 @@ class ReplicaHost:
         self.runtime.public = new_public
         self.runtime.keys = new_keys
         self.epoch = target
+        self._reshare_target = None
+        self._reshare_stalled = False
+        # Members the missed epochs retired: drop their channels and
+        # addresses so a later add may reuse the id with a clean slate.
+        for member in sorted(self.network.addresses):
+            if member >= new_public.n and member != self.party:
+                self.network.forget_peer(member)
         self.runtime.instances.pop(old_session, None)
         self.runtime.spawn(old_session, EpochTombstone(info))
         for epoch in range(old_epoch):
@@ -995,6 +1165,12 @@ class ReplicaHost:
         self._install_replica_hooks()
         new_session = epoch_service_session(target)
         self.runtime.spawn(new_session, self.replica)
+        # Rounds in flight at the tombstoned session can never decide
+        # there; re-propose their payloads under the adopted session.
+        self.replica.rebase_broadcast(Context(self.runtime, new_session))
+        # Operations queued behind the stalled reshare execute now,
+        # under the epoch the cluster actually agreed on.
+        self.replica.resume_execution(Context(self.runtime, new_session))
         print(
             f"replica-stale-epoch party={self.party} epoch={target} "
             f"n={new_public.n}",
@@ -1006,19 +1182,49 @@ class ReplicaHost:
         task = asyncio.get_running_loop().create_task(_announce_recovery(self))
         task.add_done_callback(lambda t: t.cancelled() or t.exception())
 
-    def _watch_flush(self, session: SessionId) -> None:
-        """Liveness hatch: if a bootstrap/resharing session has not
-        completed within half the deployment I/O budget, flush it so
-        crashed contributors are excluded instead of stalling it."""
+    def _watch_flush(
+        self,
+        session: SessionId,
+        settled: Callable[[], bool] | None = None,
+        retry: Callable[[], None] | None = None,
+    ) -> None:
+        """Liveness hatch for a bootstrap/resharing session.
+
+        Flushing is a one-shot, idempotent escape hatch — it only expels
+        contributors that never delivered — and execution is paused for
+        the whole reshare, so the service is unavailable until the
+        session settles.  The flush therefore fires after an eighth of
+        the deployment I/O budget (scaled, never capped: slow links and
+        large n stretch it proportionally) so a crashed contributor
+        costs availability on the order of seconds, not the full
+        budget.  Uncoordinated flushes can still settle hosts on
+        divergent qualified sets — conditional agreement then leaves
+        the session with no ready quorum.  So once a full I/O budget
+        has passed in silence the `retry` callback respawns the
+        protocol under a fresh session tag, exactly as dkg.py
+        prescribes; every host runs the same clock so the ladders
+        stay aligned.  `settled` reports success recorded outside the
+        session result (e.g. the epoch already adopted)."""
+
+        def is_settled() -> bool:
+            if self.runtime is None or self.runtime.result(session) is not None:
+                return True
+            return settled is not None and settled()
 
         async def watch() -> None:
-            await asyncio.sleep(min(self.io_timeout / 2, 10.0))
-            if self.runtime is None or self.runtime.result(session) is not None:
+            await asyncio.sleep(self.io_timeout / 8)
+            if is_settled():
                 return
             instance = self.runtime.instances.get(session)
             flush = getattr(instance, "flush", None)
             if flush is not None:
                 flush(Context(self.runtime, session))
+            if retry is None:
+                return
+            await asyncio.sleep(self.io_timeout * 7 / 8)
+            if is_settled():
+                return
+            retry()
 
         task = asyncio.get_running_loop().create_task(watch())
         task.add_done_callback(lambda t: t.cancelled() or t.exception())

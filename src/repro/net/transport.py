@@ -491,6 +491,7 @@ class TransportNetwork:
         self.incarnation = self.rng.getrandbits(63)
         self._channels: dict[int, _PeerChannel] = {}
         self._inbound: dict[int, _InboundChannel] = {}
+        self._forgotten: set[int] = set()
         self._server: asyncio.Server | None = None
         self._tasks: set[asyncio.Task] = set()
         self._closed = False
@@ -505,6 +506,38 @@ class TransportNetwork:
                 f"transport for party {self.party} cannot host party {party}"
             )
         self.node = node
+
+    def forget_peer(self, party: int) -> None:
+        """Drop a departed peer entirely: address, channel key, outbound
+        queue/connection and inbound replay state.
+
+        Called by the host when an ordered ``Reconfigure(remove)``
+        commits.  A later ``add`` that reuses the id then starts from a
+        clean slate — fresh identity-derived channel key, the address
+        carried by the new ordered op, fresh sequence numbers — instead
+        of inheriting stale contact info that would leave the rejoined
+        replica unreachable.  Late sends to a forgotten peer are
+        silently dropped (counted in the trace), not errors: protocol
+        instances from closed epochs may still address it.
+        """
+        channel = self._channels.pop(party, None)
+        if channel is not None:
+            channel.stop()
+        self._inbound.pop(party, None)
+        self.addresses.pop(party, None)
+        self.channel_keys.pop(party, None)
+        self._forgotten.add(party)
+
+    def admit_peer(
+        self, party: int, address: tuple[str, int], channel_key: bytes
+    ) -> None:
+        """(Re-)admit a peer with the address carried by the ordered
+        ``Reconfigure(add)`` and the identity-derived channel key — the
+        ordered op is authoritative, so any stale entry for a previously
+        removed holder of the same id is overwritten, not kept."""
+        self._forgotten.discard(party)
+        self.addresses[party] = address
+        self.channel_keys[party] = channel_key
 
     @property
     def parties(self) -> list[int]:
@@ -555,6 +588,11 @@ class TransportNetwork:
         if self._closed:
             return
         if recipient != self.party and recipient not in self.addresses:
+            if recipient in self._forgotten:
+                # A closed epoch's protocol instance addressing a
+                # removed member: drop quietly, it is gone by agreement.
+                self.trace.bump("transport.departed_drops")
+                return
             raise ValueError(f"unknown recipient {recipient}")
         try:
             encoded = wire.dumps(payload)

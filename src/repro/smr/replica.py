@@ -115,13 +115,24 @@ class Replica(Protocol):
         self.sc_abc = SecureCausalBroadcast()
         self.executed: list[tuple[Request, object]] = []
         self._seen_nonces: set[tuple[int, int]] = set()
-        # (client, nonce) -> result, so a duplicate submission can be
-        # re-answered instead of silently swallowed by the at-most-once
-        # dedup.  Matters across an epoch switch: a request ordered at
-        # the boundary may have been answered on a session the client
-        # no longer listens on, and the client's same-nonce resubmission
-        # must still produce a signed reply.
-        self._results: dict[tuple[int, int], object] = {}
+        # client -> (nonce, result) of its *latest* executed request, so
+        # a duplicate submission can be re-answered instead of silently
+        # swallowed by the at-most-once dedup.  Matters across an epoch
+        # switch: a request ordered at the boundary may have been
+        # answered on a session the client no longer listens on, and the
+        # client's same-nonce resubmission must still produce a signed
+        # reply.  One entry per client suffices — clients resubmit only
+        # their pending, monotonically-nonced request — and keeps memory
+        # bounded by the client population, not the request volume.
+        self._results: dict[int, tuple[int, object]] = {}
+        # Execution pause (epoch reconfiguration): while paused, ordered
+        # requests queue here in delivery order instead of executing, so
+        # every replica applies them at the same epoch no matter when
+        # its own resharing completes.  Each entry remembers whether it
+        # arrived during a replay (replies must not be re-sent for
+        # those when the queue drains).
+        self._paused = False
+        self._pending_execution: list[tuple[Request, int, bool]] = []
         self.recovering = False
         self._recovery_logs: dict[int, RecoverLog] = {}
         self._replaying = False
@@ -197,9 +208,9 @@ class Replica(Protocol):
             # A confidential service refuses plaintext submissions: they
             # would break input causality for everyone.
             return
-        key = (request.client, request.nonce)
-        if key in self._results:
-            self._reply(ctx, request, self._results[key])
+        cached = self._results.get(request.client)
+        if cached is not None and cached[0] == request.nonce:
+            self._reply(ctx, request, cached[1])
             return
         self.abc.submit(ctx, request.encode())
 
@@ -383,7 +394,55 @@ class Replica(Protocol):
         finally:
             self._replaying = False
 
+    def pause_execution(self) -> None:
+        """Defer ordered execution (epoch boundary).
+
+        The host calls this when a committed ``Reconfigure`` starts a
+        resharing: everything ordered *behind* that operation queues in
+        delivery order and executes only after :meth:`resume_execution`,
+        so its verdict/effect is a function of the agreed history — the
+        same at every replica — and never of how long this replica's
+        resharing happens to take.  Ordering itself (atomic broadcast)
+        keeps running; only the apply step waits.
+        """
+        self._paused = True
+
+    def rebase_broadcast(self, ctx: Context) -> None:
+        """Carry the atomic broadcast onto the new epoch's session.
+
+        The host calls this right after re-spawning the replica at the
+        new session: rounds that were in flight when the old session
+        was tombstoned can never decide there (their protocol traffic
+        now lands on the tombstone), so the broadcast abandons them and
+        re-proposes the undelivered payloads under ``ctx``.
+        """
+        (self.sc_abc.abc if self.causal else self.abc).rebase(ctx)
+
+    def resume_execution(self, ctx: Context) -> None:
+        """Drain the deferred queue (the epoch switch completed).
+
+        ``ctx`` is the new epoch's session context — replies and
+        signature shares for the drained requests are produced under
+        the new keys.  A drained request may itself re-pause (the next
+        ``Reconfigure`` in the queue); the remainder then stays queued
+        for the following resume.
+        """
+        self._paused = False
+        while self._pending_execution and not self._paused:
+            request, rnd, was_replaying = self._pending_execution.pop(0)
+            previous = self._replaying
+            self._replaying = was_replaying or previous
+            try:
+                self._execute(ctx, request, rnd)
+            finally:
+                self._replaying = previous
+
     def _execute(self, ctx: Context, request: Request, rnd: int) -> None:
+        if self._paused:
+            # Mid-epoch-change: queue in delivery order (duplicates are
+            # deduplicated by _seen_nonces when the queue drains).
+            self._pending_execution.append((request, rnd, self._replaying))
+            return
         key = (request.client, request.nonce)
         if key in self._seen_nonces:
             return  # at-most-once semantics across duplicate submissions
@@ -393,7 +452,7 @@ class Replica(Protocol):
             result = self.intercept(request, rnd, self._replaying)
         if result is None:
             result = self.state_machine.apply(request)
-        self._results[key] = result
+        self._results[request.client] = (request.nonce, result)
         self.executed.append((request, result))
         if self.on_execute is not None:
             self.on_execute(request, result, rnd)

@@ -313,3 +313,57 @@ def test_seven_party_broadcast_with_mixed_inputs(keys_7_2):
         _submit(rts, session, p, ("req", p))
     net.run(until=lambda: all(len(logs[p]) >= 5 for p in rts), max_steps=600_000)
     assert all(logs[p] == logs[0] for p in rts)
+
+
+def test_rebase_carries_in_flight_payloads_to_new_session(keys_4_1):
+    """Epoch switch: the hosting session closes while a round is in
+    flight.  Without rebase the broadcast wedges — highest_started sits
+    above the delivered round, so no new round ever starts and the
+    abandoned payload is stuck in the queue forever."""
+    net, rts = make_network(keys_4_1, seed=33)
+    old = abc_session("rebase-old")
+    logs = _spawn(rts, old)
+    net.start()
+    _submit(rts, old, 0, ("req", "before"))
+    net.run(until=lambda: all(len(logs[p]) >= 1 for p in rts), max_steps=400_000)
+    # A payload enters ordering, but the session closes before the
+    # round decides: its proposals now land on a closed session.
+    for p in rts:
+        _submit(rts, old, p, ("req", "racing"))
+    new = abc_session("rebase-new")
+    for p in rts:
+        inst = rts[p].instances.pop(old)
+        rts[p].spawn(new, inst)
+        inst.rebase(ctx_for(rts[p], new))
+    net.run(until=lambda: all(len(logs[p]) >= 2 for p in rts), max_steps=400_000)
+    assert all(logs[p] == [("req", "before"), ("req", "racing")] for p in rts)
+    # Round numbering continued across the switch (journal monotone).
+    inst = rts[0].instances[new]
+    rounds = [r for _payload, r in inst.delivered_log]
+    assert rounds == sorted(rounds)
+    # And fresh traffic on the new session still orders.
+    _submit(rts, new, 1, ("req", "after"))
+    net.run(until=lambda: all(len(logs[p]) >= 3 for p in rts), max_steps=400_000)
+    assert all(logs[p] == logs[0] for p in rts)
+
+
+def test_rebase_discards_stale_generation_decision(keys_4_1):
+    """A straggler agreement of the closed session that completes after
+    the switch must not race the round restarted under the new one."""
+    net, rts = make_network(keys_4_1, seed=34, parties=[0])
+    session = abc_session("rebase-gen")
+    logs = _spawn(rts, session)
+    net.start()
+    inst = rts[0].instances[session]
+    ctx = ctx_for(rts[0], session)
+    generation = inst.generation
+    inst.rebase(ctx)
+    assert inst.generation == generation + 1
+    batch = (("req", "stale"),)
+    digest = batch_digest(batch)
+    inst.batches[digest] = batch
+    decision = MvbaDecision(proposer=0, value=((0, digest, None),))
+    inst._on_decision(ctx, 1, decision, generation)
+    assert logs[0] == [] and not inst.decisions  # old generation: dropped
+    inst._on_decision(ctx, 1, decision, inst.generation)
+    assert logs[0] == [("req", "stale")]  # current generation: delivered

@@ -1,0 +1,407 @@
+"""Host-side reconfiguration semantics: deterministic Reconfigure
+verdicts (pause/resume around an epoch switch), historically-faithful
+journal replay, the flush-watchdog retry ladder, and peer lifecycle on
+add-after-remove.
+
+Every asynchronous test runs under ``asyncio.run`` inside a plain
+pytest function, mirroring tests/net/test_transport.py.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.crypto import deal_system, keystore, small_group
+from repro.crypto.dealer import CLIENT_BASE
+from repro.crypto.schnorr import keygen
+from repro.net.runtime import (
+    CLUSTER_FILE,
+    ClusterConfig,
+    ReplicaHost,
+    allocate_addresses,
+)
+from repro.net.transport import TransportNetwork
+from repro.smr import reconfig
+from repro.smr.client import ServiceClient
+from repro.smr.replica import Replica
+from repro.smr.state_machine import KeyValueStore, Request
+
+
+def _deployment(tmp_path, n=4, seed=5):
+    keys = deal_system(n, random.Random(seed), t=1, clients=1, group=small_group())
+    keystore.write_deployment(keys, tmp_path)
+    addresses = allocate_addresses(list(range(n)) + [CLIENT_BASE])
+    ClusterConfig(addresses).save(tmp_path / CLUSTER_FILE)
+    return keys
+
+
+def _refresh_op(keys, epoch, signer=0, seed=9):
+    return reconfig.reconfigure_operation(
+        "refresh", epoch, signer, keys.private[signer].signing_key,
+        random.Random(seed),
+    )
+
+
+def _req(client, nonce, operation):
+    return Request(client=client, nonce=nonce, operation=operation)
+
+
+# -- replica pause/resume (deterministic verdicts) ----------------------------------
+
+
+def test_paused_replica_queues_and_drains_in_delivery_order():
+    replica = Replica(KeyValueStore())
+    # Replaying entries need no reply context, which keeps this a pure
+    # unit test of the queue mechanics.
+    replica._replaying = True
+    replica.pause_execution()
+    for i in range(3):
+        replica._execute(None, _req(100, i + 1, ("set", f"k{i}", i)), i)
+    assert replica.executed == []
+    assert len(replica._pending_execution) == 3
+
+    replica._replaying = False  # the drain restores each entry's own flag
+    replica.resume_execution(None)
+    assert [r.operation for r, _ in replica.executed] == [
+        ("set", "k0", 0), ("set", "k1", 1), ("set", "k2", 2)
+    ]
+    assert replica._pending_execution == []
+    assert not replica._replaying
+
+
+def test_paused_duplicates_deduplicate_at_drain():
+    replica = Replica(KeyValueStore())
+    replica._replaying = True
+    replica.pause_execution()
+    replica._execute(None, _req(100, 1, ("set", "a", 1)), 0)
+    replica._execute(None, _req(100, 1, ("set", "a", 1)), 0)
+    replica._replaying = False
+    replica.resume_execution(None)
+    assert len(replica.executed) == 1
+
+
+def test_drained_reconfigure_repauses_the_remainder():
+    """A second Reconfigure sitting in the queue behind the first epoch
+    switch must hold everything ordered after it for the *next* switch."""
+    replica = Replica(KeyValueStore())
+
+    def intercept(request, rnd, replaying):
+        if request.operation == ("reconfig-marker",):
+            replica.pause_execution()
+            return ("reconfig", "accepted", 2)
+        return None
+
+    replica.intercept = intercept
+    replica._replaying = True
+    replica.pause_execution()
+    replica._execute(None, _req(100, 1, ("set", "a", 1)), 0)
+    replica._execute(None, _req(100, 2, ("reconfig-marker",)), 1)
+    replica._execute(None, _req(100, 3, ("set", "b", 2)), 2)
+
+    replica._replaying = False
+    replica.resume_execution(None)
+    # The marker executed (its verdict is part of the history) and
+    # re-paused; the tail stays queued for the next epoch's resume.
+    assert [r.operation for r, _ in replica.executed] == [
+        ("set", "a", 1), ("reconfig-marker",)
+    ]
+    assert len(replica._pending_execution) == 1
+
+    replica.resume_execution(None)
+    assert [r.operation for r, _ in replica.executed][-1] == ("set", "b", 2)
+
+
+def test_results_bounded_per_client():
+    replica = Replica(KeyValueStore())
+    replica._replaying = True
+    for nonce in range(1, 21):
+        replica._execute(None, _req(7, nonce, ("set", "x", nonce)), nonce)
+    replica._execute(None, _req(8, 1, ("set", "y", 0)), 30)
+    # One cached (nonce, result) pair per client, not per request.
+    assert set(replica._results) == {7, 8}
+    nonce, result = replica._results[7]
+    assert nonce == 20 and result == ("ok", 20)
+
+
+# -- journal replay re-validates against the historic configuration -----------------
+
+
+def test_replayed_rejection_stays_rejected(tmp_path):
+    """An op that was originally rejected (tampered/forged) must replay
+    as rejected — not be waved through because its epoch is now old."""
+    keys = _deployment(tmp_path)
+    host = ReplicaHost(tmp_path, 0)
+    host._archive_epoch_public()  # the epoch-0 configuration
+    host.epoch = 1  # the keystore has since moved on
+
+    good = _refresh_op(keys, 1)
+    tampered = good[:1] + ("remove",) + good[2:]
+    outsider = keygen(random.Random(3), keys.public.group)
+    forged = reconfig.reconfigure_operation(
+        "refresh", 1, 0, outsider, random.Random(4)
+    )
+
+    assert host._intercept(_req(900, 1, tampered), 0, True) == (
+        "reconfig", "rejected", 0
+    )
+    assert host._intercept(_req(900, 2, forged), 1, True) == (
+        "reconfig", "rejected", 0
+    )
+    assert host._executed_epoch == 0  # rejections open no epoch
+    assert host._intercept(_req(900, 3, good), 2, True) == (
+        "reconfig", "accepted", 1
+    )
+    assert host._executed_epoch == 1
+
+
+def test_replay_falls_back_to_ordinal_without_archive(tmp_path):
+    keys = _deployment(tmp_path)
+    host = ReplicaHost(tmp_path, 0)
+    host.epoch = 1  # no public-epoch-0.json was ever written
+    assert host._intercept(_req(900, 1, _refresh_op(keys, 3)), 0, True) == (
+        "reconfig", "rejected", 0
+    )
+    assert host._intercept(_req(900, 2, _refresh_op(keys, 1)), 1, True) == (
+        "reconfig", "accepted", 1
+    )
+
+
+def test_live_rejection_is_pure(tmp_path):
+    keys = _deployment(tmp_path)
+    host = ReplicaHost(tmp_path, 0)
+    good = _refresh_op(keys, 1)
+    tampered = good[:1] + ("remove",) + good[2:]
+    assert host._intercept(_req(900, 1, tampered), 0, False) == (
+        "reconfig", "rejected", 0
+    )
+    assert host._reshare_target is None
+
+
+# -- the flush watchdog: scaled deadline, retry ladder ------------------------------
+
+
+class _StubSession:
+    def __init__(self):
+        self.flushes = 0
+
+    def flush(self, ctx):
+        self.flushes += 1
+
+
+class _StubRuntime:
+    def __init__(self, session, instance):
+        self.instances = {session: instance}
+
+    def result(self, session):
+        return None
+
+
+def _watchdog_host(tmp_path, io_timeout):
+    _deployment(tmp_path)
+    host = ReplicaHost(tmp_path, 0)
+    host.io_timeout = io_timeout
+    return host
+
+
+def test_watchdog_deadline_scales_with_io_timeout(tmp_path, monkeypatch):
+    """The flush fires at io_timeout/8 — scaled, no hidden 10s cap —
+    and a session still unsettled after a full I/O budget is retried."""
+    host = _watchdog_host(tmp_path, io_timeout=120.0)
+    instance = _StubSession()
+    host.runtime = _StubRuntime("s", instance)
+    real_sleep = asyncio.sleep
+    delays = []
+
+    async def fake_sleep(delay):
+        delays.append(delay)
+        await real_sleep(0)
+
+    retries = []
+
+    async def scenario():
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        host._watch_flush(
+            "s", settled=lambda: False, retry=lambda: retries.append(1)
+        )
+        for _ in range(10):
+            await real_sleep(0)
+
+    asyncio.run(scenario())
+    assert delays == [15.0, 105.0]
+    assert instance.flushes == 1
+    assert retries == [1]
+
+
+def test_watchdog_settled_session_is_left_alone(tmp_path, monkeypatch):
+    host = _watchdog_host(tmp_path, io_timeout=1.0)
+    instance = _StubSession()
+    host.runtime = _StubRuntime("s", instance)
+    real_sleep = asyncio.sleep
+
+    async def fake_sleep(delay):
+        await real_sleep(0)
+
+    retries = []
+
+    async def scenario():
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        host._watch_flush(
+            "s", settled=lambda: True, retry=lambda: retries.append(1)
+        )
+        for _ in range(10):
+            await real_sleep(0)
+
+    asyncio.run(scenario())
+    assert instance.flushes == 0
+    assert retries == []
+
+
+def test_watchdog_settling_after_flush_stops_the_retry(tmp_path, monkeypatch):
+    host = _watchdog_host(tmp_path, io_timeout=1.0)
+    instance = _StubSession()
+    host.runtime = _StubRuntime("s", instance)
+    real_sleep = asyncio.sleep
+    state = {"settled": False}
+
+    async def fake_sleep(delay):
+        await real_sleep(0)
+        # The flush unwedged the session before the second check.
+        state["settled"] = instance.flushes > 0
+
+    retries = []
+
+    async def scenario():
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        host._watch_flush(
+            "s",
+            settled=lambda: state["settled"],
+            retry=lambda: retries.append(1),
+        )
+        for _ in range(10):
+            await real_sleep(0)
+
+    asyncio.run(scenario())
+    assert instance.flushes == 1
+    assert retries == []
+
+
+# -- peer lifecycle: forget on remove, authoritative address on add -----------------
+
+
+def test_forget_peer_drops_address_key_and_silences_late_sends():
+    async def scenario():
+        net = TransportNetwork(
+            0,
+            {0: ("127.0.0.1", 0), 1: ("127.0.0.1", 45001)},
+            {1: bytes(range(32))},
+        )
+        await net.start()
+        try:
+            net.forget_peer(1)
+            assert 1 not in net.addresses
+            assert 1 not in net.channel_keys
+            assert net.parties == [0]
+            # A closed epoch's protocol instance may still address the
+            # departed peer: dropped quietly, counted, never an error.
+            net.send(0, 1, ("late", "frame"))
+            assert net.trace.counters.get("transport.departed_drops") == 1
+            # Truly unknown recipients still fail loudly.
+            try:
+                net.send(0, 9, ("oops",))
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("unknown recipient must raise")
+        finally:
+            await net.close()
+
+    asyncio.run(scenario())
+
+
+def test_admit_peer_overwrites_stale_address():
+    async def scenario():
+        stale = ("10.0.0.9", 1)
+        net = TransportNetwork(
+            0, {0: ("127.0.0.1", 0), 4: stale}, {4: bytes(range(32))}
+        )
+        await net.start()
+        try:
+            # The ordered add is authoritative even when a stale entry
+            # for a previous holder of the id survived (no setdefault).
+            net.admit_peer(4, ("127.0.0.1", 45002), bytes(range(32, 64)))
+            assert net.addresses[4] == ("127.0.0.1", 45002)
+            assert net.channel_keys[4] == bytes(range(32, 64))
+            # And after a remove-then-add cycle the peer is sendable again.
+            net.forget_peer(4)
+            net.admit_peer(4, ("127.0.0.1", 45003), bytes(range(64, 96)))
+            assert 4 not in net._forgotten
+            net.send(0, 4, ("hello",))  # queues for dial; must not raise
+        finally:
+            await net.close()
+
+    asyncio.run(scenario())
+
+
+# -- end to end: back-to-back reconfigurations over TCP -----------------------------
+
+
+async def _until(predicate, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never held")
+        await asyncio.sleep(0.05)
+
+
+def test_back_to_back_refreshes_converge(tmp_path):
+    """Order a second Reconfigure right behind the first: replicas that
+    are still mid-resharing must queue it (not reject it), so every
+    honest replica records accepted for both and ends at epoch 2."""
+
+    async def scenario():
+        keys = _deployment(tmp_path, seed=31)
+        hosts = {party: ReplicaHost(tmp_path, party) for party in range(4)}
+        for host in hosts.values():
+            await host.start()
+        cluster = ClusterConfig.load(tmp_path / CLUSTER_FILE)
+        public = keystore.load_public(tmp_path / "public.json")
+        cid, channel_keys = keystore.load_client(
+            tmp_path / f"client-{CLIENT_BASE}.json"
+        )
+        net = TransportNetwork(cid, cluster.addresses, channel_keys)
+        client = ServiceClient(cid, net, public, random.Random(13))
+        net.attach(cid, client)
+        await net.start()
+        try:
+            op1 = _refresh_op(keys, 1, seed=41)
+            op2 = _refresh_op(keys, 2, seed=42)
+            first = await client.call(op1, timeout=60.0)
+            assert first.result == ("reconfig", "accepted", 1)
+            # Immediately behind: typically ordered while the epoch-1
+            # resharing is still in flight somewhere.
+            second = await client.call(op2, timeout=60.0)
+            assert second.result == ("reconfig", "accepted", 2)
+            after = await client.call(("set", "after", 3), timeout=60.0)
+            assert after.result == ("ok", 1)
+            await _until(
+                lambda: all(h.epoch == 2 for h in hosts.values()), timeout=60
+            )
+            # Every replica recorded the same verdict sequence.
+            histories = {
+                tuple(
+                    (request.operation, result)
+                    for request, result in host.replica.executed
+                )
+                for host in hosts.values()
+            }
+            assert len(histories) == 1
+            # And the archives for both closed epochs exist for replay.
+            for epoch in (0, 1):
+                assert (tmp_path / f"public-epoch-{epoch}.json").exists()
+        finally:
+            await net.close()
+            for host in hosts.values():
+                await host.close()
+
+    asyncio.run(scenario())
